@@ -1,0 +1,52 @@
+//! Figure 1 / Figure 2: the CacheMax example and its state space.
+//!
+//! With `Data = {1, 2}` the paper's Figure 2 shows a 13-state graph;
+//! this bench regenerates it, prints the DOT rendering, and measures
+//! checker throughput as the `Data` set grows.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mocket_checker::{from_dot, to_dot, ModelChecker};
+use mocket_specs::cachemax::{cache_bounded_invariant, CacheMax};
+
+fn main() {
+    println!("=== Figure 2: CacheMax state space (Data = {{1, 2}}) ===");
+    let result = ModelChecker::new(Arc::new(CacheMax::paper_model()))
+        .invariant(cache_bounded_invariant(2))
+        .run();
+    assert!(result.ok(), "the Figure 1 invariant must hold");
+    println!(
+        "states = {} (paper: 13), edges = {} (paper: 18), depth = {}",
+        result.stats.distinct_states, result.stats.edges, result.stats.depth,
+    );
+    assert_eq!(result.stats.distinct_states, 13, "Figure 2 has 13 states");
+    assert_eq!(result.stats.edges, 18, "Figure 2 has 18 transitions");
+
+    // Round-trip the GraphViz artifact like the TLC -> Mocket boundary.
+    let dot = to_dot(&result.graph);
+    let back = from_dot(&dot).expect("DOT round-trip");
+    assert_eq!(back.state_count(), result.graph.state_count());
+    assert_eq!(back.edge_count(), result.graph.edge_count());
+    println!("\n--- GraphViz DOT (first 12 lines) ---");
+    for line in dot.lines().take(12) {
+        println!("{line}");
+    }
+
+    println!("\n=== Checker scaling on CacheMax ===");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "|Data|", "states", "edges", "time"
+    );
+    for n in [2, 3, 4, 5, 6] {
+        let start = Instant::now();
+        let r = ModelChecker::new(Arc::new(CacheMax::with_data_size(n))).run();
+        println!(
+            "{:>6} {:>10} {:>10} {:>12?}",
+            n,
+            r.stats.distinct_states,
+            r.stats.edges,
+            start.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks for the pipeline's hot paths:
+//! fingerprinting, successor generation, graph insertion, DOT
+//! round-trips and vote-message wire codecs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mocket_checker::{from_dot, to_dot, ModelChecker};
+use mocket_dsnet::Wire;
+use mocket_raft_async::{Entry, RaftMsg};
+use mocket_specs::cachemax::CacheMax;
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket_tla::{successors_with, Spec, State, Value};
+
+fn sample_state() -> State {
+    RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2, 3]))
+        .init_states()
+        .remove(0)
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let state = sample_state();
+    c.bench_function("state_fingerprint_raft3", |b| {
+        b.iter(|| std::hint::black_box(state.fingerprint()))
+    });
+}
+
+fn bench_successors(c: &mut Criterion) {
+    let spec = RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2]));
+    let actions = spec.actions();
+    let init = spec.init_states().remove(0);
+    c.bench_function("successors_raft2_init", |b| {
+        b.iter(|| std::hint::black_box(successors_with(&actions, &init).len()))
+    });
+}
+
+fn bench_model_check(c: &mut Criterion) {
+    c.bench_function("model_check_cachemax_data4", |b| {
+        b.iter(|| {
+            let r = ModelChecker::new(Arc::new(CacheMax::with_data_size(4))).run();
+            std::hint::black_box(r.stats.distinct_states)
+        })
+    });
+}
+
+fn bench_dot_roundtrip(c: &mut Criterion) {
+    let graph = ModelChecker::new(Arc::new(CacheMax::with_data_size(3)))
+        .run()
+        .graph;
+    let dot = to_dot(&graph);
+    c.bench_function("dot_write_cachemax3", |b| {
+        b.iter(|| std::hint::black_box(to_dot(&graph).len()))
+    });
+    c.bench_function("dot_parse_cachemax3", |b| {
+        b.iter(|| std::hint::black_box(from_dot(&dot).unwrap().state_count()))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = RaftMsg::AppendRequest {
+        term: 3,
+        prev_log_index: 1,
+        prev_log_term: 2,
+        entries: vec![Entry::noop(3), Entry::data(3, 42)],
+        commit_index: 1,
+        source: 1,
+        dest: 2,
+    };
+    c.bench_function("wire_roundtrip_append_entries", |b| {
+        b.iter(|| std::hint::black_box(msg.wire_roundtrip().unwrap()))
+    });
+    c.bench_function("msg_to_spec_record", |b| {
+        b.iter(|| std::hint::black_box(msg.to_value()))
+    });
+}
+
+fn bench_state_ops(c: &mut Criterion) {
+    let state = sample_state();
+    c.bench_function("state_with_update", |b| {
+        b.iter_batched(
+            || state.clone(),
+            |s| {
+                std::hint::black_box(s.with(
+                    "currentTerm",
+                    Value::const_fun([Value::Int(1), Value::Int(2), Value::Int(3)], Value::Int(2)),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprint,
+    bench_successors,
+    bench_model_check,
+    bench_dot_roundtrip,
+    bench_wire,
+    bench_state_ops,
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Shared scenario definitions for the benchmark harness.
+//!
+//! Each table and figure of the paper has a bench binary under
+//! `benches/`; the model configurations they share live here so the
+//! numbers across tables are consistent.
+
+use std::sync::Arc;
+
+use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket_specs::zab::{ZabSpec, ZabSpecConfig};
+use mocket_tla::Spec;
+
+/// The Xraft bench model (asynchronous Raft with duplicate and
+/// restart faults).
+pub fn xraft_model() -> RaftSpecConfig {
+    RaftSpecConfig::xraft(vec![1, 2])
+}
+
+/// The Raft-java bench model (synchronous Raft, two candidates, two
+/// client requests — deep enough for the log-conflict scenario).
+pub fn raft_java_model() -> RaftSpecConfig {
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 3;
+    cfg.client_request_limit = 2;
+    cfg.candidates = Some(vec![1, 2]);
+    cfg.max_in_flight = 1;
+    cfg
+}
+
+/// The ZooKeeper bench model (full election + sync + broadcast).
+pub fn zookeeper_model() -> ZabSpecConfig {
+    ZabSpecConfig::small(vec![1, 2])
+}
+
+/// The three bench specs with their display names.
+pub fn bench_specs() -> Vec<(&'static str, Arc<dyn Spec>)> {
+    vec![
+        ("Xraft", Arc::new(RaftSpec::new(xraft_model()))),
+        ("Raft-java", Arc::new(RaftSpec::new(raft_java_model()))),
+        ("ZooKeeper", Arc::new(ZabSpec::new(zookeeper_model()))),
+    ]
+}
+
+/// A pipeline with bench-wide defaults.
+pub fn bench_pipeline(
+    spec: Arc<dyn Spec>,
+    registry: mocket_core::MappingRegistry,
+    por: bool,
+) -> Pipeline {
+    let mut pc = PipelineConfig::default();
+    pc.por = por;
+    pc.stop_at_first_bug = true;
+    pc.max_path_len = 60;
+    pc.run = RunConfig {
+        check_initial: true,
+        poll_rounds: 2,
+    };
+    Pipeline::new(spec, registry, pc).expect("bench mapping is valid")
+}
+
+/// Formats a duration in the style of the paper's Table 2.
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 60.0 {
+        format!("{seconds:.1} s")
+    } else if seconds < 3600.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else {
+        format!("{:.1} h", seconds / 3600.0)
+    }
+}

@@ -1,0 +1,268 @@
+//! GraphViz DOT export and import of state-space graphs.
+//!
+//! TLC can dump the state space it verified as a GraphViz DOT file,
+//! and Mocket's test-case generator consumes exactly that file
+//! (§4.2). We reproduce both sides of the boundary: [`to_dot`] writes
+//! a graph, [`from_dot`] parses one back. Node labels carry the full
+//! state in TLA+ conjunction syntax; edge labels carry the action
+//! instance.
+
+use std::fmt::Write as _;
+
+use mocket_tla::{parse_action_instance, parse_state, ParseError};
+
+use crate::graph::{NodeId, StateGraph};
+
+/// Serializes a graph as GraphViz DOT.
+pub fn to_dot(graph: &StateGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph StateSpace {\n");
+    out.push_str("  nodesep = 0.35;\n");
+    for (id, state) in graph.states() {
+        let initial = graph.initial_states().contains(&id);
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\"{}];",
+            id.0,
+            escape(&state.to_string()),
+            if initial {
+                ", style=bold, initial=true"
+            } else {
+                ""
+            },
+        );
+    }
+    for edge in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\"];",
+            edge.from.0,
+            edge.to.0,
+            escape(&edge.action.to_string()),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a DOT file produced by [`to_dot`] back into a graph.
+///
+/// Node ids are remapped densely in order of appearance, preserving
+/// initial-state marks and edge order.
+pub fn from_dot(input: &str) -> Result<StateGraph, DotError> {
+    let mut graph = StateGraph::new();
+    // DOT node name ("s12") -> graph NodeId.
+    let mut names: std::collections::HashMap<String, NodeId> = std::collections::HashMap::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(';');
+        if line.is_empty()
+            || line.starts_with("digraph")
+            || line.starts_with('}')
+            || line.starts_with("//")
+            || !line.contains('[')
+        {
+            continue;
+        }
+        let (head, attrs) = split_attrs(line).ok_or_else(|| DotError::syntax(lineno, line))?;
+        if let Some((from, to)) = head.split_once("->") {
+            // Edge line.
+            let from = from.trim();
+            let to = to.trim();
+            let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
+            let action = parse_action_instance(&label).map_err(|e| DotError::parse(lineno, e))?;
+            let f = *names
+                .get(from)
+                .ok_or_else(|| DotError::unknown_node(lineno, from))?;
+            let t = *names
+                .get(to)
+                .ok_or_else(|| DotError::unknown_node(lineno, to))?;
+            graph.add_edge(f, action, t);
+        } else {
+            // Node line.
+            let name = head.trim().to_string();
+            if name == "nodesep" {
+                continue;
+            }
+            let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
+            let state = parse_state(&label).map_err(|e| DotError::parse(lineno, e))?;
+            let (id, _) = graph.insert_state(state);
+            if attrs.contains("initial=true") {
+                graph.mark_initial(id);
+            }
+            names.insert(name, id);
+        }
+    }
+    Ok(graph)
+}
+
+/// Splits `head [attrs]` into `(head, attrs)`.
+fn split_attrs(line: &str) -> Option<(&str, &str)> {
+    let open = line.find('[')?;
+    let close = line.rfind(']')?;
+    (close > open).then(|| (&line[..open], &line[open + 1..close]))
+}
+
+/// Extracts and unescapes the quoted `label="..."` attribute.
+fn attr_label(attrs: &str) -> Option<String> {
+    let idx = attrs.find("label=\"")?;
+    let rest = &attrs[idx + 7..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                other => out.push(other),
+            },
+            '"' => return Some(out),
+            other => out.push(other),
+        }
+    }
+    None
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Errors from DOT parsing.
+#[derive(Debug, Clone)]
+pub enum DotError {
+    /// Line did not match the expected node/edge shape.
+    Syntax {
+        /// Zero-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A label failed to parse as a state or action.
+    Label {
+        /// Zero-based line number.
+        line: usize,
+        /// The underlying parse error.
+        error: ParseError,
+    },
+    /// An edge referenced a node that was never declared.
+    UnknownNode {
+        /// Zero-based line number.
+        line: usize,
+        /// The undeclared node name.
+        name: String,
+    },
+}
+
+impl DotError {
+    fn syntax(line: usize, text: &str) -> Self {
+        DotError::Syntax {
+            line,
+            text: text.to_string(),
+        }
+    }
+
+    fn parse(line: usize, error: ParseError) -> Self {
+        DotError::Label { line, error }
+    }
+
+    fn unknown_node(line: usize, name: &str) -> Self {
+        DotError::UnknownNode {
+            line,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DotError::Syntax { line, text } => {
+                write!(f, "DOT syntax error on line {}: {text:?}", line + 1)
+            }
+            DotError::Label { line, error } => {
+                write!(f, "bad label on line {}: {error}", line + 1)
+            }
+            DotError::UnknownNode { line, name } => {
+                write!(
+                    f,
+                    "edge on line {} references unknown node {name:?}",
+                    line + 1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::{ActionInstance, State, Value};
+
+    fn sample_graph() -> StateGraph {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(State::from_pairs([
+            ("cache", Value::empty_set()),
+            ("msg", Value::Nil),
+            ("stage", Value::str("request")),
+        ]));
+        let (b, _) = g.insert_state(State::from_pairs([
+            ("cache", Value::empty_set()),
+            ("msg", Value::Int(1)),
+            ("stage", Value::str("respond")),
+        ]));
+        g.mark_initial(a);
+        g.add_edge(a, ActionInstance::new("Request", vec![Value::Int(1)]), b);
+        g.add_edge(b, ActionInstance::nullary("Respond"), a);
+        g
+    }
+
+    #[test]
+    fn dot_contains_labels_and_marks() {
+        let dot = to_dot(&sample_graph());
+        assert!(dot.starts_with("digraph StateSpace {"));
+        assert!(dot.contains("initial=true"));
+        assert!(dot.contains("Request(1)"));
+        assert!(dot.contains("stage = \\\"request\\\""));
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let g2 = from_dot(&to_dot(&g)).unwrap();
+        assert_eq!(g2.state_count(), g.state_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.initial_states().len(), 1);
+        assert_eq!(
+            g2.state(g2.initial_states()[0]),
+            g.state(g.initial_states()[0])
+        );
+        let actions: Vec<String> = g2.edges().iter().map(|e| e.action.to_string()).collect();
+        assert_eq!(actions, ["Request(1)", "Respond"]);
+    }
+
+    #[test]
+    fn unknown_node_is_reported() {
+        let bad = "digraph X {\n  s0 -> s1 [label=\"A\"];\n}\n";
+        match from_dot(bad) {
+            Err(DotError::UnknownNode { name, .. }) => assert_eq!(name, "s0"),
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_label_is_reported() {
+        let bad = "digraph X {\n  s0 [label=\"not a state\"];\n}\n";
+        assert!(matches!(from_dot(bad), Err(DotError::Label { .. })));
+    }
+
+    #[test]
+    fn parser_ignores_preamble_noise() {
+        let dot = to_dot(&sample_graph());
+        let noisy = dot.replace(
+            "digraph StateSpace {",
+            "digraph StateSpace {\n  // a comment\n",
+        );
+        assert!(from_dot(&noisy).is_ok());
+    }
+}

@@ -1,0 +1,339 @@
+//! Explicit-state exploration (the TLC analog, §2.2).
+//!
+//! The checker starts from the `Init` states and applies every enabled
+//! action to every frontier state, breadth-first, deduplicating by
+//! fingerprint, until the space is exhausted, a bound is hit, or an
+//! invariant is violated. The product is the [`StateGraph`] that
+//! drives Mocket's test-case generation.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mocket_tla::{successors_with, Spec, State};
+
+use crate::graph::{NodeId, StateGraph};
+use crate::invariant::{Invariant, Violation};
+
+/// Exploration statistics, mirroring TLC's progress report.
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// States generated (including revisits).
+    pub states_generated: usize,
+    /// Distinct states kept.
+    pub distinct_states: usize,
+    /// Edges recorded.
+    pub edges: usize,
+    /// BFS depth reached.
+    pub depth: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Whether exploration stopped at a bound rather than a fixpoint.
+    pub truncated: bool,
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug)]
+pub struct CheckResult {
+    /// The full state-space graph of everything explored.
+    pub graph: StateGraph,
+    /// Exploration statistics.
+    pub stats: CheckStats,
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+}
+
+impl CheckResult {
+    /// Whether the run completed without violations.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// A configurable explicit-state model checker.
+pub struct ModelChecker {
+    spec: Arc<dyn Spec>,
+    invariants: Vec<Invariant>,
+    constraint: Option<Arc<dyn Fn(&State) -> bool + Send + Sync>>,
+    max_states: usize,
+    max_depth: usize,
+}
+
+impl ModelChecker {
+    /// Creates a checker for `spec` with no invariants and no bounds.
+    pub fn new(spec: Arc<dyn Spec>) -> Self {
+        ModelChecker {
+            spec,
+            invariants: Vec::new(),
+            constraint: None,
+            max_states: usize::MAX,
+            max_depth: usize::MAX,
+        }
+    }
+
+    /// Adds an invariant to check on every state.
+    pub fn invariant(mut self, inv: Invariant) -> Self {
+        self.invariants.push(inv);
+        self
+    }
+
+    /// Adds a state constraint: states failing it are kept in the
+    /// graph but not expanded (TLC's `CONSTRAINT`).
+    pub fn constraint<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&State) -> bool + Send + Sync + 'static,
+    {
+        self.constraint = Some(Arc::new(f));
+        self
+    }
+
+    /// Bounds the number of distinct states.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Bounds the BFS depth.
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.max_depth = n;
+        self
+    }
+
+    /// Runs the exploration to fixpoint (or bound / violation).
+    pub fn run(self) -> CheckResult {
+        let start = Instant::now();
+        let mut graph = StateGraph::new();
+        let mut stats = CheckStats::default();
+        // Parent links for counterexample reconstruction: for each
+        // node, the (parent, action-edge) that first discovered it.
+        let mut parent: Vec<Option<(NodeId, usize)>> = Vec::new();
+        let mut depth: Vec<usize> = Vec::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut violation = None;
+        // Build the action list once; closures are reused across the
+        // whole exploration.
+        let actions = self.spec.actions();
+
+        let note_new = |parent_vec: &mut Vec<Option<(NodeId, usize)>>,
+                        depth_vec: &mut Vec<usize>,
+                        id: NodeId,
+                        from: Option<(NodeId, usize)>,
+                        d: usize| {
+            debug_assert_eq!(parent_vec.len(), id.0);
+            parent_vec.push(from);
+            depth_vec.push(d);
+        };
+
+        'outer: {
+            for init in self.spec.init_states() {
+                stats.states_generated += 1;
+                let (id, new) = graph.insert_state(init);
+                graph.mark_initial(id);
+                if new {
+                    note_new(&mut parent, &mut depth, id, None, 0);
+                    if let Some(v) = self.check_invariants(&graph, id, &parent) {
+                        violation = Some(v);
+                        break 'outer;
+                    }
+                    queue.push_back(id);
+                }
+            }
+
+            while let Some(node) = queue.pop_front() {
+                if graph.state_count() >= self.max_states {
+                    stats.truncated = true;
+                    break;
+                }
+                if depth[node.0] >= self.max_depth {
+                    stats.truncated = true;
+                    continue;
+                }
+                if let Some(c) = &self.constraint {
+                    if !c(graph.state(node)) {
+                        continue;
+                    }
+                }
+                let succ = successors_with(&actions, graph.state(node));
+                for (action, next) in succ {
+                    stats.states_generated += 1;
+                    let (id, new) = graph.insert_state(next);
+                    graph.add_edge(node, action, id);
+                    if new {
+                        let d = depth[node.0] + 1;
+                        note_new(
+                            &mut parent,
+                            &mut depth,
+                            id,
+                            Some((node, graph.out_edges(node).len() - 1)),
+                            d,
+                        );
+                        if let Some(v) = self.check_invariants(&graph, id, &parent) {
+                            violation = Some(v);
+                            break 'outer;
+                        }
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+
+        stats.distinct_states = graph.state_count();
+        stats.edges = graph.edge_count();
+        stats.depth = depth.iter().copied().max().unwrap_or(0);
+        stats.elapsed = start.elapsed();
+        CheckResult {
+            graph,
+            stats,
+            violation,
+        }
+    }
+
+    fn check_invariants(
+        &self,
+        graph: &StateGraph,
+        id: NodeId,
+        parent: &[Option<(NodeId, usize)>],
+    ) -> Option<Violation> {
+        let state = graph.state(id);
+        for inv in &self.invariants {
+            if !inv.holds(state) {
+                return Some(Violation {
+                    invariant: inv.name.clone(),
+                    state: state.clone(),
+                    trace: reconstruct_trace(graph, id, parent),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Walks parent links back to an initial state and returns the
+/// behavior in forward order.
+fn reconstruct_trace(
+    graph: &StateGraph,
+    id: NodeId,
+    parent: &[Option<(NodeId, usize)>],
+) -> Vec<(Option<mocket_tla::ActionInstance>, State)> {
+    let mut rev = Vec::new();
+    let mut cur = id;
+    loop {
+        match parent[cur.0] {
+            Some((p, edge_idx)) => {
+                let eid = graph.out_edges(p)[edge_idx];
+                rev.push((
+                    Some(graph.edge(eid).action.clone()),
+                    graph.state(cur).clone(),
+                ));
+                cur = p;
+            }
+            None => {
+                rev.push((None, graph.state(cur).clone()));
+                break;
+            }
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
+
+    /// `n` counts 0..=limit with `Inc`; `Reset` returns to 0.
+    struct Clock {
+        limit: i64,
+    }
+
+    impl Spec for Clock {
+        fn name(&self) -> &str {
+            "Clock"
+        }
+
+        fn variables(&self) -> Vec<VarDef> {
+            vec![VarDef::new("n", VarClass::StateRelated)]
+        }
+
+        fn init_states(&self) -> Vec<State> {
+            vec![State::from_pairs([("n", Value::Int(0))])]
+        }
+
+        fn actions(&self) -> Vec<ActionDef> {
+            let limit = self.limit;
+            vec![
+                ActionDef::nullary("Inc", ActionClass::SingleNode, move |s| {
+                    let n = s.expect("n").expect_int();
+                    (n < limit).then(|| s.with("n", Value::Int(n + 1)))
+                }),
+                ActionDef::nullary("Reset", ActionClass::SingleNode, |s| {
+                    let n = s.expect("n").expect_int();
+                    (n > 0).then(|| s.with("n", Value::Int(0)))
+                }),
+            ]
+        }
+    }
+
+    #[test]
+    fn explores_to_fixpoint() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 5 })).run();
+        assert!(r.ok());
+        assert_eq!(r.stats.distinct_states, 6);
+        // Inc edges: 5; Reset edges from 1..=5: 5.
+        assert_eq!(r.stats.edges, 10);
+        assert!(!r.stats.truncated);
+        assert_eq!(r.graph.initial_states().len(), 1);
+        assert_eq!(r.stats.depth, 5);
+    }
+
+    #[test]
+    fn invariant_violation_yields_trace() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 5 }))
+            .invariant(Invariant::new("Below3", |s| s.expect("n").expect_int() < 3))
+            .run();
+        let v = r.violation.expect("must violate");
+        assert_eq!(v.invariant, "Below3");
+        assert_eq!(v.state.expect("n"), &Value::Int(3));
+        // Trace: init(0) -> 1 -> 2 -> 3, all by Inc.
+        assert_eq!(v.trace.len(), 4);
+        assert!(v.trace[0].0.is_none());
+        assert!(v.trace[1..]
+            .iter()
+            .all(|(a, _)| a.as_ref().unwrap().name == "Inc"));
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 1000 }))
+            .max_states(10)
+            .run();
+        assert!(r.stats.truncated);
+        assert!(r.stats.distinct_states <= 11);
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 1000 }))
+            .max_depth(3)
+            .run();
+        assert!(r.stats.truncated);
+        assert_eq!(r.stats.distinct_states, 4);
+    }
+
+    #[test]
+    fn constraint_stops_expansion_but_keeps_state() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 1000 }))
+            .constraint(|s| s.expect("n").expect_int() < 3)
+            .run();
+        assert!(r.ok());
+        // States 0,1,2 expand; state 3 is kept but not expanded.
+        assert_eq!(r.stats.distinct_states, 4);
+    }
+
+    #[test]
+    fn generated_counts_revisits() {
+        let r = ModelChecker::new(Arc::new(Clock { limit: 2 })).run();
+        assert!(r.stats.states_generated > r.stats.distinct_states);
+    }
+}

@@ -1,0 +1,288 @@
+//! The state-space graph.
+//!
+//! The model checker's output — and Mocket's central input — is a
+//! directed graph whose nodes are verified states and whose edges are
+//! action instances (Figure 2 of the paper). Edges carry stable ids so
+//! the edge-coverage traversal and partial-order reduction can mark
+//! them individually.
+
+use std::collections::HashMap;
+
+use mocket_tla::{ActionInstance, State};
+
+/// Index of a state in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// A transition: `from --action--> to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source state.
+    pub from: NodeId,
+    /// The action instance labeling the transition.
+    pub action: ActionInstance,
+    /// Destination state.
+    pub to: NodeId,
+}
+
+/// A state-space graph with fingerprint-deduplicated states.
+#[derive(Debug, Clone, Default)]
+pub struct StateGraph {
+    states: Vec<State>,
+    by_fingerprint: HashMap<u64, Vec<usize>>,
+    edges: Vec<Edge>,
+    out: Vec<Vec<EdgeId>>,
+    initial: Vec<NodeId>,
+}
+
+impl StateGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        StateGraph::default()
+    }
+
+    /// Number of distinct states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The initial states (in insertion order).
+    pub fn initial_states(&self) -> &[NodeId] {
+        &self.initial
+    }
+
+    /// The state stored at `id`.
+    pub fn state(&self, id: NodeId) -> &State {
+        &self.states[id.0]
+    }
+
+    /// The edge stored at `id`.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Out-edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: NodeId) -> &[EdgeId] {
+        &self.out[id.0]
+    }
+
+    /// The action instances enabled at `id` according to the graph.
+    pub fn enabled_at(&self, id: NodeId) -> Vec<&ActionInstance> {
+        self.out[id.0]
+            .iter()
+            .map(|e| &self.edges[e.0].action)
+            .collect()
+    }
+
+    /// Iterates over `(NodeId, &State)`.
+    pub fn states(&self) -> impl Iterator<Item = (NodeId, &State)> {
+        self.states.iter().enumerate().map(|(i, s)| (NodeId(i), s))
+    }
+
+    /// Inserts `state` if new, returning its id and whether it was new.
+    pub fn insert_state(&mut self, state: State) -> (NodeId, bool) {
+        let fp = state.fingerprint();
+        if let Some(bucket) = self.by_fingerprint.get(&fp) {
+            for &i in bucket {
+                if self.states[i] == state {
+                    return (NodeId(i), false);
+                }
+            }
+        }
+        let id = self.states.len();
+        self.by_fingerprint.entry(fp).or_default().push(id);
+        self.states.push(state);
+        self.out.push(Vec::new());
+        (NodeId(id), true)
+    }
+
+    /// Looks up a state without inserting it.
+    pub fn find_state(&self, state: &State) -> Option<NodeId> {
+        let fp = state.fingerprint();
+        self.by_fingerprint.get(&fp).and_then(|bucket| {
+            bucket
+                .iter()
+                .copied()
+                .find(|&i| &self.states[i] == state)
+                .map(NodeId)
+        })
+    }
+
+    /// Marks `id` as an initial state.
+    pub fn mark_initial(&mut self, id: NodeId) {
+        if !self.initial.contains(&id) {
+            self.initial.push(id);
+        }
+    }
+
+    /// Adds an edge; duplicate `(from, action, to)` triples are merged.
+    pub fn add_edge(&mut self, from: NodeId, action: ActionInstance, to: NodeId) -> EdgeId {
+        for &eid in &self.out[from.0] {
+            let e = &self.edges[eid.0];
+            if e.to == to && e.action == action {
+                return eid;
+            }
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, action, to });
+        self.out[from.0].push(id);
+        id
+    }
+
+    /// States with no outgoing edges (deadlocks or exploration
+    /// frontier cut-offs).
+    pub fn terminal_states(&self) -> Vec<NodeId> {
+        (0..self.states.len())
+            .filter(|&i| self.out[i].is_empty())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Nodes reachable from the initial states.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<usize> = self.initial.iter().map(|n| n.0).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for &eid in &self.out[n] {
+                let t = self.edges[eid.0].to.0;
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The distinct action names appearing on edges.
+    pub fn action_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.edges.iter().map(|e| e.action.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Maximum distance from an initial state (graph diameter along
+    /// BFS layers); `None` for an empty graph.
+    pub fn depth(&self) -> Option<usize> {
+        if self.initial.is_empty() {
+            return None;
+        }
+        let mut dist = vec![usize::MAX; self.states.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &n in &self.initial {
+            dist[n.0] = 0;
+            queue.push_back(n.0);
+        }
+        let mut max = 0;
+        while let Some(n) = queue.pop_front() {
+            for &eid in &self.out[n] {
+                let t = self.edges[eid.0].to.0;
+                if dist[t] == usize::MAX {
+                    dist[t] = dist[n] + 1;
+                    max = max.max(dist[t]);
+                    queue.push_back(t);
+                }
+            }
+        }
+        Some(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::Value;
+
+    fn st(n: i64) -> State {
+        State::from_pairs([("n", Value::Int(n))])
+    }
+
+    fn act(name: &str) -> ActionInstance {
+        ActionInstance::nullary(name)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = StateGraph::new();
+        let (a, new_a) = g.insert_state(st(1));
+        let (b, new_b) = g.insert_state(st(1));
+        assert!(new_a && !new_b);
+        assert_eq!(a, b);
+        assert_eq!(g.state_count(), 1);
+    }
+
+    #[test]
+    fn add_edge_merges_duplicates() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(1));
+        let (b, _) = g.insert_state(st(2));
+        let e1 = g.add_edge(a, act("Inc"), b);
+        let e2 = g.add_edge(a, act("Inc"), b);
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        let e3 = g.add_edge(a, act("Jump"), b);
+        assert_ne!(e1, e3);
+        assert_eq!(g.out_edges(a).len(), 2);
+    }
+
+    #[test]
+    fn reachability_and_terminals() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(1));
+        let (b, _) = g.insert_state(st(2));
+        let (c, _) = g.insert_state(st(3));
+        g.mark_initial(a);
+        g.add_edge(a, act("Go"), b);
+        let r = g.reachable();
+        assert!(r[a.0] && r[b.0] && !r[c.0]);
+        assert_eq!(g.terminal_states(), vec![b, c]);
+    }
+
+    #[test]
+    fn depth_counts_bfs_layers() {
+        let mut g = StateGraph::new();
+        let ids: Vec<_> = (0..4).map(|i| g.insert_state(st(i)).0).collect();
+        g.mark_initial(ids[0]);
+        for w in ids.windows(2) {
+            g.add_edge(w[0], act("Step"), w[1]);
+        }
+        assert_eq!(g.depth(), Some(3));
+    }
+
+    #[test]
+    fn action_names_deduplicated_sorted() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(1));
+        let (b, _) = g.insert_state(st(2));
+        g.add_edge(a, act("B"), b);
+        g.add_edge(b, act("A"), a);
+        g.add_edge(a, act("A"), a);
+        assert_eq!(g.action_names(), ["A", "B"]);
+    }
+
+    #[test]
+    fn find_state_matches_insert() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(7));
+        assert_eq!(g.find_state(&st(7)), Some(a));
+        assert_eq!(g.find_state(&st(8)), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Invariants and their violation reports.
+//!
+//! Properties constrain the behaviors a specification allows (§2.1 of
+//! the paper). As the paper notes, properties have no effect on the
+//! construction of the state space; the checker evaluates them on
+//! every state it discovers and stops at the first violation.
+
+use std::sync::Arc;
+
+use mocket_tla::{ActionInstance, State};
+
+/// A named state predicate, e.g. Figure 1's
+/// `Cardinality(cache) <= Cardinality(Data)`.
+#[derive(Clone)]
+pub struct Invariant {
+    /// The invariant's name for reports.
+    pub name: String,
+    check: Arc<dyn Fn(&State) -> bool + Send + Sync>,
+}
+
+impl Invariant {
+    /// Defines a named invariant.
+    pub fn new<F>(name: impl Into<String>, check: F) -> Self
+    where
+        F: Fn(&State) -> bool + Send + Sync + 'static,
+    {
+        Invariant {
+            name: name.into(),
+            check: Arc::new(check),
+        }
+    }
+
+    /// Evaluates the invariant on a state.
+    pub fn holds(&self, state: &State) -> bool {
+        (self.check)(state)
+    }
+}
+
+impl std::fmt::Debug for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Invariant")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A counterexample: the violated invariant plus the behavior (states
+/// interleaved with actions) leading from an initial state to the
+/// violating state.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// The violating state.
+    pub state: State,
+    /// The trace from an initial state: `trace[0]` is initial, each
+    /// following entry pairs the action taken with the state reached.
+    pub trace: Vec<(Option<ActionInstance>, State)>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Invariant {} is violated.", self.invariant)?;
+        for (i, (action, state)) in self.trace.iter().enumerate() {
+            match action {
+                None => writeln!(f, "State {i}: <Initial predicate>")?,
+                Some(a) => writeln!(f, "State {i}: <Action {a}>")?,
+            }
+            writeln!(f, "{state}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::Value;
+
+    #[test]
+    fn invariant_evaluates_predicate() {
+        let inv = Invariant::new("NonNegative", |s: &State| s.expect("n").expect_int() >= 0);
+        assert!(inv.holds(&State::from_pairs([("n", Value::Int(0))])));
+        assert!(!inv.holds(&State::from_pairs([("n", Value::Int(-1))])));
+    }
+
+    #[test]
+    fn violation_display_is_tlc_like() {
+        let init = State::from_pairs([("n", Value::Int(0))]);
+        let bad = State::from_pairs([("n", Value::Int(-1))]);
+        let v = Violation {
+            invariant: "NonNegative".into(),
+            state: bad.clone(),
+            trace: vec![(None, init), (Some(ActionInstance::nullary("Dec")), bad)],
+        };
+        let text = v.to_string();
+        assert!(text.contains("Invariant NonNegative is violated."));
+        assert!(text.contains("<Initial predicate>"));
+        assert!(text.contains("<Action Dec>"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Explicit-state model checker producing state-space graphs.
+//!
+//! This crate is the TLC analog in the Mocket pipeline (§2.2 of the
+//! paper): it exhaustively explores a [`mocket_tla::Spec`], checks
+//! invariants with counterexample traces, and produces the
+//! [`StateGraph`] — exportable to and re-importable from GraphViz DOT
+//! — that guides test-case generation in `mocket-core`.
+
+pub mod dot;
+pub mod explore;
+pub mod graph;
+pub mod invariant;
+pub mod simulate;
+
+pub use dot::{from_dot, to_dot, DotError};
+pub use explore::{CheckResult, CheckStats, ModelChecker};
+pub use graph::{Edge, EdgeId, NodeId, StateGraph};
+pub use invariant::{Invariant, Violation};
+pub use simulate::{simulate, SimulateConfig, SimulateResult, SimulateStats};

@@ -1,0 +1,237 @@
+//! Random simulation of a specification (TLC's `-simulate` mode).
+//!
+//! Instead of exhaustive exploration, sample random behaviors of
+//! bounded length and check invariants along each — useful when the
+//! state space is too large to enumerate, and as a cheap smoke test
+//! while developing a specification.
+
+use std::sync::Arc;
+
+use mocket_tla::{successors_with, ActionInstance, Spec, State};
+
+use crate::invariant::{Invariant, Violation};
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulateConfig {
+    /// Number of behaviors to sample.
+    pub behaviors: usize,
+    /// Maximum length of each behavior.
+    pub max_depth: usize,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for SimulateConfig {
+    fn default() -> Self {
+        SimulateConfig {
+            behaviors: 100,
+            max_depth: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// Statistics from a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimulateStats {
+    /// Behaviors completed.
+    pub behaviors: usize,
+    /// Total transitions taken.
+    pub transitions: usize,
+    /// Behaviors that ended in a deadlock (no enabled action).
+    pub deadlocked: usize,
+    /// Distinct states seen (by fingerprint).
+    pub distinct_states_seen: usize,
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimulateResult {
+    /// Statistics.
+    pub stats: SimulateStats,
+    /// The first invariant violation, with its behavior, if any.
+    pub violation: Option<Violation>,
+}
+
+impl SimulateResult {
+    /// Whether the run completed without violations.
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Samples random behaviors of `spec` and checks `invariants` on
+/// every visited state.
+pub fn simulate(
+    spec: Arc<dyn Spec>,
+    invariants: &[Invariant],
+    config: &SimulateConfig,
+) -> SimulateResult {
+    let mut rng = config.seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    let actions = spec.actions();
+    let inits = spec.init_states();
+    let mut stats = SimulateStats::default();
+    let mut seen = std::collections::HashSet::new();
+
+    for _ in 0..config.behaviors {
+        let mut state = inits[(next() as usize) % inits.len().max(1)].clone();
+        let mut trace: Vec<(Option<ActionInstance>, State)> = vec![(None, state.clone())];
+        seen.insert(state.fingerprint());
+        if let Some(v) = check(invariants, &state, &trace) {
+            return SimulateResult {
+                stats,
+                violation: Some(v),
+            };
+        }
+        for _ in 0..config.max_depth {
+            let succ = successors_with(&actions, &state);
+            if succ.is_empty() {
+                stats.deadlocked += 1;
+                break;
+            }
+            let (action, nxt) = succ[(next() as usize) % succ.len()].clone();
+            stats.transitions += 1;
+            seen.insert(nxt.fingerprint());
+            trace.push((Some(action), nxt.clone()));
+            state = nxt;
+            if let Some(v) = check(invariants, &state, &trace) {
+                stats.behaviors += 1;
+                stats.distinct_states_seen = seen.len();
+                return SimulateResult {
+                    stats,
+                    violation: Some(v),
+                };
+            }
+        }
+        stats.behaviors += 1;
+    }
+    stats.distinct_states_seen = seen.len();
+    SimulateResult {
+        stats,
+        violation: None,
+    }
+}
+
+fn check(
+    invariants: &[Invariant],
+    state: &State,
+    trace: &[(Option<ActionInstance>, State)],
+) -> Option<Violation> {
+    for inv in invariants {
+        if !inv.holds(state) {
+            return Some(Violation {
+                invariant: inv.name.clone(),
+                state: state.clone(),
+                trace: trace.to_vec(),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
+
+    struct Counter;
+
+    impl Spec for Counter {
+        fn name(&self) -> &str {
+            "Counter"
+        }
+        fn variables(&self) -> Vec<VarDef> {
+            vec![VarDef::new("n", VarClass::StateRelated)]
+        }
+        fn init_states(&self) -> Vec<State> {
+            vec![State::from_pairs([("n", Value::Int(0))])]
+        }
+        fn actions(&self) -> Vec<ActionDef> {
+            vec![
+                ActionDef::nullary("Inc", ActionClass::SingleNode, |s| {
+                    let n = s.expect("n").expect_int();
+                    (n < 5).then(|| s.with("n", Value::Int(n + 1)))
+                }),
+                ActionDef::nullary("Dec", ActionClass::SingleNode, |s| {
+                    let n = s.expect("n").expect_int();
+                    (n > 0).then(|| s.with("n", Value::Int(n - 1)))
+                }),
+            ]
+        }
+    }
+
+    #[test]
+    fn simulation_visits_states_and_reports_stats() {
+        let r = simulate(Arc::new(Counter), &[], &SimulateConfig::default());
+        assert!(r.ok());
+        assert_eq!(r.stats.behaviors, 100);
+        assert!(r.stats.transitions > 0);
+        assert!(r.stats.distinct_states_seen >= 2);
+        assert!(r.stats.distinct_states_seen <= 6, "only 6 states exist");
+    }
+
+    #[test]
+    fn simulation_finds_violations_with_trace() {
+        let r = simulate(
+            Arc::new(Counter),
+            &[Invariant::new("Below4", |s| s.expect("n").expect_int() < 4)],
+            &SimulateConfig::default(),
+        );
+        let v = r.violation.expect("must hit n = 4 eventually");
+        assert_eq!(v.state.expect("n"), &Value::Int(4));
+        assert!(v.trace.len() >= 5, "trace reaches the violation");
+        assert!(v.trace[0].0.is_none(), "trace starts at an initial state");
+    }
+
+    #[test]
+    fn simulation_is_reproducible_by_seed() {
+        let cfg = SimulateConfig {
+            behaviors: 10,
+            max_depth: 10,
+            seed: 42,
+        };
+        let a = simulate(Arc::new(Counter), &[], &cfg);
+        let b = simulate(Arc::new(Counter), &[], &cfg);
+        assert_eq!(a.stats.transitions, b.stats.transitions);
+        assert_eq!(a.stats.distinct_states_seen, b.stats.distinct_states_seen);
+    }
+
+    #[test]
+    fn deadlocks_are_counted() {
+        struct Dead;
+        impl Spec for Dead {
+            fn name(&self) -> &str {
+                "Dead"
+            }
+            fn variables(&self) -> Vec<VarDef> {
+                vec![VarDef::new("x", VarClass::StateRelated)]
+            }
+            fn init_states(&self) -> Vec<State> {
+                vec![State::from_pairs([("x", Value::Int(0))])]
+            }
+            fn actions(&self) -> Vec<ActionDef> {
+                vec![ActionDef::nullary("Once", ActionClass::SingleNode, |s| {
+                    (s.expect("x").expect_int() == 0).then(|| s.with("x", Value::Int(1)))
+                })]
+            }
+        }
+        let r = simulate(
+            Arc::new(Dead),
+            &[],
+            &SimulateConfig {
+                behaviors: 5,
+                max_depth: 10,
+                seed: 3,
+            },
+        );
+        assert_eq!(r.stats.deadlocked, 5, "every behavior hits the deadlock");
+    }
+}

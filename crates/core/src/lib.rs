@@ -1,0 +1,47 @@
+//! Mocket: model-checking-guided testing for distributed systems.
+//!
+//! This crate is the paper's primary contribution. Given a
+//! specification (from `mocket-tla`), its state-space graph (from
+//! `mocket-checker`) and a mapping onto a target implementation, it:
+//!
+//! 1. generates test cases — verified paths through the graph —
+//!    using edge-coverage-guided traversal ([`traversal`], Algorithm
+//!    1) and partial-order reduction ([`por`], §4.2.2);
+//! 2. runs controlled testing ([`runner`], §4.3): the action
+//!    scheduler ([`scheduler`]) releases blocked actions in test-case
+//!    order, message pools ([`msgpool`]) track message-related
+//!    variables, and the state checker ([`statecheck`]) compares every
+//!    runtime state with its verified counterpart;
+//! 3. reports inconsistencies ([`report`]): inconsistent states,
+//!    missing actions and unexpected actions.
+//!
+//! The [`pipeline`] module wires all stages together (Figure 3).
+
+pub mod mapping;
+pub mod msgpool;
+pub mod pipeline;
+pub mod por;
+pub mod report;
+pub mod runner;
+pub mod scheduler;
+pub mod statecheck;
+pub mod sut;
+pub mod testcase;
+pub mod traversal;
+
+pub use mapping::{
+    ActionBinding, ActionMapping, ConstMap, MappingIssue, MappingRegistry, VarTarget,
+    VariableMapping,
+};
+pub use msgpool::{MessagePools, PoolError};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineResult, TestingEffort};
+pub use por::{partial_order_reduction, Diamond, PorResult};
+pub use report::{BugClass, BugReport, Inconsistency, VariableDivergence};
+pub use runner::{pools_from_registry, run_test_case, RunConfig, RunStats, TestOutcome};
+pub use scheduler::{find_match, translate_offers, unexpected_offers, SpecOffer};
+pub use statecheck::{check_state, state_matches};
+pub use sut::{ExecReport, MsgEvent, Offer, Snapshot, SutError, SystemUnderTest};
+pub use testcase::{Step, TestCase};
+pub use traversal::{
+    edge_coverage_paths, node_coverage_paths, random_walk_paths, TraversalConfig, TraversalResult,
+};

@@ -1,0 +1,444 @@
+//! The end-to-end Mocket pipeline (Figure 3).
+//!
+//! ① map the specification (a [`MappingRegistry`]), ② model-check it
+//! into a state-space graph, ③ generate test cases by edge-coverage
+//! traversal with optional partial-order reduction, ④ run controlled
+//! testing against the system under test, collecting bug reports.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mocket_tla::{ActionInstance, Spec, State};
+
+use mocket_checker::{ModelChecker, StateGraph};
+
+use crate::mapping::{MappingIssue, MappingRegistry};
+use crate::por::partial_order_reduction;
+use crate::report::{BugClass, BugReport};
+use crate::runner::{run_test_case, RunConfig, TestOutcome};
+use crate::sut::{SutError, SystemUnderTest};
+use crate::testcase::TestCase;
+use crate::traversal::{edge_coverage_paths, TraversalConfig};
+
+/// Pipeline configuration.
+pub struct PipelineConfig {
+    /// Bound on distinct states during model checking.
+    pub max_states: usize,
+    /// Apply partial-order reduction before traversal.
+    pub por: bool,
+    /// End-state predicate for the traversal (developer-specified).
+    pub end_state: Option<Arc<dyn Fn(&State) -> bool + Send + Sync>>,
+    /// Developer-specified test-case filter (the §4.2.1 idea of
+    /// focusing testing, applied to whole cases): receives the case's
+    /// action-name sequence; only matching cases are executed (and
+    /// materialized). `None` runs everything.
+    pub case_filter: Option<Arc<dyn Fn(&[&str]) -> bool + Send + Sync>>,
+    /// Cap on generated test cases actually run (0 = all).
+    pub max_test_cases: usize,
+    /// Cap on a single test case's length (0 = unbounded). Real
+    /// deployments always bound this — an unbounded DFS descent
+    /// through a cyclic state graph yields arbitrarily long walks.
+    pub max_path_len: usize,
+    /// Stop at the first bug report.
+    pub stop_at_first_bug: bool,
+    /// Controlled-run configuration.
+    pub run: RunConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_states: 1_000_000,
+            por: true,
+            end_state: None,
+            case_filter: None,
+            max_test_cases: 0,
+            max_path_len: 0,
+            stop_at_first_bug: true,
+            run: RunConfig::default(),
+        }
+    }
+}
+
+/// Table 3-style effort numbers for one system.
+#[derive(Debug, Clone, Default)]
+pub struct TestingEffort {
+    /// Distinct states in the state-space graph (`State` column).
+    pub states: usize,
+    /// Edges in the graph.
+    pub edges: usize,
+    /// Paths generated with edge coverage only (`PathEC`).
+    pub paths_ec: usize,
+    /// Paths with edge coverage + POR (`PathEC+POR`).
+    pub paths_ec_por: usize,
+    /// Edges excluded by POR.
+    pub por_excluded_edges: usize,
+    /// Test cases actually executed.
+    pub cases_run: usize,
+    /// Total controlled-testing time in seconds (`Time`).
+    pub test_seconds: f64,
+    /// Model-checking time in seconds.
+    pub check_seconds: f64,
+}
+
+impl TestingEffort {
+    /// Fraction of EC paths removed by POR (the paper reports 87% for
+    /// ZooKeeper).
+    pub fn por_reduction(&self) -> f64 {
+        if self.paths_ec == 0 {
+            0.0
+        } else {
+            1.0 - self.paths_ec_por as f64 / self.paths_ec as f64
+        }
+    }
+}
+
+/// Result of a full pipeline run.
+pub struct PipelineResult {
+    /// The state-space graph from model checking.
+    pub graph: StateGraph,
+    /// Number of test cases selected for execution (cases are
+    /// materialized lazily, one at a time; revealing cases are kept
+    /// inside their bug reports).
+    pub cases_selected: usize,
+    /// Bug reports from controlled testing.
+    pub reports: Vec<BugReport>,
+    /// Effort statistics.
+    pub effort: TestingEffort,
+    /// Test cases that passed.
+    pub passed: usize,
+}
+
+/// The Mocket pipeline for one specification + mapping + target.
+pub struct Pipeline {
+    spec: Arc<dyn Spec>,
+    registry: MappingRegistry,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline; fails fast on mapping issues (§5.4's
+    /// developer errors are caught before any testing time is spent).
+    pub fn new(
+        spec: Arc<dyn Spec>,
+        registry: MappingRegistry,
+        config: PipelineConfig,
+    ) -> Result<Self, Vec<MappingIssue>> {
+        let issues = registry.validate(spec.as_ref());
+        if issues.is_empty() {
+            Ok(Pipeline {
+                spec,
+                registry,
+                config,
+            })
+        } else {
+            Err(issues)
+        }
+    }
+
+    /// The mapping registry.
+    pub fn registry(&self) -> &MappingRegistry {
+        &self.registry
+    }
+
+    /// Stage ②: model checking.
+    pub fn check(&self) -> (StateGraph, f64) {
+        let start = Instant::now();
+        let result = ModelChecker::new(self.spec.clone())
+            .max_states(self.config.max_states)
+            .run();
+        (result.graph, start.elapsed().as_secs_f64())
+    }
+
+    /// Stage ③ (path form): selected edge paths plus
+    /// `(paths_ec, paths_ec_por, excluded_edges)`. Test cases are
+    /// materialized from paths lazily — a large model's full case set
+    /// does not fit in memory as states.
+    pub fn generate_paths(
+        &self,
+        graph: &StateGraph,
+    ) -> (Vec<Vec<mocket_checker::EdgeId>>, usize, usize, usize) {
+        // Plain edge coverage (for the Table 3 comparison).
+        let mut plain = TraversalConfig::default();
+        plain.max_path_len = self.config.max_path_len;
+        if let Some(end) = self.config.end_state.clone() {
+            plain = plain.with_end_state(move |s| end(s));
+        }
+        let ec = edge_coverage_paths(graph, &plain);
+
+        let por = partial_order_reduction(graph);
+        let por_excluded = por.excluded_edges.len();
+        let mut reduced_cfg = TraversalConfig::default().with_excluded_edges(por.excluded_edges);
+        reduced_cfg.max_path_len = self.config.max_path_len;
+        if let Some(end) = self.config.end_state.clone() {
+            reduced_cfg = reduced_cfg.with_end_state(move |s| end(s));
+        }
+        let reduced = edge_coverage_paths(graph, &reduced_cfg);
+
+        let ec_count = ec.paths.len();
+        let reduced_count = reduced.paths.len();
+        let chosen = if self.config.por { reduced } else { ec };
+        // Filter on cheap action-name views; cases are materialized
+        // later, one at a time.
+        let mut selected: Vec<Vec<mocket_checker::EdgeId>> = chosen
+            .paths
+            .into_iter()
+            .filter(|p| match &self.config.case_filter {
+                None => true,
+                Some(filter) => {
+                    let names: Vec<&str> = p
+                        .iter()
+                        .map(|&e| graph.edge(e).action.name.as_str())
+                        .collect();
+                    filter(&names)
+                }
+            })
+            .collect();
+        if self.config.max_test_cases != 0 && selected.len() > self.config.max_test_cases {
+            selected.truncate(self.config.max_test_cases);
+        }
+        (selected, ec_count, reduced_count, por_excluded)
+    }
+
+    /// Stage ③ (materialized form, for small models and the examples):
+    /// the selected test cases plus `(paths_ec, paths_ec_por,
+    /// excluded_edges)`.
+    pub fn generate(&self, graph: &StateGraph) -> (Vec<TestCase>, usize, usize, usize) {
+        let (paths, ec, ecpor, excl) = self.generate_paths(graph);
+        let cases = paths
+            .iter()
+            .map(|p| TestCase::from_edge_path(graph, p))
+            .collect();
+        (cases, ec, ecpor, excl)
+    }
+
+    /// Stage ④: controlled testing of the generated cases.
+    ///
+    /// `make_sut` deploys a fresh system per call; a new cluster is
+    /// used for every test case (§4.3.2).
+    pub fn run<F>(&self, mut make_sut: F) -> Result<PipelineResult, SutError>
+    where
+        F: FnMut() -> Box<dyn SystemUnderTest>,
+    {
+        let (graph, check_seconds) = self.check();
+        let (paths, paths_ec, paths_ec_por, por_excluded) = self.generate_paths(&graph);
+        let cases_selected = paths.len();
+
+        let mut reports = Vec::new();
+        let mut passed = 0usize;
+        let test_start = Instant::now();
+        let mut cases_run = 0usize;
+
+        for path in &paths {
+            // Materialize one case at a time.
+            let tc = TestCase::from_edge_path(&graph, path);
+            let final_node = graph.edge(*path.last().expect("non-empty path")).to;
+            let final_enabled: Vec<ActionInstance> =
+                graph.enabled_at(final_node).into_iter().cloned().collect();
+            let mut sut = make_sut();
+            let (outcome, stats) = run_test_case(
+                sut.as_mut(),
+                &tc,
+                &self.registry,
+                &final_enabled,
+                &self.config.run,
+            )?;
+            cases_run += 1;
+            match outcome {
+                TestOutcome::Passed => passed += 1,
+                TestOutcome::Failed(inconsistency) => {
+                    reports.push(BugReport {
+                        inconsistency,
+                        test_case: tc,
+                        actions_executed: stats.actions_executed,
+                        elapsed: test_start.elapsed(),
+                        class: BugClass::Unclassified,
+                    });
+                    if self.config.stop_at_first_bug {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let effort = TestingEffort {
+            states: graph.state_count(),
+            edges: graph.edge_count(),
+            paths_ec,
+            paths_ec_por,
+            por_excluded_edges: por_excluded,
+            cases_run,
+            test_seconds: test_start.elapsed().as_secs_f64(),
+            check_seconds,
+        };
+
+        Ok(PipelineResult {
+            graph,
+            cases_selected,
+            reports,
+            effort,
+            passed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ActionBinding;
+    use crate::sut::{ExecReport, Offer, Snapshot};
+    use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
+
+    /// Counter spec: Inc up to 2, Dec down to 0.
+    struct CounterSpec;
+
+    impl Spec for CounterSpec {
+        fn name(&self) -> &str {
+            "Counter"
+        }
+        fn variables(&self) -> Vec<VarDef> {
+            vec![VarDef::new("n", VarClass::StateRelated)]
+        }
+        fn init_states(&self) -> Vec<State> {
+            vec![State::from_pairs([("n", Value::Int(0))])]
+        }
+        fn actions(&self) -> Vec<ActionDef> {
+            vec![
+                ActionDef::nullary("Inc", ActionClass::SingleNode, |s| {
+                    let n = s.expect("n").expect_int();
+                    (n < 2).then(|| s.with("n", Value::Int(n + 1)))
+                }),
+                ActionDef::nullary("Dec", ActionClass::SingleNode, |s| {
+                    let n = s.expect("n").expect_int();
+                    (n > 0).then(|| s.with("n", Value::Int(n - 1)))
+                }),
+            ]
+        }
+    }
+
+    /// A counter implementation with an optional off-by-one bug.
+    struct CounterSut {
+        n: i64,
+        buggy: bool,
+    }
+
+    impl SystemUnderTest for CounterSut {
+        fn deploy(&mut self) -> Result<(), SutError> {
+            self.n = 0;
+            Ok(())
+        }
+        fn teardown(&mut self) {}
+        fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+            let mut v = Vec::new();
+            if self.n < 2 {
+                v.push(Offer {
+                    node: 1,
+                    action: ActionInstance::nullary("inc"),
+                });
+            }
+            if self.n > 0 {
+                v.push(Offer {
+                    node: 1,
+                    action: ActionInstance::nullary("dec"),
+                });
+            }
+            Ok(v)
+        }
+        fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError> {
+            match offer.action.name.as_str() {
+                "inc" => self.n += if self.buggy && self.n == 1 { 2 } else { 1 },
+                "dec" => self.n -= 1,
+                _ => unreachable!(),
+            }
+            Ok(ExecReport::default())
+        }
+        fn execute_external(&mut self, _: &ActionInstance) -> Result<ExecReport, SutError> {
+            unreachable!()
+        }
+        fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+            Ok(Snapshot::from_pairs([("count", Value::Int(self.n))]))
+        }
+    }
+
+    fn registry() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.map_class_field("n", "count")
+            .map_action("Inc", "inc", ActionClass::SingleNode, ActionBinding::Method)
+            .map_action("Dec", "dec", ActionClass::SingleNode, ActionBinding::Method);
+        r
+    }
+
+    #[test]
+    fn mapping_issues_fail_fast() {
+        let err = Pipeline::new(
+            Arc::new(CounterSpec),
+            MappingRegistry::new(),
+            PipelineConfig::default(),
+        )
+        .err()
+        .expect("must fail");
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn conformant_implementation_passes_all_cases() {
+        let p =
+            Pipeline::new(Arc::new(CounterSpec), registry(), PipelineConfig::default()).unwrap();
+        let result = p
+            .run(|| Box::new(CounterSut { n: 0, buggy: false }))
+            .unwrap();
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+        assert_eq!(result.passed, result.effort.cases_run);
+        assert!(result.effort.states >= 3);
+        assert!(result.effort.paths_ec >= result.effort.paths_ec_por);
+    }
+
+    #[test]
+    fn buggy_implementation_is_caught() {
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p
+            .run(|| Box::new(CounterSut { n: 0, buggy: true }))
+            .unwrap();
+        assert_eq!(result.reports.len(), 1);
+        let report = &result.reports[0];
+        assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+        assert_eq!(report.inconsistency.subject(), "n");
+    }
+
+    #[test]
+    fn por_can_miss_bugs_hidden_in_dropped_schedules() {
+        // §7.2: commutativity in the state graph does not imply
+        // commutativity in the implementation. The counter bug only
+        // fires on the Inc-at-1 schedule, which POR happens to drop
+        // here — the conformance run passes even though the
+        // implementation is buggy.
+        let p =
+            Pipeline::new(Arc::new(CounterSpec), registry(), PipelineConfig::default()).unwrap();
+        let result = p
+            .run(|| Box::new(CounterSut { n: 0, buggy: true }))
+            .unwrap();
+        assert!(result.reports.is_empty());
+    }
+
+    #[test]
+    fn por_flag_reduces_case_count() {
+        let with_por =
+            Pipeline::new(Arc::new(CounterSpec), registry(), PipelineConfig::default()).unwrap();
+        let (graph, _) = with_por.check();
+        let (_, ec, ec_por, _) = with_por.generate(&graph);
+        assert!(ec_por <= ec);
+    }
+
+    #[test]
+    fn max_test_cases_truncates() {
+        let mut cfg = PipelineConfig::default();
+        cfg.max_test_cases = 1;
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p
+            .run(|| Box::new(CounterSut { n: 0, buggy: false }))
+            .unwrap();
+        assert_eq!(result.effort.cases_run, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Inconsistency and bug reports (§4.3.3).
+//!
+//! Mocket reports an inconsistency between specification and
+//! implementation in three situations: an *inconsistent state*, a
+//! *missing action*, or an *unexpected action*. Each report carries
+//! the revealing test case; whether it is an implementation bug or a
+//! specification bug is a later, human classification.
+
+use std::fmt;
+use std::time::Duration;
+
+use mocket_tla::{ActionInstance, Value};
+
+use crate::testcase::TestCase;
+
+/// One divergence between a runtime state and the expected spec state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableDivergence {
+    /// The specification variable that diverged.
+    pub variable: String,
+    /// The value the specification expects (spec domain).
+    pub expected: Value,
+    /// The value collected from the implementation, translated into
+    /// the spec domain through the constant map (if translatable).
+    pub actual: Option<Value>,
+}
+
+impl fmt::Display for VariableDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, got {}",
+            self.variable,
+            self.expected,
+            match &self.actual {
+                Some(v) => v.to_string(),
+                None => "<uncollected>".to_string(),
+            }
+        )
+    }
+}
+
+/// The three inconsistency kinds of §4.3.3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// Collected runtime values differ from the expected state.
+    InconsistentState {
+        /// Index of the test-case step after which the check failed.
+        step: usize,
+        /// The action whose post-state diverged.
+        action: ActionInstance,
+        /// Every diverging variable.
+        divergences: Vec<VariableDivergence>,
+    },
+    /// No notification matching the scheduled action arrived.
+    MissingAction {
+        /// Index of the unmatched step.
+        step: usize,
+        /// The scheduled action nobody offered.
+        action: ActionInstance,
+        /// What the nodes offered instead (for diagnosis).
+        offered: Vec<ActionInstance>,
+    },
+    /// Leftover notifications at test end that the specification does
+    /// not enable in the final state.
+    UnexpectedAction {
+        /// The offending notifications.
+        actions: Vec<ActionInstance>,
+    },
+}
+
+impl Inconsistency {
+    /// Short classification label, matching Table 2's wording.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Inconsistency::InconsistentState { .. } => "Inconsistent state",
+            Inconsistency::MissingAction { .. } => "Missing action",
+            Inconsistency::UnexpectedAction { .. } => "Unexpected action",
+        }
+    }
+
+    /// The subject Table 2 prints: the diverging variable or the
+    /// missing/unexpected action name.
+    pub fn subject(&self) -> String {
+        match self {
+            Inconsistency::InconsistentState { divergences, .. } => divergences
+                .first()
+                .map(|d| d.variable.clone())
+                .unwrap_or_default(),
+            Inconsistency::MissingAction { action, .. } => action.name.clone(),
+            Inconsistency::UnexpectedAction { actions } => {
+                actions.first().map(|a| a.name.clone()).unwrap_or_default()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inconsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inconsistency::InconsistentState {
+                step,
+                action,
+                divergences,
+            } => {
+                writeln!(f, "Inconsistent state after step {step} ({action}):")?;
+                for d in divergences {
+                    writeln!(f, "  {d}")?;
+                }
+                Ok(())
+            }
+            Inconsistency::MissingAction {
+                step,
+                action,
+                offered,
+            } => {
+                writeln!(
+                    f,
+                    "Missing action at step {step}: {action} was never offered."
+                )?;
+                if offered.is_empty() {
+                    writeln!(f, "  (no actions were offered)")
+                } else {
+                    writeln!(
+                        f,
+                        "  offered instead: {}",
+                        offered
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            }
+            Inconsistency::UnexpectedAction { actions } => {
+                writeln!(
+                    f,
+                    "Unexpected action(s) at test end: {}",
+                    actions
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// Human classification of a confirmed inconsistency (§4.3.3): Mocket
+/// itself cannot distinguish these; investigation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugClass {
+    /// The implementation violates a correct specification.
+    Implementation,
+    /// The specification is wrong; the implementation is correct.
+    Specification,
+    /// Not yet classified.
+    Unclassified,
+}
+
+/// A full bug report: the inconsistency plus its revealing test case.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    /// The detected inconsistency.
+    pub inconsistency: Inconsistency,
+    /// The test case whose controlled execution revealed it.
+    pub test_case: TestCase,
+    /// Number of actions executed before the divergence (Table 2's
+    /// `# Actions` column counts the whole revealing test case).
+    pub actions_executed: usize,
+    /// Wall-clock testing time elapsed when the report was produced.
+    pub elapsed: Duration,
+    /// Human classification.
+    pub class: BugClass,
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== Bug report ({}, {} actions, {:.1?}) ===",
+            self.inconsistency.kind(),
+            self.test_case.len(),
+            self.elapsed
+        )?;
+        write!(f, "{}", self.inconsistency)?;
+        writeln!(f, "Revealing test case:")?;
+        write!(f, "{}", self.test_case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::State;
+
+    #[test]
+    fn kind_and_subject() {
+        let inc = Inconsistency::InconsistentState {
+            step: 3,
+            action: ActionInstance::nullary("BecomeLeader"),
+            divergences: vec![VariableDivergence {
+                variable: "votesGranted".into(),
+                expected: Value::set([Value::Int(1)]),
+                actual: Some(Value::Int(3)),
+            }],
+        };
+        assert_eq!(inc.kind(), "Inconsistent state");
+        assert_eq!(inc.subject(), "votesGranted");
+
+        let inc = Inconsistency::MissingAction {
+            step: 0,
+            action: ActionInstance::nullary("StartElection"),
+            offered: vec![],
+        };
+        assert_eq!(inc.kind(), "Missing action");
+        assert_eq!(inc.subject(), "StartElection");
+
+        let inc = Inconsistency::UnexpectedAction {
+            actions: vec![ActionInstance::nullary("HandleRequestVoteResponse")],
+        };
+        assert_eq!(inc.kind(), "Unexpected action");
+        assert_eq!(inc.subject(), "HandleRequestVoteResponse");
+    }
+
+    #[test]
+    fn display_mentions_divergence() {
+        let inc = Inconsistency::InconsistentState {
+            step: 1,
+            action: ActionInstance::nullary("Restart"),
+            divergences: vec![VariableDivergence {
+                variable: "votedFor".into(),
+                expected: Value::Int(1),
+                actual: Some(Value::Nil),
+            }],
+        };
+        let text = inc.to_string();
+        assert!(text.contains("votedFor: expected 1, got Nil"));
+    }
+
+    #[test]
+    fn report_display_includes_test_case() {
+        let tc = TestCase::new(
+            State::from_pairs([("n", Value::Int(0))]),
+            vec![(
+                ActionInstance::nullary("Inc"),
+                State::from_pairs([("n", Value::Int(1))]),
+            )],
+        );
+        let report = BugReport {
+            inconsistency: Inconsistency::UnexpectedAction {
+                actions: vec![ActionInstance::nullary("Inc")],
+            },
+            test_case: tc,
+            actions_executed: 1,
+            elapsed: Duration::from_millis(5),
+            class: BugClass::Unclassified,
+        };
+        let text = report.to_string();
+        assert!(text.contains("Unexpected action"));
+        assert!(text.contains("Inc"));
+    }
+}

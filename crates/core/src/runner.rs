@@ -1,0 +1,580 @@
+//! Controlled testing of a single test case (§4.3.2, Figure 7).
+//!
+//! The runner deploys a fresh cluster, optionally checks the initial
+//! state, then walks the test case: external faults and user requests
+//! are triggered by the testbed, every other action must be offered
+//! by a blocked node and is released on match. After each action the
+//! state checker compares runtime values with the verified state; at
+//! the end leftover offers are classified against the actions the
+//! specification enables in the final state.
+
+use std::time::Instant;
+
+use mocket_tla::{ActionClass, ActionInstance, State};
+
+use crate::mapping::{MappingRegistry, VarTarget};
+use crate::msgpool::{MessagePools, PoolError};
+use crate::report::{Inconsistency, VariableDivergence};
+use crate::scheduler::{find_match, offered_actions, translate_offers, unexpected_offers};
+use crate::statecheck::check_state;
+use crate::sut::{ExecReport, SutError, SystemUnderTest};
+use crate::testcase::TestCase;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Check the verified initial state before the first action
+    /// (§4.3.1 adds `checkAllStates` for the first scheduled action).
+    pub check_initial: bool,
+    /// How many offer-poll rounds to try before declaring a missing
+    /// action (the paper's scheduler timeout).
+    pub poll_rounds: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            check_initial: true,
+            poll_rounds: 3,
+        }
+    }
+}
+
+/// Outcome of one controlled run.
+#[derive(Debug, Clone)]
+pub enum TestOutcome {
+    /// Execution and all state checks matched the specification.
+    Passed,
+    /// A divergence was found.
+    Failed(Inconsistency),
+}
+
+impl TestOutcome {
+    /// Whether the run passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Passed)
+    }
+}
+
+/// Statistics of one controlled run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Actions actually executed (scheduled and matched).
+    pub actions_executed: usize,
+    /// State checks performed.
+    pub checks: usize,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+}
+
+/// Builds fresh message pools from the registry's message-related
+/// variable mappings.
+pub fn pools_from_registry(registry: &MappingRegistry) -> MessagePools {
+    let mut pools = MessagePools::new();
+    for vm in registry.variables() {
+        if let Some(VarTarget::MessagePool { pool, bag }) = &vm.target {
+            pools.register(pool.clone(), *bag);
+        }
+    }
+    pools
+}
+
+/// Runs one test case against the system under test.
+///
+/// `final_enabled` lists the action instances the specification
+/// enables in the test case's final state (read from the state-space
+/// graph); leftover offers outside this set are unexpected actions.
+pub fn run_test_case(
+    sut: &mut dyn SystemUnderTest,
+    test_case: &TestCase,
+    registry: &MappingRegistry,
+    final_enabled: &[ActionInstance],
+    config: &RunConfig,
+) -> Result<(TestOutcome, RunStats), SutError> {
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    sut.deploy()?;
+    let result = drive(sut, test_case, registry, final_enabled, config, &mut stats);
+    sut.teardown();
+    stats.seconds = start.elapsed().as_secs_f64();
+    result.map(|outcome| (outcome, stats))
+}
+
+fn drive(
+    sut: &mut dyn SystemUnderTest,
+    test_case: &TestCase,
+    registry: &MappingRegistry,
+    final_enabled: &[ActionInstance],
+    config: &RunConfig,
+    stats: &mut RunStats,
+) -> Result<TestOutcome, SutError> {
+    let mut pools = pools_from_registry(registry);
+
+    if config.check_initial {
+        let snapshot = sut.snapshot()?;
+        stats.checks += 1;
+        let divergences = check_state(&test_case.initial, &snapshot, &pools, registry);
+        if !divergences.is_empty() {
+            return Ok(TestOutcome::Failed(Inconsistency::InconsistentState {
+                step: 0,
+                action: ActionInstance::nullary("<Init>"),
+                divergences,
+            }));
+        }
+    }
+
+    for (i, step) in test_case.steps.iter().enumerate() {
+        let class = registry
+            .action_by_spec_name(&step.action.name)
+            .map(|m| m.class)
+            .unwrap_or(ActionClass::SingleNode);
+
+        let report: ExecReport = match class {
+            ActionClass::ExternalFault | ActionClass::UserRequest => {
+                // Triggered by the testbed itself (§4.1.2): scripts
+                // for crash/restart/user requests, overriding switches
+                // for drop/duplicate.
+                sut.execute_external(&step.action)?
+            }
+            _ => {
+                let mut matched = None;
+                let mut last_offers = Vec::new();
+                for _ in 0..config.poll_rounds.max(1) {
+                    let offers = translate_offers(registry, sut.offers()?);
+                    if let Some(hit) = find_match(&step.action, &offers) {
+                        matched = Some(hit.raw.clone());
+                        break;
+                    }
+                    last_offers = offers;
+                }
+                match matched {
+                    Some(offer) => sut.execute(&offer)?,
+                    None => {
+                        return Ok(TestOutcome::Failed(Inconsistency::MissingAction {
+                            step: i,
+                            action: step.action.clone(),
+                            offered: offered_actions(&last_offers),
+                        }));
+                    }
+                }
+            }
+        };
+        stats.actions_executed += 1;
+
+        // Maintain the message pools from the reported events,
+        // translating message contents into the spec domain.
+        for event in &report.msg_events {
+            let event = translate_event(registry, event);
+            if let Err(err) = pools.apply(&event) {
+                return Ok(TestOutcome::Failed(pool_error_to_inconsistency(
+                    i, step, &pools, err,
+                )));
+            }
+        }
+
+        // Check the verified post-state.
+        let snapshot = sut.snapshot()?;
+        stats.checks += 1;
+        let divergences = check_state(&step.expected, &snapshot, &pools, registry);
+        if !divergences.is_empty() {
+            return Ok(TestOutcome::Failed(Inconsistency::InconsistentState {
+                step: i,
+                action: step.action.clone(),
+                divergences,
+            }));
+        }
+    }
+
+    // End of test case: leftover notifications the spec does not
+    // enable in the final state are unexpected actions.
+    let offers = translate_offers(registry, sut.offers()?);
+    let unexpected = unexpected_offers(registry, &offers, final_enabled);
+    if !unexpected.is_empty() {
+        return Ok(TestOutcome::Failed(Inconsistency::UnexpectedAction {
+            actions: unexpected,
+        }));
+    }
+
+    Ok(TestOutcome::Passed)
+}
+
+fn translate_event(
+    registry: &MappingRegistry,
+    event: &crate::sut::MsgEvent,
+) -> crate::sut::MsgEvent {
+    use crate::sut::MsgEvent;
+    let t = |v: &mocket_tla::Value| registry.consts().to_spec(v);
+    match event {
+        MsgEvent::Send { pool, msg } => MsgEvent::Send {
+            pool: pool.clone(),
+            msg: t(msg),
+        },
+        MsgEvent::Receive { pool, msg } => MsgEvent::Receive {
+            pool: pool.clone(),
+            msg: t(msg),
+        },
+        MsgEvent::Drop { pool, msg } => MsgEvent::Drop {
+            pool: pool.clone(),
+            msg: t(msg),
+        },
+        MsgEvent::Duplicate { pool, msg } => MsgEvent::Duplicate {
+            pool: pool.clone(),
+            msg: t(msg),
+        },
+    }
+}
+
+/// A pool bookkeeping failure means the implementation consumed or
+/// dropped a message the specification does not have in flight —
+/// report it as an inconsistent state on the pool variable.
+fn pool_error_to_inconsistency(
+    step: usize,
+    s: &crate::testcase::Step,
+    pools: &MessagePools,
+    err: PoolError,
+) -> Inconsistency {
+    let (variable, actual) = match &err {
+        PoolError::UnknownPool(p) => (p.clone(), None),
+        PoolError::MissingMessage { pool, .. } => (pool.clone(), pools.as_value(pool)),
+    };
+    let expected = expected_value(&s.expected, &variable);
+    Inconsistency::InconsistentState {
+        step,
+        action: s.action.clone(),
+        divergences: vec![VariableDivergence {
+            variable,
+            expected,
+            actual,
+        }],
+    }
+}
+
+fn expected_value(state: &State, variable: &str) -> mocket_tla::Value {
+    state
+        .get(variable)
+        .cloned()
+        .unwrap_or(mocket_tla::Value::Nil)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ActionBinding;
+    use crate::sut::{MsgEvent, Offer, Snapshot};
+    use mocket_tla::Value;
+
+    /// A scripted fake SUT: a counter machine with one variable `n`.
+    /// The script controls which offers appear and what executing
+    /// them does, so every runner path is testable without threads.
+    struct FakeSut {
+        n: i64,
+        /// Offer `inc` whenever `n < limit`.
+        limit: i64,
+        /// If true, executing `inc` silently does nothing (stuck
+        /// implementation → inconsistent state).
+        broken_inc: bool,
+        /// If true, never offer anything (missing action).
+        mute: bool,
+        /// Extra bogus offer emitted always (unexpected at end).
+        rogue_offer: bool,
+        deployed: bool,
+    }
+
+    impl FakeSut {
+        fn new(limit: i64) -> Self {
+            FakeSut {
+                n: 0,
+                limit,
+                broken_inc: false,
+                mute: false,
+                rogue_offer: false,
+                deployed: false,
+            }
+        }
+    }
+
+    impl SystemUnderTest for FakeSut {
+        fn deploy(&mut self) -> Result<(), SutError> {
+            self.n = 0;
+            self.deployed = true;
+            Ok(())
+        }
+
+        fn teardown(&mut self) {
+            self.deployed = false;
+        }
+
+        fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+            assert!(self.deployed);
+            let mut out = Vec::new();
+            if !self.mute && self.n < self.limit {
+                out.push(Offer {
+                    node: 1,
+                    action: ActionInstance::nullary("inc"),
+                });
+            }
+            if self.rogue_offer {
+                out.push(Offer {
+                    node: 2,
+                    action: ActionInstance::nullary("rogue"),
+                });
+            }
+            Ok(out)
+        }
+
+        fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError> {
+            assert_eq!(offer.action.name, "inc");
+            if !self.broken_inc {
+                self.n += 1;
+            }
+            Ok(ExecReport::default())
+        }
+
+        fn execute_external(&mut self, action: &ActionInstance) -> Result<ExecReport, SutError> {
+            match action.name.as_str() {
+                // `Reset` models a user request.
+                "Reset" => {
+                    self.n = 0;
+                    Ok(ExecReport::default())
+                }
+                other => Err(SutError::External(format!("unknown external {other}"))),
+            }
+        }
+
+        fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+            Ok(Snapshot::from_pairs([("counter", Value::Int(self.n))]))
+        }
+    }
+
+    fn registry() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.map_class_field("n", "counter").map_action(
+            "Inc",
+            "inc",
+            mocket_tla::ActionClass::SingleNode,
+            ActionBinding::Method,
+        );
+        r.map_action(
+            "Reset",
+            "reset.sh",
+            mocket_tla::ActionClass::UserRequest,
+            ActionBinding::Script,
+        );
+        r
+    }
+
+    fn st(n: i64) -> State {
+        State::from_pairs([("n", Value::Int(n))])
+    }
+
+    fn inc_case(len: i64) -> TestCase {
+        TestCase::new(
+            st(0),
+            (1..=len)
+                .map(|i| (ActionInstance::nullary("Inc"), st(i)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conformant_run_passes() {
+        let mut sut = FakeSut::new(10);
+        let (outcome, stats) = run_test_case(
+            &mut sut,
+            &inc_case(3),
+            &registry(),
+            &[ActionInstance::nullary("Inc")],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(stats.actions_executed, 3);
+        assert_eq!(stats.checks, 4, "initial + one per action");
+        assert!(!sut.deployed, "teardown must run");
+    }
+
+    #[test]
+    fn broken_effect_is_inconsistent_state() {
+        let mut sut = FakeSut::new(10);
+        sut.broken_inc = true;
+        let (outcome, _) = run_test_case(
+            &mut sut,
+            &inc_case(2),
+            &registry(),
+            &[],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        match outcome {
+            TestOutcome::Failed(Inconsistency::InconsistentState {
+                step, divergences, ..
+            }) => {
+                assert_eq!(step, 0);
+                assert_eq!(divergences[0].variable, "n");
+                assert_eq!(divergences[0].expected, Value::Int(1));
+                assert_eq!(divergences[0].actual, Some(Value::Int(0)));
+            }
+            other => panic!("expected inconsistent state, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mute_sut_is_missing_action() {
+        let mut sut = FakeSut::new(10);
+        sut.mute = true;
+        let (outcome, _) = run_test_case(
+            &mut sut,
+            &inc_case(1),
+            &registry(),
+            &[],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        match outcome {
+            TestOutcome::Failed(Inconsistency::MissingAction { action, .. }) => {
+                assert_eq!(action.name, "Inc");
+            }
+            other => panic!("expected missing action, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rogue_offer_is_unexpected_action() {
+        let mut sut = FakeSut::new(10);
+        sut.rogue_offer = true;
+        let (outcome, _) = run_test_case(
+            &mut sut,
+            &inc_case(1),
+            &registry(),
+            &[ActionInstance::nullary("Inc")],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        match outcome {
+            TestOutcome::Failed(Inconsistency::UnexpectedAction { actions }) => {
+                assert_eq!(actions, vec![ActionInstance::nullary("rogue")]);
+            }
+            other => panic!("expected unexpected action, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benign_leftover_offers_pass() {
+        // After 1 of 3 possible Incs, `inc` is still offered — but the
+        // spec enables Inc at the final state, so it is benign.
+        let mut sut = FakeSut::new(10);
+        let (outcome, _) = run_test_case(
+            &mut sut,
+            &inc_case(1),
+            &registry(),
+            &[ActionInstance::nullary("Inc")],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn user_requests_are_triggered_externally() {
+        let mut sut = FakeSut::new(10);
+        let tc = TestCase::new(
+            st(0),
+            vec![
+                (ActionInstance::nullary("Inc"), st(1)),
+                (ActionInstance::nullary("Reset"), st(0)),
+            ],
+        );
+        let (outcome, stats) = run_test_case(
+            &mut sut,
+            &tc,
+            &registry(),
+            &[ActionInstance::nullary("Inc")],
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.passed(), "{outcome:?}");
+        assert_eq!(stats.actions_executed, 2);
+    }
+
+    #[test]
+    fn wrong_initial_state_detected() {
+        let mut sut = FakeSut::new(10);
+        let tc = TestCase::new(st(7), vec![]);
+        let (outcome, _) =
+            run_test_case(&mut sut, &tc, &registry(), &[], &RunConfig::default()).unwrap();
+        match outcome {
+            TestOutcome::Failed(Inconsistency::InconsistentState { action, .. }) => {
+                assert_eq!(action.name, "<Init>");
+            }
+            other => panic!("expected init inconsistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_violation_reported_on_ghost_receive() {
+        /// A SUT that reports receiving a message never sent.
+        struct GhostSut;
+        impl SystemUnderTest for GhostSut {
+            fn deploy(&mut self) -> Result<(), SutError> {
+                Ok(())
+            }
+            fn teardown(&mut self) {}
+            fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+                Ok(vec![Offer {
+                    node: 1,
+                    action: ActionInstance::nullary("recv"),
+                }])
+            }
+            fn execute(&mut self, _offer: &Offer) -> Result<ExecReport, SutError> {
+                Ok(ExecReport {
+                    msg_events: vec![MsgEvent::Receive {
+                        pool: "messages".into(),
+                        msg: Value::Int(42),
+                    }],
+                })
+            }
+            fn execute_external(
+                &mut self,
+                _action: &ActionInstance,
+            ) -> Result<ExecReport, SutError> {
+                unreachable!()
+            }
+            fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+                Ok(Snapshot::default())
+            }
+        }
+
+        let mut registry = MappingRegistry::new();
+        registry.map_message_pool("messages", true).map_action(
+            "Recv",
+            "recv",
+            mocket_tla::ActionClass::MessageReceive,
+            ActionBinding::Snippet,
+        );
+        let tc = TestCase::new(
+            State::from_pairs([("messages", Value::fun([]))]),
+            vec![(
+                ActionInstance::nullary("Recv"),
+                State::from_pairs([("messages", Value::fun([]))]),
+            )],
+        );
+        let mut sut = GhostSut;
+        let (outcome, _) = run_test_case(
+            &mut sut,
+            &tc,
+            &registry,
+            &[],
+            &RunConfig {
+                check_initial: false,
+                poll_rounds: 1,
+            },
+        )
+        .unwrap();
+        match outcome {
+            TestOutcome::Failed(Inconsistency::InconsistentState { divergences, .. }) => {
+                assert_eq!(divergences[0].variable, "messages");
+            }
+            other => panic!("expected pool inconsistency, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The state checker (§4.3.2).
+//!
+//! After every executed action the checker compares the collected
+//! runtime values — shadow-variable snapshots plus the testbed's
+//! message pools — against the verified state of the test case,
+//! translating implementation constants into the spec domain through
+//! the constant map. Counters and auxiliary variables are skipped:
+//! they have no mapping by design.
+
+use mocket_tla::{State, Value, VarClass};
+
+use crate::mapping::{CompareMode, MappingRegistry, VarTarget};
+use crate::msgpool::MessagePools;
+use crate::report::VariableDivergence;
+use crate::sut::Snapshot;
+
+/// Compares a runtime snapshot (plus pools) against the expected
+/// verified state, returning every divergence.
+pub fn check_state(
+    expected: &State,
+    snapshot: &Snapshot,
+    pools: &MessagePools,
+    registry: &MappingRegistry,
+) -> Vec<VariableDivergence> {
+    let mut divergences = Vec::new();
+    for vm in registry.variables() {
+        let Some(expected_value) = expected.get(&vm.spec_name) else {
+            // The spec does not bind this variable (should not happen
+            // for validated mappings); nothing to compare.
+            continue;
+        };
+        match (&vm.class, &vm.target) {
+            (VarClass::StateRelated, Some(target)) => {
+                let impl_name = match target {
+                    VarTarget::ClassField { impl_name }
+                    | VarTarget::MethodVariable { impl_name, .. } => impl_name,
+                    VarTarget::MessagePool { .. } => continue,
+                };
+                let actual = snapshot
+                    .get(impl_name)
+                    .map(|v| registry.consts().to_spec(v));
+                let matches = match &actual {
+                    Some(a) => values_match(expected_value, a, vm.compare),
+                    None => false,
+                };
+                if !matches {
+                    divergences.push(VariableDivergence {
+                        variable: vm.spec_name.clone(),
+                        expected: expected_value.clone(),
+                        actual,
+                    });
+                }
+            }
+            (VarClass::MessageRelated, Some(VarTarget::MessagePool { pool, .. })) => {
+                let actual = pools.as_value(pool);
+                if actual.as_ref() != Some(expected_value) {
+                    divergences.push(VariableDivergence {
+                        variable: vm.spec_name.clone(),
+                        expected: expected_value.clone(),
+                        actual,
+                    });
+                }
+            }
+            // Counters / auxiliary variables are unmapped (§4.1.1).
+            _ => {}
+        }
+    }
+    divergences
+}
+
+/// Compares an expected spec value against a collected (already
+/// translated) value under a compare mode. `Cardinality` matches an
+/// implementation count `Int(k)` against a spec collection of size
+/// `k`, recursing pointwise through node-indexed functions.
+pub fn values_match(expected: &Value, actual: &Value, mode: CompareMode) -> bool {
+    match mode {
+        CompareMode::Exact => expected == actual,
+        CompareMode::Cardinality => match (expected, actual) {
+            (Value::Fun(e), Value::Fun(a)) => {
+                e.len() == a.len()
+                    && e.iter()
+                        .zip(a.iter())
+                        .all(|((ke, ve), (ka, va))| ke == ka && values_match(ve, va, mode))
+            }
+            (collection, Value::Int(k)) => collection.cardinality() as i64 == *k,
+            _ => expected == actual,
+        },
+    }
+}
+
+/// Convenience: `true` when nothing diverges.
+pub fn state_matches(
+    expected: &State,
+    snapshot: &Snapshot,
+    pools: &MessagePools,
+    registry: &MappingRegistry,
+) -> bool {
+    check_state(expected, snapshot, pools, registry).is_empty()
+}
+
+/// Renders the expected value of a message pool variable for error
+/// reports, if present in the expected state.
+pub fn expected_pool_value<'a>(expected: &'a State, pool: &str) -> Option<&'a Value> {
+    expected.get(pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sut::MsgEvent;
+    use mocket_tla::vrec;
+
+    fn registry() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.map_class_field("nodeState", "state")
+            .map_class_field("votedFor", "votedFor")
+            .map_message_pool("messages", true);
+        r.bind_const(Value::str("Follower"), Value::str("STATE_FOLLOWER"));
+        r.bind_const(Value::str("Leader"), Value::str("STATE_LEADER"));
+        r
+    }
+
+    fn expected() -> State {
+        State::from_pairs([
+            (
+                "nodeState",
+                Value::fun([
+                    (Value::Int(1), Value::str("Leader")),
+                    (Value::Int(2), Value::str("Follower")),
+                ]),
+            ),
+            (
+                "votedFor",
+                Value::fun([
+                    (Value::Int(1), Value::Int(1)),
+                    (Value::Int(2), Value::Int(1)),
+                ]),
+            ),
+            ("messages", Value::fun([])),
+            // An auxiliary variable with no mapping: must be ignored.
+            ("stage", Value::str("x")),
+        ])
+    }
+
+    fn matching_snapshot() -> Snapshot {
+        Snapshot::from_pairs([
+            (
+                "state",
+                Value::fun([
+                    (Value::Int(1), Value::str("STATE_LEADER")),
+                    (Value::Int(2), Value::str("STATE_FOLLOWER")),
+                ]),
+            ),
+            (
+                "votedFor",
+                Value::fun([
+                    (Value::Int(1), Value::Int(1)),
+                    (Value::Int(2), Value::Int(1)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn matching_state_has_no_divergences() {
+        let mut pools = MessagePools::new();
+        pools.register("messages", true);
+        assert!(state_matches(
+            &expected(),
+            &matching_snapshot(),
+            &pools,
+            &registry()
+        ));
+    }
+
+    #[test]
+    fn wrong_constant_translation_diverges() {
+        let mut pools = MessagePools::new();
+        pools.register("messages", true);
+        let mut snap = matching_snapshot();
+        snap.vars[0].1 = Value::fun([
+            (Value::Int(1), Value::str("STATE_FOLLOWER")),
+            (Value::Int(2), Value::str("STATE_FOLLOWER")),
+        ]);
+        let d = check_state(&expected(), &snap, &pools, &registry());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].variable, "nodeState");
+        // Actual is reported in the spec domain.
+        assert_eq!(
+            d[0].actual,
+            Some(Value::fun([
+                (Value::Int(1), Value::str("Follower")),
+                (Value::Int(2), Value::str("Follower")),
+            ]))
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_variable_diverges_as_uncollected() {
+        let mut pools = MessagePools::new();
+        pools.register("messages", true);
+        let snap = Snapshot::from_pairs([(
+            "state",
+            Value::fun([
+                (Value::Int(1), Value::str("STATE_LEADER")),
+                (Value::Int(2), Value::str("STATE_FOLLOWER")),
+            ]),
+        )]);
+        let d = check_state(&expected(), &snap, &pools, &registry());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].variable, "votedFor");
+        assert_eq!(d[0].actual, None);
+    }
+
+    #[test]
+    fn pool_contents_are_compared() {
+        let mut pools = MessagePools::new();
+        pools.register("messages", true);
+        pools
+            .apply(&MsgEvent::Send {
+                pool: "messages".into(),
+                msg: vrec! { mtype => "Req" },
+            })
+            .unwrap();
+        let d = check_state(&expected(), &matching_snapshot(), &pools, &registry());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].variable, "messages");
+        assert_eq!(
+            d[0].actual,
+            Some(Value::fun([(vrec! { mtype => "Req" }, Value::Int(1))]))
+        );
+    }
+
+    #[test]
+    fn auxiliary_variables_are_ignored() {
+        // `stage` is in the expected state but has no mapping: even a
+        // snapshot that knows nothing about it passes.
+        let mut pools = MessagePools::new();
+        pools.register("messages", true);
+        let d = check_state(&expected(), &matching_snapshot(), &pools, &registry());
+        assert!(d.iter().all(|x| x.variable != "stage"));
+    }
+}

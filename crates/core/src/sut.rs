@@ -1,0 +1,197 @@
+//! The system-under-test interface.
+//!
+//! The testbed drives a target distributed system through this trait:
+//! it polls the blocked action notifications (offers), releases the
+//! one matching the scheduled step, triggers external faults and user
+//! requests, and collects runtime state snapshots. Target systems
+//! (AsyncRaft, SyncRaft, ZabKeeper) implement it on top of the
+//! `mocket-dsnet` cluster substrate.
+
+use std::fmt;
+
+use mocket_tla::{ActionInstance, Value};
+
+/// A blocked action notification from one node (Figure 7's
+/// `notifyAndBlock`): the node has encountered the action and waits
+/// for the scheduler's reply.
+///
+/// Names and parameter values are in the *implementation* domain; the
+/// mapping registry translates them before matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Offer {
+    /// The notifying node's identifier.
+    pub node: u64,
+    /// The implementation-side action (name + collected parameters).
+    pub action: ActionInstance,
+}
+
+impl fmt::Display for Offer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}: {}", self.node, self.action)
+    }
+}
+
+/// A message-pool event reported by an executed action (§4.1.1's
+/// message-related variable maintenance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgEvent {
+    /// `Action.getMsg` in a message-sending action: the message enters
+    /// the pool.
+    Send {
+        /// Pool (message-related variable) name.
+        pool: String,
+        /// Message content in the implementation domain.
+        msg: Value,
+    },
+    /// A message-receiving action consumed the message.
+    Receive {
+        /// Pool name.
+        pool: String,
+        /// Message content in the implementation domain.
+        msg: Value,
+    },
+    /// A message-drop fault removed the message.
+    Drop {
+        /// Pool name.
+        pool: String,
+        /// Message content.
+        msg: Value,
+    },
+    /// A message-duplicate fault added another copy.
+    Duplicate {
+        /// Pool name.
+        pool: String,
+        /// Message content.
+        msg: Value,
+    },
+}
+
+/// The runtime values of all mapped variables, aggregated across
+/// nodes: implementation variable name → value (implementation
+/// domain). Per-node variables are aggregated into functions
+/// `node id → value` by the SUT adapter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(impl variable name, impl-domain value)` pairs.
+    pub vars: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Creates a snapshot from pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Snapshot {
+            vars: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// The value of an implementation variable, if collected.
+    pub fn get(&self, impl_name: &str) -> Option<&Value> {
+        self.vars
+            .iter()
+            .find(|(k, _)| k == impl_name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// What executing one action produced.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Message-pool events (sends, receives, faults).
+    pub msg_events: Vec<MsgEvent>,
+}
+
+/// Errors from driving the system under test.
+#[derive(Debug, Clone)]
+pub enum SutError {
+    /// Deployment failed.
+    Deploy(String),
+    /// A node died or stopped responding outside a scheduled crash.
+    NodeFailure {
+        /// The failed node.
+        node: u64,
+        /// Description.
+        message: String,
+    },
+    /// An external action could not be triggered.
+    External(String),
+}
+
+impl fmt::Display for SutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SutError::Deploy(m) => write!(f, "deployment failed: {m}"),
+            SutError::NodeFailure { node, message } => {
+                write!(f, "node {node} failed: {message}")
+            }
+            SutError::External(m) => write!(f, "external action failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SutError {}
+
+/// A deployable, controllable distributed system.
+///
+/// Mocket deploys a fresh cluster per test case (§4.3.2), so a typical
+/// implementation spawns its nodes in [`deploy`](Self::deploy) and
+/// kills them in [`teardown`](Self::teardown).
+pub trait SystemUnderTest {
+    /// Deploys a fresh cluster.
+    fn deploy(&mut self) -> Result<(), SutError>;
+
+    /// Tears the cluster down.
+    fn teardown(&mut self);
+
+    /// Collects the actions currently offered (blocked notifications)
+    /// by all alive nodes. Idempotent: polling twice without an
+    /// intervening execution returns the same offers.
+    fn offers(&mut self) -> Result<Vec<Offer>, SutError>;
+
+    /// Releases one offered action and waits for it to finish.
+    fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError>;
+
+    /// Triggers an external-fault or user-request action (spec
+    /// domain), e.g. `Crash(2)`, `Restart(1)`, `ClientRequest(1)`,
+    /// `DropMessage(m)`.
+    fn execute_external(&mut self, action: &ActionInstance) -> Result<ExecReport, SutError>;
+
+    /// Collects the runtime values of every mapped variable.
+    fn snapshot(&mut self) -> Result<Snapshot, SutError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lookup() {
+        let s = Snapshot::from_pairs([
+            ("state", Value::str("STATE_LEADER")),
+            ("term", Value::Int(2)),
+        ]);
+        assert_eq!(s.get("term"), Some(&Value::Int(2)));
+        assert_eq!(s.get("nope"), None);
+    }
+
+    #[test]
+    fn offer_display() {
+        let o = Offer {
+            node: 1,
+            action: ActionInstance::nullary("becomeLeader"),
+        };
+        assert_eq!(o.to_string(), "node 1: becomeLeader");
+    }
+
+    #[test]
+    fn sut_error_display() {
+        let e = SutError::NodeFailure {
+            node: 3,
+            message: "panicked".into(),
+        };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

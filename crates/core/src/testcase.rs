@@ -1,0 +1,299 @@
+//! Test cases (§4.2).
+//!
+//! A test case is a path through the state-space graph starting at an
+//! initial state: an action sequence plus the expected (verified)
+//! state after each action. During controlled testing each action is
+//! scheduled in order and each intermediate state is a check point.
+
+use std::fmt;
+
+use mocket_tla::{parse_action_instance, parse_state, ActionInstance, ParseError, State, Value};
+
+use mocket_checker::{NodeId, StateGraph};
+
+/// One scheduled step: the action and the verified state it must
+/// produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The action to schedule.
+    pub action: ActionInstance,
+    /// The verified state after the action.
+    pub expected: State,
+}
+
+/// An executable test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// The verified initial state (checked before the first action).
+    pub initial: State,
+    /// The action/state sequence.
+    pub steps: Vec<Step>,
+}
+
+impl TestCase {
+    /// Builds a test case from an initial state and `(action, state)`
+    /// pairs.
+    pub fn new(initial: State, steps: Vec<(ActionInstance, State)>) -> Self {
+        TestCase {
+            initial,
+            steps: steps
+                .into_iter()
+                .map(|(action, expected)| Step { action, expected })
+                .collect(),
+        }
+    }
+
+    /// Builds a test case from a node path in a state-space graph.
+    ///
+    /// `path` lists edge ids in traversal order; the path must be
+    /// connected and start at an initial state of the graph.
+    pub fn from_edge_path(graph: &StateGraph, path: &[mocket_checker::EdgeId]) -> Self {
+        assert!(!path.is_empty(), "empty edge path");
+        let first = graph.edge(path[0]);
+        let initial = graph.state(first.from).clone();
+        let mut steps = Vec::with_capacity(path.len());
+        let mut cur = first.from;
+        for &eid in path {
+            let e = graph.edge(eid);
+            assert_eq!(e.from, cur, "edge path is not connected");
+            steps.push(Step {
+                action: e.action.clone(),
+                expected: graph.state(e.to).clone(),
+            });
+            cur = e.to;
+        }
+        TestCase { initial, steps }
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the test case has no actions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The final expected state (the initial state for empty cases).
+    pub fn final_state(&self) -> &State {
+        self.steps
+            .last()
+            .map(|s| &s.expected)
+            .unwrap_or(&self.initial)
+    }
+
+    /// The action names along the case, in order.
+    pub fn action_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.action.name.as_str()).collect()
+    }
+
+    /// Assigns concrete data to user requests (§4.1.2): the *k*-th
+    /// occurrence of a user-request action gets datum `k` (the paper
+    /// writes `(1, 1)` for the first `ClientRequest`, `(2, 2)` for the
+    /// second). Returns, per step, `Some(k)` for user-request steps.
+    pub fn user_request_data(&self, user_request_actions: &[&str]) -> Vec<Option<i64>> {
+        let mut counter = 0;
+        self.steps
+            .iter()
+            .map(|s| {
+                if user_request_actions.contains(&s.action.name.as_str()) {
+                    counter += 1;
+                    Some(counter)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes into a line-oriented format (`init:`/`step:` lines).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("init: {}\n", self.initial));
+        for s in &self.steps {
+            out.push_str(&format!("step: {} => {}\n", s.action, s.expected));
+        }
+        out
+    }
+
+    /// Parses the [`serialize`](Self::serialize) format.
+    pub fn deserialize(input: &str) -> Result<Self, ParseError> {
+        let mut initial = None;
+        let mut steps = Vec::new();
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("init:") {
+                initial = Some(parse_state(rest.trim())?);
+            } else if let Some(rest) = line.strip_prefix("step:") {
+                let (action, state) = rest.split_once("=>").ok_or(ParseError {
+                    at: 0,
+                    message: "step line missing '=>'".into(),
+                })?;
+                steps.push(Step {
+                    action: parse_action_instance(action.trim())?,
+                    expected: parse_state(state.trim())?,
+                });
+            } else {
+                return Err(ParseError {
+                    at: 0,
+                    message: format!("unrecognized line {line:?}"),
+                });
+            }
+        }
+        Ok(TestCase {
+            initial: initial.ok_or(ParseError {
+                at: 0,
+                message: "missing init line".into(),
+            })?,
+            steps,
+        })
+    }
+
+    /// Validates the case against a graph: every step must follow an
+    /// existing edge from the current state. Returns the node path.
+    pub fn validate_against(&self, graph: &StateGraph) -> Result<Vec<NodeId>, String> {
+        let mut cur = graph
+            .find_state(&self.initial)
+            .ok_or_else(|| "initial state not in graph".to_string())?;
+        if !graph.initial_states().contains(&cur) {
+            return Err("test case does not start at an initial state".into());
+        }
+        let mut nodes = vec![cur];
+        for (i, step) in self.steps.iter().enumerate() {
+            let next = graph
+                .out_edges(cur)
+                .iter()
+                .map(|&e| graph.edge(e))
+                .find(|e| e.action == step.action && graph.state(e.to) == &step.expected)
+                .map(|e| e.to)
+                .ok_or_else(|| format!("step {i} ({}) has no matching edge", step.action))?;
+            nodes.push(next);
+            cur = next;
+        }
+        Ok(nodes)
+    }
+}
+
+impl fmt::Display for TestCase {
+    /// `s0 -> a1 -> s1 -> a2 -> ...` in the style of Figure 3, with
+    /// the full action instances.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s[{}]", self.initial.fingerprint() % 10_000)?;
+        for s in &self.steps {
+            write!(
+                f,
+                " -> {} -> s[{}]",
+                s.action,
+                s.expected.fingerprint() % 10_000
+            )?;
+        }
+        writeln!(f)
+    }
+}
+
+/// A user-request datum in the implementation domain: the key/value
+/// pair written for the k-th `ClientRequest` (the paper writes
+/// `(k, k)`).
+pub fn user_request_payload(k: i64) -> (Value, Value) {
+    (Value::Int(k), Value::Int(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(n: i64) -> State {
+        State::from_pairs([("n", Value::Int(n))])
+    }
+
+    fn case() -> TestCase {
+        TestCase::new(
+            st(0),
+            vec![
+                (ActionInstance::nullary("Inc"), st(1)),
+                (ActionInstance::new("Add", vec![Value::Int(5)]), st(6)),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let tc = case();
+        assert_eq!(tc.len(), 2);
+        assert!(!tc.is_empty());
+        assert_eq!(tc.final_state(), &st(6));
+        assert_eq!(tc.action_names(), ["Inc", "Add"]);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let tc = case();
+        let text = tc.serialize();
+        let back = TestCase::deserialize(&text).unwrap();
+        assert_eq!(back, tc);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(TestCase::deserialize("bogus").is_err());
+        assert!(TestCase::deserialize("step: A => /\\ n = 1").is_err());
+        assert!(TestCase::deserialize("init: /\\ n = 0\nstep: A -> bad").is_err());
+    }
+
+    #[test]
+    fn user_request_numbering_counts_occurrences() {
+        let tc = TestCase::new(
+            st(0),
+            vec![
+                (ActionInstance::nullary("ClientRequest"), st(1)),
+                (ActionInstance::nullary("Inc"), st(2)),
+                (ActionInstance::nullary("ClientRequest"), st(3)),
+            ],
+        );
+        assert_eq!(
+            tc.user_request_data(&["ClientRequest"]),
+            vec![Some(1), None, Some(2)]
+        );
+        assert_eq!(user_request_payload(2), (Value::Int(2), Value::Int(2)));
+    }
+
+    #[test]
+    fn from_edge_path_and_validate() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(0));
+        let (b, _) = g.insert_state(st(1));
+        let (c, _) = g.insert_state(st(2));
+        g.mark_initial(a);
+        let e1 = g.add_edge(a, ActionInstance::nullary("Inc"), b);
+        let e2 = g.add_edge(b, ActionInstance::nullary("Inc"), c);
+        let tc = TestCase::from_edge_path(&g, &[e1, e2]);
+        assert_eq!(tc.initial, st(0));
+        assert_eq!(tc.len(), 2);
+        let nodes = tc.validate_against(&g).unwrap();
+        assert_eq!(nodes, vec![a, b, c]);
+    }
+
+    #[test]
+    fn validate_rejects_non_initial_start() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(0));
+        let (b, _) = g.insert_state(st(1));
+        g.mark_initial(a);
+        g.add_edge(a, ActionInstance::nullary("Inc"), b);
+        let tc = TestCase::new(st(1), vec![]);
+        assert!(tc.validate_against(&g).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_edge() {
+        let mut g = StateGraph::new();
+        let (a, _) = g.insert_state(st(0));
+        g.mark_initial(a);
+        let tc = TestCase::new(st(0), vec![(ActionInstance::nullary("Nope"), st(9))]);
+        assert!(tc.validate_against(&g).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The simulated network.
+//!
+//! Messages sent between nodes land in the destination's inbox after
+//! a wire-encoding round trip. Delivery is *not* automatic: a message
+//! sits in the inbox until the destination node executes a receive
+//! action for it — which is exactly what lets Mocket's scheduler
+//! decide delivery order. Drop and duplicate faults manipulate inbox
+//! contents directly (§4.1.2).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::wire::{Wire, WireError};
+
+/// A node identifier.
+pub type NodeId = u64;
+
+/// An envelope in an inbox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+#[derive(Debug)]
+struct Inner<M> {
+    inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+/// A shared, thread-safe simulated network.
+#[derive(Debug)]
+pub struct Net<M> {
+    inner: Mutex<Inner<M>>,
+}
+
+/// Counters describing network activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages taken by receivers.
+    pub delivered: u64,
+    /// Messages removed by drop faults.
+    pub dropped: u64,
+    /// Copies added by duplicate faults.
+    pub duplicated: u64,
+}
+
+impl<M: Wire + Clone> Net<M> {
+    /// Creates a network with inboxes for `nodes`.
+    pub fn new<I: IntoIterator<Item = NodeId>>(nodes: I) -> Arc<Self> {
+        Arc::new(Net {
+            inner: Mutex::new(Inner {
+                inboxes: nodes.into_iter().map(|n| (n, Vec::new())).collect(),
+                sent: 0,
+                delivered: 0,
+                dropped: 0,
+                duplicated: 0,
+            }),
+        })
+    }
+
+    /// Sends `msg` from `from` to `to`, round-tripping it through its
+    /// wire encoding so no memory is shared across the boundary.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: &M) -> Result<(), WireError> {
+        let msg = msg.wire_roundtrip()?;
+        let mut inner = self.inner.lock();
+        inner.sent += 1;
+        inner
+            .inboxes
+            .entry(to)
+            .or_default()
+            .push(Envelope { from, msg });
+        Ok(())
+    }
+
+    /// A snapshot of `node`'s inbox (oldest first).
+    pub fn inbox(&self, node: NodeId) -> Vec<Envelope<M>> {
+        self.inner
+            .lock()
+            .inboxes
+            .get(&node)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of messages waiting for `node`.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inner
+            .lock()
+            .inboxes
+            .get(&node)
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Removes and returns the first inbox message of `node` matching
+    /// `pred` (receive action).
+    pub fn take_matching<F>(&self, node: NodeId, pred: F) -> Option<Envelope<M>>
+    where
+        F: Fn(&Envelope<M>) -> bool,
+    {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get_mut(&node)?;
+        let idx = inbox.iter().position(|e| pred(e))?;
+        let env = inbox.remove(idx);
+        inner.delivered += 1;
+        Some(env)
+    }
+
+    /// Removes the first matching message without counting it as a
+    /// delivery (message-drop fault).
+    pub fn drop_matching<F>(&self, node: NodeId, pred: F) -> Option<Envelope<M>>
+    where
+        F: Fn(&Envelope<M>) -> bool,
+    {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get_mut(&node)?;
+        let idx = inbox.iter().position(|e| pred(e))?;
+        let env = inbox.remove(idx);
+        inner.dropped += 1;
+        Some(env)
+    }
+
+    /// Duplicates the first matching message in place
+    /// (message-duplicate fault).
+    pub fn duplicate_matching<F>(&self, node: NodeId, pred: F) -> Option<Envelope<M>>
+    where
+        F: Fn(&Envelope<M>) -> bool,
+    {
+        let mut inner = self.inner.lock();
+        let inbox = inner.inboxes.get_mut(&node)?;
+        let idx = inbox.iter().position(|e| pred(e))?;
+        let copy = inbox[idx].clone();
+        inbox.insert(idx + 1, copy.clone());
+        inner.duplicated += 1;
+        Some(copy)
+    }
+
+    /// Discards every message addressed to `node` (node crash: the
+    /// process's socket buffers die with it).
+    pub fn clear_inbox(&self, node: NodeId) {
+        if let Some(inbox) = self.inner.lock().inboxes.get_mut(&node) {
+            inbox.clear();
+        }
+    }
+
+    /// Total messages in flight across all inboxes.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().inboxes.values().map(Vec::len).sum()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> NetStats {
+        let inner = self.inner.lock();
+        NetStats {
+            sent: inner.sent,
+            delivered: inner.delivered,
+            dropped: inner.dropped,
+            duplicated: inner.duplicated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_take_roundtrip() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"hello".to_string()).unwrap();
+        assert_eq!(net.inbox_len(2), 1);
+        assert_eq!(net.inbox_len(1), 0);
+        let env = net.take_matching(2, |_| true).unwrap();
+        assert_eq!(env.from, 1);
+        assert_eq!(env.msg, "hello");
+        assert_eq!(net.in_flight(), 0);
+        let stats = net.stats();
+        assert_eq!((stats.sent, stats.delivered), (1, 1));
+    }
+
+    #[test]
+    fn take_matching_respects_predicate_and_order() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        for m in ["a", "b", "a"] {
+            net.send(1, 2, &m.to_string()).unwrap();
+        }
+        let env = net.take_matching(2, |e| e.msg == "a").unwrap();
+        assert_eq!(env.msg, "a");
+        // Remaining: b, a — first matching "a" is now the last one.
+        let inbox = net.inbox(2);
+        assert_eq!(
+            inbox.iter().map(|e| e.msg.as_str()).collect::<Vec<_>>(),
+            ["b", "a"]
+        );
+        assert!(net.take_matching(2, |e| e.msg == "zzz").is_none());
+    }
+
+    #[test]
+    fn duplicate_inserts_adjacent_copy() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"x".to_string()).unwrap();
+        net.duplicate_matching(2, |_| true).unwrap();
+        assert_eq!(net.inbox_len(2), 2);
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn drop_removes_without_delivery() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"x".to_string()).unwrap();
+        net.drop_matching(2, |_| true).unwrap();
+        assert_eq!(net.inbox_len(2), 0);
+        let stats = net.stats();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn clear_inbox_on_crash() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"x".to_string()).unwrap();
+        net.send(1, 2, &"y".to_string()).unwrap();
+        net.clear_inbox(2);
+        assert_eq!(net.inbox_len(2), 0);
+    }
+
+    #[test]
+    fn unknown_destination_gets_an_inbox() {
+        // Late-joining nodes (restart with a fresh id) still receive.
+        let net: Arc<Net<String>> = Net::new([1]);
+        net.send(1, 9, &"x".to_string()).unwrap();
+        assert_eq!(net.inbox_len(9), 1);
+    }
+}

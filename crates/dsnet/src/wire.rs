@@ -1,0 +1,216 @@
+//! Wire encoding of protocol messages.
+//!
+//! The simulated network round-trips every message through its wire
+//! encoding (see [`crate::net`]), so protocol implementations cannot
+//! accidentally rely on sharing memory with the receiving node — the
+//! same discipline a real RPC boundary enforces.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl WireError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+
+    /// Checks that at least `n` bytes remain.
+    pub fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+        if buf.remaining() < n {
+            Err(WireError::new(format!(
+                "need {n} bytes, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type that can cross the simulated wire.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes one value, advancing `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Round-trips through the encoding (what the network does on
+    /// every send).
+    fn wire_roundtrip(&self) -> Result<Self, WireError> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let out = Self::decode(&mut bytes)?;
+        if bytes.has_remaining() {
+            return Err(WireError::new("trailing bytes after decode"));
+        }
+        Ok(out)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Primitive encodings shared by the protocol crates.
+// ----------------------------------------------------------------------
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64(*self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 8)?;
+        Ok(buf.get_u64())
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_i64(*self);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 8)?;
+        Ok(buf.get_i64())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::new(format!("bad bool byte {other}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 4)?;
+        let len = buf.get_u32() as usize;
+        WireError::need(buf, len)?;
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|e| WireError::new(e.to_string()))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 4)?;
+        let len = buf.get_u32() as usize;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(WireError::new(format!("bad option tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        assert_eq!(v.wire_roundtrip().unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-17i64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("hello"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(5i64));
+        roundtrip(Option::<i64>::None);
+        roundtrip(vec![Some(String::from("a")), None]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = BytesMut::new();
+        42u64.encode(&mut buf);
+        let mut short = buf.freeze().slice(0..4);
+        assert!(u64::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        let mut bytes = Bytes::from_static(&[7]);
+        assert!(bool::decode(&mut bytes).is_err());
+        let mut bytes = Bytes::from_static(&[9]);
+        assert!(Option::<u64>::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn string_length_prefix_is_checked() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(100); // Claims 100 bytes, provides 2.
+        buf.put_slice(b"ab");
+        let mut bytes = buf.freeze();
+        assert!(String::decode(&mut bytes).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Seeded bug switches.
+//!
+//! Each switch re-introduces the defect mechanism of one real Xraft
+//! bug from the paper's Table 2. All switches default to off (the
+//! conformant implementation).
+
+/// The three Xraft bugs (all previously unknown, found by Mocket).
+#[derive(Debug, Clone, Default)]
+pub struct XraftBugs {
+    /// Xraft bug #1 (issue #27): `votesGranted` is a bare counter
+    /// incremented per response, so a duplicated grant elects a leader
+    /// without a quorum. Verdict: inconsistent state `votesGranted`.
+    pub duplicate_vote_counting: bool,
+    /// Xraft bug #2 (issue #28/#22): `votedFor` is never written to
+    /// durable storage, so a restarted node votes again in the same
+    /// term. Verdict: inconsistent state `votedFor`.
+    pub voted_for_not_persisted: bool,
+    /// Xraft bug #3 (issue #29): the vote-granting log comparison
+    /// discounts NoOp entries, so a candidate with a stale log wins
+    /// votes it must not get (two leaders). Verdict: unexpected action
+    /// `HandleRequestVoteResponse`.
+    pub noop_log_grant: bool,
+}
+
+impl XraftBugs {
+    /// The conformant implementation.
+    pub fn none() -> Self {
+        XraftBugs::default()
+    }
+
+    /// Whether any switch is on.
+    pub fn any(&self) -> bool {
+        self.duplicate_vote_counting || self.voted_for_not_persisted || self.noop_log_grant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conformant() {
+        assert!(!XraftBugs::none().any());
+        assert!(XraftBugs {
+            noop_log_grant: true,
+            ..XraftBugs::none()
+        }
+        .any());
+    }
+}

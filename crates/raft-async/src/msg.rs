@@ -1,0 +1,373 @@
+//! AsyncRaft's wire messages.
+//!
+//! Every message crosses `dsnet`'s wire-codec boundary, and every
+//! message converts to the exact record shape the Raft specification
+//! uses (`Action.getMsg` must list fields "in the same order as that
+//! in the TLA+ specification", §4.1.2).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use mocket_dsnet::{Wire, WireError};
+use mocket_tla::{vrec, Value};
+
+/// One log entry: a term and either client data or the NoOp marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Term the entry was created in.
+    pub term: i64,
+    /// Client datum, or `None` for the leader's NoOp entry.
+    pub data: Option<i64>,
+}
+
+impl Entry {
+    /// A client-data entry.
+    pub fn data(term: i64, datum: i64) -> Self {
+        Entry {
+            term,
+            data: Some(datum),
+        }
+    }
+
+    /// The NoOp entry an Xraft leader appends on election.
+    pub fn noop(term: i64) -> Self {
+        Entry { term, data: None }
+    }
+
+    /// Whether this is a NoOp entry.
+    pub fn is_noop(&self) -> bool {
+        self.data.is_none()
+    }
+
+    /// The spec-record shape `[term |-> t, value |-> v]`.
+    pub fn to_value(&self) -> Value {
+        vrec! {
+            term => self.term,
+            value => match self.data {
+                Some(d) => Value::Int(d),
+                None => Value::str("NoOp"),
+            },
+        }
+    }
+}
+
+impl Wire for Entry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.term.encode(buf);
+        self.data.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Entry {
+            term: i64::decode(buf)?,
+            data: Option::<i64>::decode(buf)?,
+        })
+    }
+}
+
+/// The four Raft RPC messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaftMsg {
+    /// `RequestVoteRequest`.
+    VoteRequest {
+        /// Candidate's term.
+        term: i64,
+        /// Term of the candidate's last log entry.
+        last_log_term: i64,
+        /// Index of the candidate's last log entry.
+        last_log_index: i64,
+        /// Candidate id.
+        source: u64,
+        /// Voter id.
+        dest: u64,
+    },
+    /// `RequestVoteResponse` (granting only; both targets reply only
+    /// when granting).
+    VoteResponse {
+        /// Voter's term.
+        term: i64,
+        /// Always true in this protocol variant.
+        granted: bool,
+        /// Voter id.
+        source: u64,
+        /// Candidate id.
+        dest: u64,
+    },
+    /// `AppendEntriesRequest`.
+    AppendRequest {
+        /// Leader's term.
+        term: i64,
+        /// Index of the entry preceding `entries`.
+        prev_log_index: i64,
+        /// Term of that entry.
+        prev_log_term: i64,
+        /// The entries to append (at most one, like the spec).
+        entries: Vec<Entry>,
+        /// Leader's commit index, clamped to what this request covers.
+        commit_index: i64,
+        /// Leader id.
+        source: u64,
+        /// Follower id.
+        dest: u64,
+    },
+    /// `AppendEntriesResponse`.
+    AppendResponse {
+        /// Responder's term.
+        term: i64,
+        /// Whether the entries were accepted.
+        success: bool,
+        /// Highest index known replicated on the responder.
+        match_index: i64,
+        /// Responder id.
+        source: u64,
+        /// Leader id.
+        dest: u64,
+    },
+}
+
+impl RaftMsg {
+    /// The destination node.
+    pub fn dest(&self) -> u64 {
+        match self {
+            RaftMsg::VoteRequest { dest, .. }
+            | RaftMsg::VoteResponse { dest, .. }
+            | RaftMsg::AppendRequest { dest, .. }
+            | RaftMsg::AppendResponse { dest, .. } => *dest,
+        }
+    }
+
+    /// The spec-record shape, field for field what `Action.getMsg`
+    /// reports.
+    pub fn to_value(&self) -> Value {
+        match self {
+            RaftMsg::VoteRequest {
+                term,
+                last_log_term,
+                last_log_index,
+                source,
+                dest,
+            } => vrec! {
+                mtype => "RequestVoteRequest",
+                mterm => *term,
+                mlastLogTerm => *last_log_term,
+                mlastLogIndex => *last_log_index,
+                msource => *source as i64,
+                mdest => *dest as i64,
+            },
+            RaftMsg::VoteResponse {
+                term,
+                granted,
+                source,
+                dest,
+            } => vrec! {
+                mtype => "RequestVoteResponse",
+                mterm => *term,
+                mvoteGranted => *granted,
+                msource => *source as i64,
+                mdest => *dest as i64,
+            },
+            RaftMsg::AppendRequest {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                commit_index,
+                source,
+                dest,
+            } => vrec! {
+                mtype => "AppendEntriesRequest",
+                mterm => *term,
+                mprevLogIndex => *prev_log_index,
+                mprevLogTerm => *prev_log_term,
+                mentries => Value::seq(entries.iter().map(Entry::to_value)),
+                mcommitIndex => *commit_index,
+                msource => *source as i64,
+                mdest => *dest as i64,
+            },
+            RaftMsg::AppendResponse {
+                term,
+                success,
+                match_index,
+                source,
+                dest,
+            } => vrec! {
+                mtype => "AppendEntriesResponse",
+                mterm => *term,
+                msuccess => *success,
+                mmatchIndex => *match_index,
+                msource => *source as i64,
+                mdest => *dest as i64,
+            },
+        }
+    }
+}
+
+impl Wire for RaftMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            RaftMsg::VoteRequest {
+                term,
+                last_log_term,
+                last_log_index,
+                source,
+                dest,
+            } => {
+                buf.put_u8(0);
+                term.encode(buf);
+                last_log_term.encode(buf);
+                last_log_index.encode(buf);
+                source.encode(buf);
+                dest.encode(buf);
+            }
+            RaftMsg::VoteResponse {
+                term,
+                granted,
+                source,
+                dest,
+            } => {
+                buf.put_u8(1);
+                term.encode(buf);
+                granted.encode(buf);
+                source.encode(buf);
+                dest.encode(buf);
+            }
+            RaftMsg::AppendRequest {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                commit_index,
+                source,
+                dest,
+            } => {
+                buf.put_u8(2);
+                term.encode(buf);
+                prev_log_index.encode(buf);
+                prev_log_term.encode(buf);
+                entries.encode(buf);
+                commit_index.encode(buf);
+                source.encode(buf);
+                dest.encode(buf);
+            }
+            RaftMsg::AppendResponse {
+                term,
+                success,
+                match_index,
+                source,
+                dest,
+            } => {
+                buf.put_u8(3);
+                term.encode(buf);
+                success.encode(buf);
+                match_index.encode(buf);
+                source.encode(buf);
+                dest.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(RaftMsg::VoteRequest {
+                term: i64::decode(buf)?,
+                last_log_term: i64::decode(buf)?,
+                last_log_index: i64::decode(buf)?,
+                source: u64::decode(buf)?,
+                dest: u64::decode(buf)?,
+            }),
+            1 => Ok(RaftMsg::VoteResponse {
+                term: i64::decode(buf)?,
+                granted: bool::decode(buf)?,
+                source: u64::decode(buf)?,
+                dest: u64::decode(buf)?,
+            }),
+            2 => Ok(RaftMsg::AppendRequest {
+                term: i64::decode(buf)?,
+                prev_log_index: i64::decode(buf)?,
+                prev_log_term: i64::decode(buf)?,
+                entries: Vec::<Entry>::decode(buf)?,
+                commit_index: i64::decode(buf)?,
+                source: u64::decode(buf)?,
+                dest: u64::decode(buf)?,
+            }),
+            3 => Ok(RaftMsg::AppendResponse {
+                term: i64::decode(buf)?,
+                success: bool::decode(buf)?,
+                match_index: i64::decode(buf)?,
+                source: u64::decode(buf)?,
+                dest: u64::decode(buf)?,
+            }),
+            other => Err(WireError::new(format!("bad RaftMsg tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: RaftMsg) {
+        assert_eq!(m.wire_roundtrip().unwrap(), m);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(RaftMsg::VoteRequest {
+            term: 2,
+            last_log_term: 1,
+            last_log_index: 3,
+            source: 1,
+            dest: 2,
+        });
+        roundtrip(RaftMsg::VoteResponse {
+            term: 2,
+            granted: true,
+            source: 2,
+            dest: 1,
+        });
+        roundtrip(RaftMsg::AppendRequest {
+            term: 2,
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry::noop(2), Entry::data(2, 7)],
+            commit_index: 0,
+            source: 1,
+            dest: 2,
+        });
+        roundtrip(RaftMsg::AppendResponse {
+            term: 2,
+            success: false,
+            match_index: 0,
+            source: 2,
+            dest: 1,
+        });
+    }
+
+    #[test]
+    fn to_value_matches_spec_record_shape() {
+        let m = RaftMsg::VoteRequest {
+            term: 2,
+            last_log_term: 0,
+            last_log_index: 0,
+            source: 1,
+            dest: 2,
+        };
+        let v = m.to_value();
+        assert_eq!(v.expect_field("mtype"), &Value::str("RequestVoteRequest"));
+        assert_eq!(v.expect_field("mterm"), &Value::Int(2));
+        assert_eq!(v.expect_field("msource"), &Value::Int(1));
+        assert_eq!(v.expect_field("mdest"), &Value::Int(2));
+    }
+
+    #[test]
+    fn noop_entry_renders_as_spec_constant() {
+        assert_eq!(
+            Entry::noop(2).to_value().expect_field("value"),
+            &Value::str("NoOp")
+        );
+        assert_eq!(
+            Entry::data(2, 5).to_value().expect_field("value"),
+            &Value::Int(5)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end Mocket runs against AsyncRaft.
+//!
+//! The conformant implementation must pass *every* generated test case
+//! (no inconsistencies); each seeded bug must be detected with exactly
+//! the inconsistency type Table 2 reports.
+
+use std::sync::Arc;
+
+use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_raft_async::{make_sut, mapping, XraftBugs};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+fn pipeline(cfg: RaftSpecConfig, por: bool, stop_at_first: bool) -> Pipeline {
+    let mut pc = PipelineConfig::default();
+    pc.por = por;
+    pc.stop_at_first_bug = stop_at_first;
+    pc.run = RunConfig {
+        check_initial: true,
+        poll_rounds: 2,
+    };
+    Pipeline::new(Arc::new(RaftSpec::new(cfg)), mapping(), pc).expect("mapping is valid")
+}
+
+fn small_model() -> RaftSpecConfig {
+    RaftSpecConfig {
+        dup_limit: 0,
+        restart_limit: 0,
+        ..RaftSpecConfig::xraft(vec![1, 2])
+    }
+}
+
+#[test]
+fn conformant_asyncraft_passes_every_test_case() {
+    let servers = vec![1u64, 2u64];
+    let p = pipeline(small_model(), true, false);
+    let result = p
+        .run(|| Box::new(make_sut(servers.clone(), XraftBugs::none())))
+        .expect("no SUT failures");
+    assert!(
+        result.reports.is_empty(),
+        "conformant run must be clean; first report:\n{}",
+        result.reports[0]
+    );
+    assert!(result.passed > 0);
+    assert_eq!(result.passed, result.effort.cases_run);
+}
+
+#[test]
+fn duplicate_vote_counting_bug_is_inconsistent_votes_granted() {
+    // Xraft bug #1: needs the DuplicateMessage fault in the model.
+    let cfg = RaftSpecConfig {
+        restart_limit: 0,
+        client_request_limit: 0,
+        ..RaftSpecConfig::xraft(vec![1, 2])
+    };
+    let servers = vec![1u64, 2u64];
+    let p = pipeline(cfg, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                servers.clone(),
+                XraftBugs {
+                    duplicate_vote_counting: true,
+                    ..XraftBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert_eq!(report.inconsistency.subject(), "votesGranted");
+}
+
+#[test]
+fn voted_for_not_persisted_bug_is_inconsistent_voted_for() {
+    // Xraft bug #2: needs the Restart fault in the model.
+    let cfg = RaftSpecConfig {
+        dup_limit: 0,
+        client_request_limit: 0,
+        ..RaftSpecConfig::xraft(vec![1, 2])
+    };
+    let servers = vec![1u64, 2u64];
+    let p = pipeline(cfg, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                servers.clone(),
+                XraftBugs {
+                    voted_for_not_persisted: true,
+                    ..XraftBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert_eq!(report.inconsistency.subject(), "votedFor");
+}
+
+#[test]
+fn noop_log_grant_bug_is_unexpected_handle_request_vote_response() {
+    // Xraft bug #3: a second election (term 3) against a voter holding
+    // only the leader's NoOp entry.
+    let cfg = RaftSpecConfig {
+        dup_limit: 0,
+        restart_limit: 0,
+        client_request_limit: 0,
+        max_term: 3,
+        ..RaftSpecConfig::xraft(vec![1, 2])
+    };
+    let servers = vec![1u64, 2u64];
+    let p = pipeline(cfg, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                servers.clone(),
+                XraftBugs {
+                    noop_log_grant: true,
+                    ..XraftBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Unexpected action");
+    assert_eq!(report.inconsistency.subject(), "HandleRequestVoteResponse");
+}

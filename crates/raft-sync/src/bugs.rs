@@ -1,0 +1,37 @@
+//! Seeded bug switches for SyncRaft (the Raft-java bugs of Table 2).
+
+/// The two known Raft-java bugs Mocket re-found.
+#[derive(Debug, Clone, Default)]
+pub struct SyncRaftBugs {
+    /// Raft-java bug #1 (issue #3): the vote-response callback is
+    /// deregistered after the first reply, so later replies are
+    /// silently discarded. Verdict: missing action
+    /// `HandleRequestVoteResponse`.
+    pub ignore_extra_vote_response: bool,
+    /// Raft-java bug #2 (issue #19): the conflicting-suffix truncation
+    /// is off by one, keeping a conflicting entry. Verdict:
+    /// inconsistent state `log`.
+    pub log_truncation_bug: bool,
+}
+
+impl SyncRaftBugs {
+    /// The conformant implementation.
+    pub fn none() -> Self {
+        SyncRaftBugs::default()
+    }
+
+    /// Whether any switch is on.
+    pub fn any(&self) -> bool {
+        self.ignore_extra_vote_response || self.log_truncation_bug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conformant() {
+        assert!(!SyncRaftBugs::none().any());
+    }
+}

@@ -1,0 +1,215 @@
+//! Wiring SyncRaft to Mocket: mapping, external driver, SUT factory.
+//!
+//! The sync-communication variant has no drop/duplicate faults
+//! (§5.2), so its mapping omits the two overriding switches. The
+//! official-specification testing of §6.1 additionally maps the
+//! spec's independent `UpdateTerm` onto the implementation's
+//! `stepDown` region (see [`make_sut_with_options`]).
+
+use std::sync::Arc;
+
+use mocket_core::mapping::{ActionBinding, MappingRegistry};
+use mocket_core::sut::{ExecReport, SutError};
+use mocket_dsnet::{ClusterStorage, Net, NodeId};
+use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
+use mocket_tla::{ActionClass, ActionInstance, Value};
+
+use crate::bugs::SyncRaftBugs;
+
+use crate::node::{SyncRaftNode, ROLE_CANDIDATE, ROLE_FOLLOWER, ROLE_LEADER};
+
+/// The spec↔implementation mapping for SyncRaft.
+///
+/// `with_update_term` additionally binds the official spec's
+/// `UpdateTerm` action to the `stepDown` code region (needed when
+/// testing against [`mocket_specs::raft::RaftSpecConfig::official_buggy`]).
+pub fn mapping(with_update_term: bool) -> MappingRegistry {
+    let mut r = MappingRegistry::new();
+    r.map_message_pool("messages", true)
+        .map_class_field("state", "role")
+        .map_class_field("currentTerm", "term")
+        .map_class_field("votedFor", "votedFor")
+        .map_class_field("votesGranted", "votes")
+        .map_class_field("log", "log")
+        .map_class_field("commitIndex", "commitIndex")
+        .map_class_field("nextIndex", "nextIndex")
+        .map_class_field("matchIndex", "matchIndex");
+    r.map_action(
+        "Timeout",
+        "electionTimer",
+        ActionClass::SingleNode,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "RequestVote",
+        "sendVoteRequest",
+        ActionClass::MessageSend,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "HandleRequestVoteRequest",
+        "onVoteRequest",
+        ActionClass::MessageReceive,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "HandleRequestVoteResponse",
+        "onVoteReply",
+        ActionClass::MessageReceive,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "BecomeLeader",
+        "electLeader",
+        ActionClass::SingleNode,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "ClientRequest",
+        "run_client.sh",
+        ActionClass::UserRequest,
+        ActionBinding::Script,
+    )
+    .map_action(
+        "AppendEntries",
+        "sendEntries",
+        ActionClass::MessageSend,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "HandleAppendEntriesRequest",
+        "onAppendEntries",
+        ActionClass::MessageReceive,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "HandleAppendEntriesResponse",
+        "onAppendReply",
+        ActionClass::MessageReceive,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "AdvanceCommitIndex",
+        "advanceCommit",
+        ActionClass::SingleNode,
+        ActionBinding::Method,
+    )
+    .map_action(
+        "Restart",
+        "restart_node.sh",
+        ActionClass::ExternalFault,
+        ActionBinding::Script,
+    )
+    .map_action(
+        "Crash",
+        "kill_node.sh",
+        ActionClass::ExternalFault,
+        ActionBinding::Script,
+    );
+    if with_update_term {
+        r.map_action(
+            "UpdateTerm",
+            "stepDown",
+            ActionClass::MessageReceive,
+            ActionBinding::Snippet,
+        );
+    }
+    r.bind_const(Value::str("Follower"), Value::str(ROLE_FOLLOWER));
+    r.bind_const(Value::str("Candidate"), Value::str(ROLE_CANDIDATE));
+    r.bind_const(Value::str("Leader"), Value::str(ROLE_LEADER));
+    r
+}
+
+struct SyncDriver {
+    client_counter: i64,
+}
+
+impl ExternalDriver for SyncDriver {
+    fn execute(
+        &mut self,
+        cluster: &mut Cluster,
+        action: &ActionInstance,
+    ) -> Result<ExecReport, SutError> {
+        match action.name.as_str() {
+            "ClientRequest" => {
+                let leader = action.params[0].expect_int() as NodeId;
+                self.client_counter += 1;
+                let events = cluster
+                    .execute(
+                        leader,
+                        &ActionInstance::new("clientWrite", vec![Value::Int(self.client_counter)]),
+                    )
+                    .map_err(|e| SutError::External(e.to_string()))?;
+                Ok(ExecReport { msg_events: events })
+            }
+            "Restart" => {
+                cluster.restart(action.params[0].expect_int() as NodeId);
+                Ok(ExecReport::default())
+            }
+            "Crash" => {
+                cluster.crash(action.params[0].expect_int() as NodeId);
+                Ok(ExecReport::default())
+            }
+            other => Err(SutError::External(format!(
+                "unknown external action {other}"
+            ))),
+        }
+    }
+}
+
+/// Builds a deployable SyncRaft cluster (conformant or with seeded
+/// bugs).
+pub fn make_sut(servers: Vec<NodeId>, bugs: SyncRaftBugs) -> ClusterSut {
+    make_sut_with_options(servers, bugs, false)
+}
+
+/// [`make_sut`] plus the `expose_update_term` option: whether the
+/// `stepDown` region notifies the testbed standalone. With `false`
+/// (the natural mapping) the official spec's independent `UpdateTerm`
+/// is a *missing action*; with `true` executing it runs the whole
+/// handler and the message pool diverges (*inconsistent state*
+/// `messages`) — the two spec-bug rows of Table 2.
+pub fn make_sut_with_options(
+    servers: Vec<NodeId>,
+    bugs: SyncRaftBugs,
+    expose_update_term: bool,
+) -> ClusterSut {
+    let net = Net::new(servers.iter().copied());
+    let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
+    let factory_net = net.clone();
+    let factory_servers = servers.clone();
+    let cluster = Cluster::new(Box::new(move |id| {
+        Box::new(SyncRaftNode::new(
+            id,
+            factory_servers.clone(),
+            bugs.clone(),
+            expose_update_term,
+            factory_net.clone(),
+            storage.for_node(id),
+        )) as Box<dyn mocket_runtime::NodeApp>
+    }));
+    ClusterSut::new(cluster, servers, Box::new(SyncDriver { client_counter: 0 }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+    #[test]
+    fn mapping_is_valid_for_the_sync_spec() {
+        let spec = RaftSpec::new(RaftSpecConfig::raft_java(vec![1, 2, 3]));
+        let issues = mapping(false).validate(&spec);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn official_spec_requires_update_term_mapping() {
+        let spec = RaftSpec::new(RaftSpecConfig::official_buggy(vec![1, 2]));
+        assert!(
+            !mapping(false).validate(&spec).is_empty(),
+            "UpdateTerm must be reported unmapped"
+        );
+        assert!(mapping(true).validate(&spec).is_empty());
+    }
+}

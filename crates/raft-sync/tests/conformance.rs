@@ -1,0 +1,187 @@
+//! End-to-end Mocket runs against SyncRaft, including the two
+//! official-specification bug rows of Table 2.
+
+use std::sync::Arc;
+
+use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_raft_sync::{make_sut, make_sut_with_options, mapping, SyncRaftBugs};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+fn pipeline(
+    cfg: RaftSpecConfig,
+    with_update_term: bool,
+    por: bool,
+    stop_at_first: bool,
+) -> Pipeline {
+    let mut pc = PipelineConfig::default();
+    pc.por = por;
+    pc.stop_at_first_bug = stop_at_first;
+    pc.run = RunConfig {
+        check_initial: true,
+        poll_rounds: 2,
+    };
+    Pipeline::new(Arc::new(RaftSpec::new(cfg)), mapping(with_update_term), pc)
+        .expect("mapping is valid")
+}
+
+#[test]
+fn conformant_syncraft_passes_every_test_case() {
+    let cfg = RaftSpecConfig::raft_java(vec![1, 2]);
+    let p = pipeline(cfg, false, true, false);
+    let result = p
+        .run(|| Box::new(make_sut(vec![1, 2], SyncRaftBugs::none())))
+        .expect("no SUT failures");
+    assert!(
+        result.reports.is_empty(),
+        "conformant run must be clean; first report:\n{}",
+        result.reports[0]
+    );
+    assert_eq!(result.passed, result.effort.cases_run);
+}
+
+#[test]
+fn conformant_syncraft_three_nodes_passes() {
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.candidates = Some(vec![1]);
+    let p = pipeline(cfg, false, true, false);
+    let result = p
+        .run(|| Box::new(make_sut(vec![1, 2, 3], SyncRaftBugs::none())))
+        .expect("no SUT failures");
+    assert!(
+        result.reports.is_empty(),
+        "conformant run must be clean; first report:\n{}",
+        result.reports[0]
+    );
+}
+
+#[test]
+fn ignored_vote_response_is_missing_action() {
+    // Raft-java bug #1: candidate 1 collects replies from 2 and 3;
+    // the implementation drops the second one on the floor.
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.client_request_limit = 0;
+    cfg.candidates = Some(vec![1]);
+    let p = pipeline(cfg, false, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                vec![1, 2, 3],
+                SyncRaftBugs {
+                    ignore_extra_vote_response: true,
+                    ..SyncRaftBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Missing action");
+    assert_eq!(report.inconsistency.subject(), "HandleRequestVoteResponse");
+}
+
+#[test]
+fn log_truncation_bug_is_inconsistent_log() {
+    // Raft-java bug #2 (the deep one): two elections, a conflicting
+    // entry, and an off-by-one truncation.
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 3;
+    cfg.client_request_limit = 2;
+    cfg.candidates = Some(vec![1, 2]);
+    cfg.max_in_flight = 1;
+    let mut pc = PipelineConfig::default();
+    pc.por = false;
+    pc.stop_at_first_bug = true;
+    pc.max_path_len = 40;
+    // Focus on the scenario class (§4.2.1's developer-guided
+    // scoping): two elections and both client writes.
+    pc.case_filter = Some(Arc::new(|names: &[&str]| {
+        names.iter().filter(|n| **n == "BecomeLeader").count() >= 2
+            && names.iter().filter(|n| **n == "ClientRequest").count() >= 2
+    }));
+    let p =
+        Pipeline::new(Arc::new(RaftSpec::new(cfg)), mapping(false), pc).expect("mapping is valid");
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                vec![1, 2, 3],
+                SyncRaftBugs {
+                    log_truncation_bug: true,
+                    ..SyncRaftBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert_eq!(report.inconsistency.subject(), "log");
+}
+
+#[test]
+fn spec_bug_missing_reply_manifests_quickly() {
+    // Official-spec bug #2 (Figure 11): the return-to-follower branch
+    // neither consumes nor replies; the conformant implementation does
+    // both in one step, so the message pool diverges. Needs a
+    // candidate receiving a same-term AppendEntries: three servers,
+    // two rival candidates.
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.candidates = Some(vec![1, 3]);
+    cfg.bug_missing_reply = true;
+    let p = pipeline(cfg, false, false, true);
+    let result = p
+        .run(|| Box::new(make_sut(vec![1, 2, 3], SyncRaftBugs::none())))
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("spec bug must surface");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert_eq!(report.inconsistency.subject(), "messages");
+}
+
+#[test]
+fn official_spec_update_term_is_missing_action_without_mapping_region() {
+    // Official spec, natural mapping: the implementation has no
+    // standalone UpdateTerm, so the first scheduled UpdateTerm is a
+    // missing action (Table 2, Raft-spec issue #2).
+    let cfg = RaftSpecConfig::official_buggy(vec![1, 2]);
+    let p = pipeline(cfg, true, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut_with_options(
+                vec![1, 2],
+                SyncRaftBugs::none(),
+                false,
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("spec bug must surface");
+    assert_eq!(report.inconsistency.kind(), "Missing action");
+    assert_eq!(report.inconsistency.subject(), "UpdateTerm");
+    // The paper's Table 2 reports this row at 5 actions; the exact
+    // length depends on traversal order, but it stays shallow.
+    assert!(
+        report.test_case.len() <= 40,
+        "manifests early: {}",
+        report.test_case.len()
+    );
+}
+
+#[test]
+fn official_spec_update_term_is_inconsistent_messages_with_mapping_region() {
+    // Official spec, stepDown-region mapping: executing UpdateTerm
+    // runs the whole handler, so the message the spec keeps in flight
+    // is consumed (Table 2, Raft-spec issue #1).
+    let cfg = RaftSpecConfig::official_buggy(vec![1, 2]);
+    let p = pipeline(cfg, true, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut_with_options(
+                vec![1, 2],
+                SyncRaftBugs::none(),
+                true,
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("spec bug must surface");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert_eq!(report.inconsistency.subject(), "messages");
+}

@@ -1,0 +1,406 @@
+//! The instrumented cluster: one thread per node, blocked on hooks.
+//!
+//! Each node runs its application logic on its own thread, exactly
+//! like the paper's pseudo-distributed deployment (§6.2). The testbed
+//! talks to nodes over channels with a strict request/reply protocol:
+//! ask for the actions a node is blocked on (`notifyAndBlock`),
+//! release one (`Execute`), read its shadow variables
+//! (`checkAllStates`). Crash kills the thread; restart spawns a fresh
+//! incarnation — whatever the application persisted in its
+//! `dsnet::Storage` survives, nothing else does.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use mocket_core::sut::MsgEvent;
+use mocket_tla::{ActionInstance, Value};
+
+use crate::registry::VarRegistry;
+
+/// A node identifier (matches `dsnet::NodeId`).
+pub type NodeId = u64;
+
+/// The application logic of one node.
+///
+/// Implementations are the real protocol code (Raft, ZAB): `enabled`
+/// is the set of actions the node's threads are currently blocked on;
+/// `execute` runs one of them to completion; the registry holds the
+/// shadow variables.
+pub trait NodeApp: Send + 'static {
+    /// The actions this node is currently blocked on (implementation
+    /// domain: hook names + collected parameters).
+    fn enabled(&mut self) -> Vec<ActionInstance>;
+
+    /// Executes one action, returning the reported message events.
+    fn execute(&mut self, action: &ActionInstance) -> Vec<MsgEvent>;
+
+    /// The node's shadow-variable registry.
+    fn registry(&self) -> Arc<VarRegistry>;
+}
+
+/// Builds node applications; called at deploy and again at restart.
+pub type NodeFactory = Box<dyn FnMut(NodeId) -> Box<dyn NodeApp> + Send>;
+
+enum Ctl {
+    Offers,
+    Execute(ActionInstance),
+    Snapshot,
+    Kill,
+}
+
+enum Rsp {
+    Offers(Vec<ActionInstance>),
+    Done(Vec<MsgEvent>),
+    Snapshot(Vec<(String, Value)>),
+}
+
+struct NodeHandle {
+    ctl_tx: Sender<Ctl>,
+    rsp_rx: Receiver<Rsp>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Errors from cluster control.
+#[derive(Debug, Clone)]
+pub enum ClusterError {
+    /// The node is not running.
+    NotRunning(NodeId),
+    /// The node did not answer within the timeout (likely panicked).
+    Unresponsive(NodeId),
+    /// The node answered with the wrong reply kind (protocol bug).
+    ProtocolViolation(NodeId),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NotRunning(n) => write!(f, "node {n} is not running"),
+            ClusterError::Unresponsive(n) => write!(f, "node {n} is unresponsive"),
+            ClusterError::ProtocolViolation(n) => {
+                write!(f, "node {n} violated the control protocol")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A running instrumented cluster.
+pub struct Cluster {
+    factory: NodeFactory,
+    nodes: BTreeMap<NodeId, NodeHandle>,
+    last_snapshot: BTreeMap<NodeId, Vec<(String, Value)>>,
+    reply_timeout: Duration,
+}
+
+impl Cluster {
+    /// Creates a cluster (no nodes yet).
+    pub fn new(factory: NodeFactory) -> Self {
+        Cluster {
+            factory,
+            nodes: BTreeMap::new(),
+            last_snapshot: BTreeMap::new(),
+            reply_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the per-request reply timeout.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Starts (or restarts after shutdown) the given nodes.
+    pub fn start(&mut self, ids: &[NodeId]) {
+        for &id in ids {
+            self.spawn(id);
+        }
+    }
+
+    fn spawn(&mut self, id: NodeId) {
+        let app = (self.factory)(id);
+        let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
+        let (rsp_tx, rsp_rx) = bounded::<Rsp>(1);
+        let thread = std::thread::Builder::new()
+            .name(format!("node-{id}"))
+            .spawn(move || node_main(app, ctl_rx, rsp_tx))
+            .expect("spawn node thread");
+        self.nodes.insert(
+            id,
+            NodeHandle {
+                ctl_tx,
+                rsp_rx,
+                thread: Some(thread),
+            },
+        );
+    }
+
+    /// The ids of running nodes.
+    pub fn running(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Whether `id` is running.
+    pub fn is_running(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    fn request(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
+        let handle = self.nodes.get(&id).ok_or(ClusterError::NotRunning(id))?;
+        if handle.ctl_tx.send(msg).is_err() {
+            return Err(ClusterError::Unresponsive(id));
+        }
+        match handle.rsp_rx.recv_timeout(self.reply_timeout) {
+            Ok(rsp) => Ok(rsp),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                Err(ClusterError::Unresponsive(id))
+            }
+        }
+    }
+
+    /// All blocked-action notifications, across all running nodes.
+    pub fn offers(&mut self) -> Result<Vec<(NodeId, ActionInstance)>, ClusterError> {
+        let ids = self.running();
+        let mut out = Vec::new();
+        for id in ids {
+            match self.request(id, Ctl::Offers)? {
+                Rsp::Offers(actions) => {
+                    out.extend(actions.into_iter().map(|a| (id, a)));
+                }
+                _ => return Err(ClusterError::ProtocolViolation(id)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Releases one blocked action on `id`.
+    pub fn execute(
+        &mut self,
+        id: NodeId,
+        action: &ActionInstance,
+    ) -> Result<Vec<MsgEvent>, ClusterError> {
+        match self.request(id, Ctl::Execute(action.clone()))? {
+            Rsp::Done(events) => Ok(events),
+            _ => Err(ClusterError::ProtocolViolation(id)),
+        }
+    }
+
+    /// Reads `id`'s shadow variables (cached for crash survivors).
+    pub fn snapshot_node(&mut self, id: NodeId) -> Result<Vec<(String, Value)>, ClusterError> {
+        match self.request(id, Ctl::Snapshot)? {
+            Rsp::Snapshot(vars) => {
+                self.last_snapshot.insert(id, vars.clone());
+                Ok(vars)
+            }
+            _ => Err(ClusterError::ProtocolViolation(id)),
+        }
+    }
+
+    /// Aggregates every node's shadow variables into per-variable
+    /// functions `node id → value`. Crashed nodes contribute their
+    /// last observed values — the specification keeps modeling a
+    /// crashed node's (frozen) state.
+    pub fn aggregate_snapshot(
+        &mut self,
+        all_ids: &[NodeId],
+    ) -> Result<Vec<(String, Value)>, ClusterError> {
+        for &id in all_ids {
+            if self.is_running(id) {
+                self.snapshot_node(id)?;
+            }
+        }
+        let mut by_var: BTreeMap<String, BTreeMap<Value, Value>> = BTreeMap::new();
+        for &id in all_ids {
+            if let Some(vars) = self.last_snapshot.get(&id) {
+                for (name, value) in vars {
+                    by_var
+                        .entry(name.clone())
+                        .or_default()
+                        .insert(Value::Int(id as i64), value.clone());
+                }
+            }
+        }
+        Ok(by_var
+            .into_iter()
+            .map(|(name, fun)| (name, Value::Fun(fun)))
+            .collect())
+    }
+
+    /// Kills `id` immediately (node-crash fault): the thread exits,
+    /// in-memory state is lost.
+    ///
+    /// The node's shadow variables are cached first (best effort), so
+    /// state checks after the crash still see its frozen last state —
+    /// the specification keeps modeling a crashed node's variables.
+    pub fn crash(&mut self, id: NodeId) {
+        let _ = self.snapshot_node(id);
+        if let Some(mut handle) = self.nodes.remove(&id) {
+            let _ = handle.ctl_tx.send(Ctl::Kill);
+            if let Some(t) = handle.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Restarts `id`: kill plus a fresh incarnation from the factory.
+    pub fn restart(&mut self, id: NodeId) {
+        self.crash(id);
+        self.spawn(id);
+    }
+
+    /// Stops every node.
+    pub fn shutdown(&mut self) {
+        let ids = self.running();
+        for id in ids {
+            self.crash(id);
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn node_main(mut app: Box<dyn NodeApp>, ctl_rx: Receiver<Ctl>, rsp_tx: Sender<Rsp>) {
+    while let Ok(msg) = ctl_rx.recv() {
+        let reply = match msg {
+            Ctl::Offers => Rsp::Offers(app.enabled()),
+            Ctl::Execute(action) => Rsp::Done(app.execute(&action)),
+            Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
+            Ctl::Kill => break,
+        };
+        if rsp_tx.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Shadow;
+
+    /// A toy app: a counter that can `bump` until 3.
+    struct CounterApp {
+        registry: Arc<VarRegistry>,
+        count: Shadow<i64>,
+    }
+
+    impl CounterApp {
+        fn boxed(_id: NodeId) -> Box<dyn NodeApp> {
+            let registry = VarRegistry::new();
+            let count = Shadow::new("count", 0i64, registry.clone());
+            Box::new(CounterApp { registry, count })
+        }
+    }
+
+    impl NodeApp for CounterApp {
+        fn enabled(&mut self) -> Vec<ActionInstance> {
+            if *self.count.get() < 3 {
+                vec![ActionInstance::nullary("bump")]
+            } else {
+                vec![]
+            }
+        }
+
+        fn execute(&mut self, action: &ActionInstance) -> Vec<MsgEvent> {
+            assert_eq!(action.name, "bump");
+            self.count.update(|c| c + 1);
+            vec![]
+        }
+
+        fn registry(&self) -> Arc<VarRegistry> {
+            self.registry.clone()
+        }
+    }
+
+    fn cluster() -> Cluster {
+        Cluster::new(Box::new(CounterApp::boxed)).with_reply_timeout(Duration::from_secs(2))
+    }
+
+    #[test]
+    fn offers_execute_snapshot_roundtrip() {
+        let mut c = cluster();
+        c.start(&[1, 2]);
+        let offers = c.offers().unwrap();
+        assert_eq!(offers.len(), 2);
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        let snap = c.snapshot_node(1).unwrap();
+        assert_eq!(snap, vec![("count".to_string(), Value::Int(1))]);
+        let snap2 = c.snapshot_node(2).unwrap();
+        assert_eq!(snap2, vec![("count".to_string(), Value::Int(0))]);
+        c.shutdown();
+    }
+
+    #[test]
+    fn aggregate_builds_node_functions() {
+        let mut c = cluster();
+        c.start(&[1, 2]);
+        c.execute(2, &ActionInstance::nullary("bump")).unwrap();
+        let agg = c.aggregate_snapshot(&[1, 2]).unwrap();
+        assert_eq!(
+            agg,
+            vec![(
+                "count".to_string(),
+                Value::fun([
+                    (Value::Int(1), Value::Int(0)),
+                    (Value::Int(2), Value::Int(1)),
+                ])
+            )]
+        );
+    }
+
+    #[test]
+    fn crash_freezes_last_snapshot() {
+        let mut c = cluster();
+        c.start(&[1, 2]);
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        c.snapshot_node(1).unwrap();
+        c.crash(1);
+        assert!(!c.is_running(1));
+        let agg = c.aggregate_snapshot(&[1, 2]).unwrap();
+        let count = agg.iter().find(|(n, _)| n == "count").unwrap();
+        assert_eq!(
+            count.1.expect_apply(&Value::Int(1)),
+            &Value::Int(1),
+            "crashed node's last value is frozen"
+        );
+    }
+
+    #[test]
+    fn restart_resets_volatile_state() {
+        let mut c = cluster();
+        c.start(&[1]);
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        c.restart(1);
+        let snap = c.snapshot_node(1).unwrap();
+        assert_eq!(snap, vec![("count".to_string(), Value::Int(0))]);
+    }
+
+    #[test]
+    fn requests_to_dead_nodes_error() {
+        let mut c = cluster();
+        c.start(&[1]);
+        c.crash(1);
+        assert!(matches!(
+            c.execute(1, &ActionInstance::nullary("bump")),
+            Err(ClusterError::NotRunning(1))
+        ));
+    }
+
+    #[test]
+    fn offers_exclude_disabled_actions() {
+        let mut c = cluster();
+        c.start(&[1]);
+        for _ in 0..3 {
+            c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        }
+        assert!(c.offers().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Adapter from an instrumented [`Cluster`] to Mocket's
+//! [`SystemUnderTest`] interface.
+//!
+//! Protocol crates provide a node factory (the application) and an
+//! [`ExternalDriver`] (the scripts of §4.1.2: crash, restart, user
+//! requests, and the drop/duplicate overriding switches); the adapter
+//! wires both to the testbed.
+
+use mocket_core::sut::{ExecReport, Offer, Snapshot, SutError, SystemUnderTest};
+use mocket_tla::ActionInstance;
+
+use crate::cluster::{Cluster, ClusterError, NodeId};
+
+/// Handles external-fault and user-request actions that nodes cannot
+/// offer themselves.
+pub trait ExternalDriver: Send {
+    /// Executes `action` (spec domain) against the cluster.
+    fn execute(
+        &mut self,
+        cluster: &mut Cluster,
+        action: &ActionInstance,
+    ) -> Result<ExecReport, SutError>;
+}
+
+/// A cluster exposed as a system under test.
+pub struct ClusterSut {
+    cluster: Cluster,
+    ids: Vec<NodeId>,
+    external: Box<dyn ExternalDriver>,
+}
+
+impl ClusterSut {
+    /// Wraps a cluster. `ids` is the full membership (used for
+    /// snapshot aggregation even across crashes).
+    pub fn new(cluster: Cluster, ids: Vec<NodeId>, external: Box<dyn ExternalDriver>) -> Self {
+        ClusterSut {
+            cluster,
+            ids,
+            external,
+        }
+    }
+
+    /// Access to the underlying cluster (tests, drivers).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+}
+
+fn convert(err: ClusterError) -> SutError {
+    match err {
+        ClusterError::NotRunning(n) => SutError::NodeFailure {
+            node: n,
+            message: "not running".into(),
+        },
+        ClusterError::Unresponsive(n) => SutError::NodeFailure {
+            node: n,
+            message: "unresponsive".into(),
+        },
+        ClusterError::ProtocolViolation(n) => SutError::NodeFailure {
+            node: n,
+            message: "control protocol violation".into(),
+        },
+    }
+}
+
+impl SystemUnderTest for ClusterSut {
+    fn deploy(&mut self) -> Result<(), SutError> {
+        let ids = self.ids.clone();
+        self.cluster.start(&ids);
+        Ok(())
+    }
+
+    fn teardown(&mut self) {
+        self.cluster.shutdown();
+    }
+
+    fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+        Ok(self
+            .cluster
+            .offers()
+            .map_err(convert)?
+            .into_iter()
+            .map(|(node, action)| Offer { node, action })
+            .collect())
+    }
+
+    fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError> {
+        let events = self
+            .cluster
+            .execute(offer.node, &offer.action)
+            .map_err(convert)?;
+        Ok(ExecReport { msg_events: events })
+    }
+
+    fn execute_external(&mut self, action: &ActionInstance) -> Result<ExecReport, SutError> {
+        self.external.execute(&mut self.cluster, action)
+    }
+
+    fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+        let vars = self
+            .cluster
+            .aggregate_snapshot(&self.ids)
+            .map_err(convert)?;
+        Ok(Snapshot { vars })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::NodeApp;
+    use crate::registry::{Shadow, VarRegistry};
+    use mocket_core::sut::MsgEvent;
+    use mocket_tla::Value;
+    use std::sync::Arc;
+
+    struct PingApp {
+        registry: Arc<VarRegistry>,
+        pinged: Shadow<bool>,
+    }
+
+    impl NodeApp for PingApp {
+        fn enabled(&mut self) -> Vec<ActionInstance> {
+            if *self.pinged.get() {
+                vec![]
+            } else {
+                vec![ActionInstance::nullary("ping")]
+            }
+        }
+        fn execute(&mut self, _action: &ActionInstance) -> Vec<MsgEvent> {
+            self.pinged.set(true);
+            vec![]
+        }
+        fn registry(&self) -> Arc<VarRegistry> {
+            self.registry.clone()
+        }
+    }
+
+    struct CrashDriver;
+
+    impl ExternalDriver for CrashDriver {
+        fn execute(
+            &mut self,
+            cluster: &mut Cluster,
+            action: &ActionInstance,
+        ) -> Result<ExecReport, SutError> {
+            match action.name.as_str() {
+                "Crash" => {
+                    let id = action.params[0].expect_int() as NodeId;
+                    cluster.crash(id);
+                    Ok(ExecReport::default())
+                }
+                "Restart" => {
+                    let id = action.params[0].expect_int() as NodeId;
+                    cluster.restart(id);
+                    Ok(ExecReport::default())
+                }
+                other => Err(SutError::External(format!("unknown {other}"))),
+            }
+        }
+    }
+
+    fn sut() -> ClusterSut {
+        let cluster = Cluster::new(Box::new(|_id| {
+            let registry = VarRegistry::new();
+            let pinged = Shadow::new("pinged", false, registry.clone());
+            Box::new(PingApp { registry, pinged }) as Box<dyn NodeApp>
+        }));
+        ClusterSut::new(cluster, vec![1, 2], Box::new(CrashDriver))
+    }
+
+    #[test]
+    fn full_sut_cycle() {
+        let mut s = sut();
+        s.deploy().unwrap();
+        let offers = s.offers().unwrap();
+        assert_eq!(offers.len(), 2);
+        s.execute(&offers[0]).unwrap();
+        let snap = s.snapshot().unwrap();
+        let pinged = snap.get("pinged").unwrap();
+        assert_eq!(pinged.expect_apply(&Value::Int(1)), &Value::Bool(true));
+        assert_eq!(pinged.expect_apply(&Value::Int(2)), &Value::Bool(false));
+        s.teardown();
+    }
+
+    #[test]
+    fn external_crash_and_restart() {
+        let mut s = sut();
+        s.deploy().unwrap();
+        let offers = s.offers().unwrap();
+        s.execute(offers.iter().find(|o| o.node == 1).unwrap())
+            .unwrap();
+        s.execute_external(&ActionInstance::new("Crash", vec![Value::Int(1)]))
+            .unwrap();
+        // Crashed node's frozen value still aggregates.
+        let snap = s.snapshot().unwrap();
+        assert_eq!(
+            snap.get("pinged").unwrap().expect_apply(&Value::Int(1)),
+            &Value::Bool(true)
+        );
+        s.execute_external(&ActionInstance::new("Restart", vec![Value::Int(1)]))
+            .unwrap();
+        // Restart loses volatile state: pinged is false again.
+        let snap = s.snapshot().unwrap();
+        assert_eq!(
+            snap.get("pinged").unwrap().expect_apply(&Value::Int(1)),
+            &Value::Bool(false)
+        );
+        s.teardown();
+    }
+
+    #[test]
+    fn unknown_external_errors() {
+        let mut s = sut();
+        s.deploy().unwrap();
+        assert!(s
+            .execute_external(&ActionInstance::nullary("FlipTable"))
+            .is_err());
+        s.teardown();
+    }
+}

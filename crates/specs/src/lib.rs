@@ -1,0 +1,19 @@
+//! TLA+-style specifications for the Mocket reproduction.
+//!
+//! Three specifications, matching the paper:
+//!
+//! * [`cachemax`] — the running example of Figures 1 and 2.
+//! * [`raft`] — the Raft consensus specification, configurable for the
+//!   asynchronous (Xraft-like) and synchronous (Raft-java-like)
+//!   communication styles, with the two official-specification bugs
+//!   of Figures 10 and 11 reproducible behind flags.
+//! * [`zab`] — the ZooKeeper atomic broadcast (ZAB) specification with
+//!   separate leader-election and broadcast message variables.
+
+pub mod cachemax;
+pub mod raft;
+pub mod zab;
+
+pub use cachemax::CacheMax;
+pub use raft::{RaftSpec, RaftSpecConfig};
+pub use zab::{ZabSpec, ZabSpecConfig};

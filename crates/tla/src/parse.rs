@@ -1,0 +1,384 @@
+//! Parsing of the textual value/state syntax.
+//!
+//! [`Value`]'s `Display` output is valid TLA+ expression syntax; this
+//! module parses it back, so state-space graphs exported to GraphViz
+//! DOT files and serialized test cases can be re-read — the same
+//! file-format boundary the paper's pipeline crosses between TLC and
+//! Mocket's test-case generator.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::state::State;
+use crate::value::Value;
+
+/// A parse failure with position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with([' ', '\t', '\n', '\r']) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok:?}")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.rest().chars().next()
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || c == '_' || c == '$' || c == '.' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            Err(self.err("expected identifier"))
+        } else {
+            Ok(self.input[start..self.pos].to_string())
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            '"' => self.string(),
+            '{' => self.set(),
+            '<' => self.seq(),
+            '[' => self.record(),
+            '(' => self.fun(),
+            c if c == '-' || c.is_ascii_digit() => self.int(),
+            _ => {
+                let id = self.ident()?;
+                match id.as_str() {
+                    "Nil" => Ok(Value::Nil),
+                    "TRUE" => Ok(Value::Bool(true)),
+                    "FALSE" => Ok(Value::Bool(false)),
+                    other => Err(self.err(format!("unknown atom {other:?}"))),
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<Value, ParseError> {
+        self.expect("\"")?;
+        let start = self.pos;
+        // Display never escapes; strings in our universe contain no
+        // quote characters.
+        match self.rest().find('"') {
+            Some(end) => {
+                let s = self.input[start..start + end].to_string();
+                self.pos = start + end + 1;
+                Ok(Value::Str(s))
+            }
+            None => Err(self.err("unterminated string")),
+        }
+    }
+
+    fn int(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.rest().starts_with('-') {
+            self.pos += 1;
+        }
+        while self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.input[start..self.pos]
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| self.err(format!("bad integer: {e}")))
+    }
+
+    fn set(&mut self) -> Result<Value, ParseError> {
+        self.expect("{")?;
+        let mut items = BTreeSet::new();
+        if !self.eat("}") {
+            loop {
+                items.insert(self.value()?);
+                if self.eat("}") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(Value::Set(items))
+    }
+
+    fn seq(&mut self) -> Result<Value, ParseError> {
+        self.expect("<<")?;
+        let mut items = Vec::new();
+        if !self.eat(">>") {
+            loop {
+                items.push(self.value()?);
+                if self.eat(">>") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(Value::Seq(items))
+    }
+
+    fn record(&mut self) -> Result<Value, ParseError> {
+        self.expect("[")?;
+        let mut fields = BTreeMap::new();
+        if !self.eat("]") {
+            loop {
+                let name = self.ident()?;
+                self.expect("|->")?;
+                let v = self.value()?;
+                fields.insert(name, v);
+                if self.eat("]") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(Value::Record(fields))
+    }
+
+    fn fun(&mut self) -> Result<Value, ParseError> {
+        self.expect("(")?;
+        let mut map = BTreeMap::new();
+        if !self.eat(")") {
+            loop {
+                let k = self.value()?;
+                self.expect(":>")?;
+                let v = self.value()?;
+                map.insert(k, v);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect("@@")?;
+            }
+        }
+        Ok(Value::Fun(map))
+    }
+
+    fn state(&mut self) -> Result<State, ParseError> {
+        let mut st = State::new();
+        // `/\ var = value` repeated; an empty state prints `/\ TRUE`.
+        loop {
+            self.skip_ws();
+            if self.rest().is_empty() {
+                break;
+            }
+            self.expect("/\\")?;
+            self.skip_ws();
+            if self.rest().starts_with("TRUE") && st.is_empty() {
+                self.pos += 4;
+                self.skip_ws();
+                if self.rest().is_empty() {
+                    break;
+                }
+                return Err(self.err("unexpected input after /\\ TRUE"));
+            }
+            let name = self.ident()?;
+            self.expect("=")?;
+            let v = self.value()?;
+            st.set(name, v);
+        }
+        Ok(st)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn action_instance(&mut self) -> Result<crate::spec::ActionInstance, ParseError> {
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.eat("(") {
+            if !self.eat(")") {
+                loop {
+                    params.push(self.value()?);
+                    if self.eat(")") {
+                        break;
+                    }
+                    self.expect(",")?;
+                }
+            }
+        }
+        Ok(crate::spec::ActionInstance::new(name, params))
+    }
+}
+
+/// Parses an action instance from its `Display` syntax, e.g.
+/// `RequestVote(1, 2)` or `Respond`.
+pub fn parse_action_instance(input: &str) -> Result<crate::spec::ActionInstance, ParseError> {
+    let mut p = Parser::new(input);
+    let a = p.action_instance()?;
+    p.skip_ws();
+    if p.rest().is_empty() {
+        Ok(a)
+    } else {
+        Err(p.err("trailing input after action instance"))
+    }
+}
+
+/// Parses a single value from its `Display` syntax.
+pub fn parse_value(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.rest().is_empty() {
+        Ok(v)
+    } else {
+        Err(p.err("trailing input after value"))
+    }
+}
+
+/// Parses a state from its `/\ var = value ...` `Display` syntax.
+pub fn parse_state(input: &str) -> Result<State, ParseError> {
+    Parser::new(input).state()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vrec, vseq, vset};
+
+    fn roundtrip(v: &Value) {
+        let s = v.to_string();
+        let back = parse_value(&s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        assert_eq!(&back, v, "round-trip of {s}");
+    }
+
+    #[test]
+    fn atoms_roundtrip() {
+        roundtrip(&Value::Nil);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Int(0));
+        roundtrip(&Value::Int(-42));
+        roundtrip(&Value::str("Follower"));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&Value::empty_set());
+        roundtrip(&Value::empty_seq());
+        roundtrip(&vset![1, 2, 3]);
+        roundtrip(&vseq!["a", "b"]);
+        roundtrip(&vrec! { mtype => "RequestVote", mterm => 2 });
+        roundtrip(&Value::const_fun(
+            [Value::Int(1), Value::Int(2)],
+            Value::str("Follower"),
+        ));
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let msg = vrec! {
+            mtype => "AppendEntries",
+            entries => vseq![vrec! { term => 1, value => 7 }],
+            dest => 2,
+        };
+        roundtrip(&Value::set([msg]));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let st = State::from_pairs([
+            ("cache", vset![1]),
+            ("msg", Value::str("Max")),
+            ("stage", Value::str("request")),
+        ]);
+        let back = parse_state(&st.to_string()).unwrap();
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn empty_state_roundtrip() {
+        let st = State::new();
+        assert_eq!(parse_state(&st.to_string()).unwrap(), st);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse_value("{1, ").unwrap_err();
+        assert!(e.at >= 3, "position should point into the input: {e}");
+        assert!(parse_value("{1} trailing").is_err());
+        assert!(parse_value("bogus").is_err());
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(parse_value(" { 1 ,\n 2 } ").unwrap(), vset![1, 2]);
+    }
+
+    #[test]
+    fn action_instances_roundtrip() {
+        for a in [
+            crate::spec::ActionInstance::nullary("Respond"),
+            crate::spec::ActionInstance::new("RequestVote", vec![Value::Int(1), Value::Int(2)]),
+            crate::spec::ActionInstance::new(
+                "Receive",
+                vec![vrec! { mtype => "Ack", msource => 3 }],
+            ),
+        ] {
+            let s = a.to_string();
+            assert_eq!(parse_action_instance(&s).unwrap(), a, "round-trip {s}");
+        }
+        assert!(parse_action_instance("Bad(1").is_err());
+        assert!(parse_action_instance("A(1) junk").is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Specification states.
+//!
+//! A [`State`] assigns a [`Value`] to every specification variable,
+//! exactly like one node of TLC's state-space graph (Figure 2 of the
+//! paper). States are fingerprinted for deduplication during
+//! exploration and pretty-printed in TLA+ conjunction syntax.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::fingerprint::Fingerprinter;
+use crate::value::Value;
+
+/// A mapping from variable names to values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct State {
+    vars: BTreeMap<String, Value>,
+}
+
+impl State {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        State {
+            vars: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a state from `(variable, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        State {
+            vars: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// The value of variable `name`, if bound.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// The value of variable `name`; panics if unbound (spec-internal
+    /// use where the variable set is fixed).
+    pub fn expect(&self, name: &str) -> &Value {
+        self.vars
+            .get(name)
+            .unwrap_or_else(|| panic!("state has no variable {name:?}"))
+    }
+
+    /// Binds `name` to `value`, returning the previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
+        self.vars.insert(name.into(), value)
+    }
+
+    /// Returns a copy of this state with `name` rebound — the primed
+    /// assignment `name' = value`.
+    pub fn with(&self, name: impl Into<String>, value: Value) -> State {
+        let mut s = self.clone();
+        s.set(name, value);
+        s
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the state binds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The variable names in order.
+    pub fn variable_names(&self) -> impl Iterator<Item = &str> {
+        self.vars.keys().map(|k| k.as_str())
+    }
+
+    /// A stable 64-bit fingerprint of the full variable assignment.
+    ///
+    /// Two states have equal fingerprints iff they are (modulo a
+    /// vanishing collision probability) the same assignment; TLC uses
+    /// the same technique to deduplicate states during exploration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprinter::new();
+        for (k, v) in &self.vars {
+            fp.write_str(k);
+            fp.write_value(v);
+        }
+        fp.finish()
+    }
+
+    /// The variables on which `self` and `other` differ, with both
+    /// values. Variables bound on only one side pair with `None`.
+    pub fn diff<'a>(&'a self, other: &'a State) -> Vec<StateDiff<'a>> {
+        let mut out = Vec::new();
+        for (k, v) in &self.vars {
+            match other.vars.get(k) {
+                Some(w) if w == v => {}
+                Some(w) => out.push(StateDiff {
+                    variable: k,
+                    left: Some(v),
+                    right: Some(w),
+                }),
+                None => out.push(StateDiff {
+                    variable: k,
+                    left: Some(v),
+                    right: None,
+                }),
+            }
+        }
+        for (k, w) in &other.vars {
+            if !self.vars.contains_key(k) {
+                out.push(StateDiff {
+                    variable: k,
+                    left: None,
+                    right: Some(w),
+                });
+            }
+        }
+        out
+    }
+
+    /// Projects the state onto the given variables, dropping the rest.
+    pub fn project<'a, I: IntoIterator<Item = &'a str>>(&self, keep: I) -> State {
+        let mut s = State::new();
+        for name in keep {
+            if let Some(v) = self.get(name) {
+                s.set(name, v.clone());
+            }
+        }
+        s
+    }
+}
+
+impl Default for State {
+    fn default() -> Self {
+        State::new()
+    }
+}
+
+/// One differing variable between two states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDiff<'a> {
+    /// The variable name.
+    pub variable: &'a str,
+    /// The value on the left-hand state, if bound.
+    pub left: Option<&'a Value>,
+    /// The value on the right-hand state, if bound.
+    pub right: Option<&'a Value>,
+}
+
+impl fmt::Display for State {
+    /// Renders as TLA+ conjunctions, e.g. `/\ stage = "respond" /\ ...`
+    /// matching the node labels of the paper's Figure 2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vars.is_empty() {
+            return write!(f, "/\\ TRUE");
+        }
+        for (i, (k, v)) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "/\\ {k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> State {
+        State::from_pairs([
+            ("stage", Value::str("request")),
+            ("msg", Value::Nil),
+            ("cache", Value::empty_set()),
+        ])
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = sample();
+        assert_eq!(s.get("msg"), Some(&Value::Nil));
+        s.set("msg", Value::Int(1));
+        assert_eq!(s.get("msg"), Some(&Value::Int(1)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn with_is_persistent() {
+        let s = sample();
+        let s2 = s.with("msg", Value::Int(5));
+        assert_eq!(s.get("msg"), Some(&Value::Nil));
+        assert_eq!(s2.get("msg"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        let s = sample();
+        let s2 = s.with("msg", Value::Int(1));
+        assert_ne!(s.fingerprint(), s2.fingerprint());
+        assert_eq!(s.fingerprint(), s.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_insertion_order() {
+        let a = State::from_pairs([("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let b = State::from_pairs([("y", Value::Int(2)), ("x", Value::Int(1))]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn diff_reports_changed_variables() {
+        let s = sample();
+        let s2 = s
+            .with("msg", Value::Int(1))
+            .with("stage", Value::str("respond"));
+        let d = s.diff(&s2);
+        assert_eq!(d.len(), 2);
+        let vars: Vec<_> = d.iter().map(|x| x.variable).collect();
+        assert!(vars.contains(&"msg") && vars.contains(&"stage"));
+    }
+
+    #[test]
+    fn diff_reports_missing_variables() {
+        let s = sample();
+        let t = s.project(["stage"]);
+        let d = s.diff(&t);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.right.is_none()));
+        let d2 = t.diff(&s);
+        assert!(d2.iter().all(|x| x.left.is_none()));
+    }
+
+    #[test]
+    fn display_matches_figure2_labels() {
+        let s = State::from_pairs([("cache", Value::empty_set()), ("msg", Value::Nil)]);
+        assert_eq!(s.to_string(), "/\\ cache = {} /\\ msg = Nil");
+    }
+
+    #[test]
+    fn project_keeps_only_requested() {
+        let s = sample();
+        let p = s.project(["cache", "nope"]);
+        assert_eq!(p.len(), 1);
+        assert!(p.get("cache").is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the value algebra, fingerprinting and the
+//! parser.
+
+use proptest::prelude::*;
+
+use mocket_tla::{parse_state, parse_value, State, Value};
+
+/// A recursive strategy over the full value universe.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Nil),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::seq),
+            prop::collection::vec(("[a-z][a-z0-9]{0,6}", inner.clone()), 0..4)
+                .prop_map(Value::record),
+            prop::collection::vec((inner.clone(), inner), 0..4).prop_map(Value::fun),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(v in arb_value()) {
+        let text = v.to_string();
+        let back = parse_value(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic(v in arb_value()) {
+        prop_assert_eq!(
+            mocket_tla::fingerprint_value(&v),
+            mocket_tla::fingerprint_value(&v.clone())
+        );
+    }
+
+    #[test]
+    fn equal_values_have_equal_fingerprints(v in arb_value()) {
+        let w = v.clone();
+        prop_assert_eq!(
+            mocket_tla::fingerprint_value(&v),
+            mocket_tla::fingerprint_value(&w)
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+            }
+        }
+    }
+
+    #[test]
+    fn set_union_laws(xs in prop::collection::vec(any::<i64>(), 0..8),
+                      ys in prop::collection::vec(any::<i64>(), 0..8)) {
+        let a = Value::set(xs.iter().map(|&x| Value::Int(x)));
+        let b = Value::set(ys.iter().map(|&y| Value::Int(y)));
+        // Commutativity and idempotence.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+        // |A ∪ B| = |A| + |B| - |A ∩ B|.
+        prop_assert_eq!(
+            a.union(&b).cardinality() + a.intersection(&b).cardinality(),
+            a.cardinality() + b.cardinality()
+        );
+    }
+
+    #[test]
+    fn except_is_persistent(v in arb_value(), k in any::<i64>()) {
+        let f = Value::fun([(Value::Int(k), Value::Int(0))]);
+        let g = f.except(&Value::Int(k), v.clone());
+        prop_assert_eq!(f.expect_apply(&Value::Int(k)), &Value::Int(0));
+        prop_assert_eq!(g.expect_apply(&Value::Int(k)), &v);
+    }
+
+    #[test]
+    fn state_roundtrip(pairs in prop::collection::btree_map("[a-z][a-z0-9]{0,6}", arb_value(), 0..5)) {
+        let state = State::from_pairs(pairs);
+        let back = parse_state(&state.to_string()).unwrap();
+        prop_assert_eq!(back, state);
+    }
+
+    #[test]
+    fn state_fingerprint_changes_with_any_variable(v in arb_value()) {
+        prop_assume!(v != Value::Int(0));
+        let a = State::from_pairs([("x", Value::Int(0))]);
+        let b = State::from_pairs([("x", v)]);
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn choose_max_is_maximum(xs in prop::collection::vec(any::<i64>(), 1..10)) {
+        let s = Value::set(xs.iter().map(|&x| Value::Int(x)));
+        let max = s.choose_max().unwrap().clone();
+        for x in &xs {
+            prop_assert!(Value::Int(*x) <= max);
+        }
+    }
+}

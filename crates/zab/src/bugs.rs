@@ -1,0 +1,40 @@
+//! Seeded bug switches for ZabKeeper (the ZooKeeper bugs of Table 2).
+
+/// The two known ZooKeeper bugs Mocket re-found.
+#[derive(Debug, Clone, Default)]
+pub struct ZabBugs {
+    /// ZooKeeper bug #1 (ZOOKEEPER-1419 analog: "leader election
+    /// never settles"): agreeing votes are wrongly re-echoed through a
+    /// resend path the instrumentation does not cover, flooding the
+    /// election channel with notifications the specification never
+    /// sends. Verdict: unexpected action `HandleVote`.
+    pub election_echo_storm: bool,
+    /// ZooKeeper bug #2 (ZOOKEEPER-1653: "fails to start because of
+    /// inconsistent epoch"): the second durable epoch write is lost in
+    /// a race, so the restarted server trips its startup sanity check
+    /// and never joins an election. Verdict: missing action
+    /// `StartElection`.
+    pub epoch_marker_race: bool,
+}
+
+impl ZabBugs {
+    /// The conformant implementation.
+    pub fn none() -> Self {
+        ZabBugs::default()
+    }
+
+    /// Whether any switch is on.
+    pub fn any(&self) -> bool {
+        self.election_echo_storm || self.epoch_marker_race
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conformant() {
+        assert!(!ZabBugs::none().any());
+    }
+}

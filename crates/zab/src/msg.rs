@@ -1,0 +1,447 @@
+//! ZabKeeper's wire messages.
+//!
+//! Two channels, matching the specification's two message-related
+//! variables: election notifications (`le_msgs`) and the
+//! synchronization/broadcast channel (`bc_msgs`).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use mocket_dsnet::{Wire, WireError};
+use mocket_tla::{vrec, Value};
+
+/// An election vote `(leader, zxid)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ZVote {
+    /// The proposed leader.
+    pub leader: i64,
+    /// The proposer's last zxid.
+    pub zxid: i64,
+}
+
+impl ZVote {
+    /// The spec-record shape.
+    pub fn to_value(&self) -> Value {
+        vrec! { vleader => self.leader, vzxid => self.zxid }
+    }
+
+    /// Vote ordering: `(zxid, id)` lexicographic.
+    pub fn beats(&self, other: &ZVote) -> bool {
+        self.zxid > other.zxid || (self.zxid == other.zxid && self.leader > other.leader)
+    }
+}
+
+impl Wire for ZVote {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.leader.encode(buf);
+        self.zxid.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ZVote {
+            leader: i64::decode(buf)?,
+            zxid: i64::decode(buf)?,
+        })
+    }
+}
+
+/// A history entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZEntry {
+    /// The entry's zxid.
+    pub zxid: i64,
+    /// The client datum.
+    pub value: i64,
+}
+
+impl ZEntry {
+    /// The spec-record shape.
+    pub fn to_value(&self) -> Value {
+        vrec! { zxid => self.zxid, value => self.value }
+    }
+}
+
+impl Wire for ZEntry {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.zxid.encode(buf);
+        self.value.encode(buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ZEntry {
+            zxid: i64::decode(buf)?,
+            value: i64::decode(buf)?,
+        })
+    }
+}
+
+/// All ZabKeeper messages. Vote notifications travel the election
+/// channel; everything else travels the broadcast channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZabMsg {
+    /// Election notification.
+    Vote {
+        /// The sender's current vote.
+        vote: ZVote,
+        /// Sender.
+        from: u64,
+        /// Receiver.
+        to: u64,
+    },
+    /// Discovery: the new leader proposes an epoch.
+    NewEpoch {
+        /// The proposed epoch.
+        epoch: i64,
+        /// Leader.
+        from: u64,
+        /// Follower.
+        to: u64,
+    },
+    /// The follower acknowledges the epoch with its last zxid.
+    EpochAck {
+        /// The acknowledged epoch.
+        epoch: i64,
+        /// The follower's last zxid.
+        zxid: i64,
+        /// Follower.
+        from: u64,
+        /// Leader.
+        to: u64,
+    },
+    /// Synchronization: the leader ships its history.
+    NewLeader {
+        /// The epoch.
+        epoch: i64,
+        /// The leader's history.
+        history: Vec<ZEntry>,
+        /// Leader.
+        from: u64,
+        /// Follower.
+        to: u64,
+    },
+    /// The follower completes synchronization.
+    AckLd {
+        /// The epoch.
+        epoch: i64,
+        /// Follower.
+        from: u64,
+        /// Leader.
+        to: u64,
+    },
+    /// Broadcast: a proposal.
+    Propose {
+        /// The proposed entry.
+        entry: ZEntry,
+        /// Leader.
+        from: u64,
+        /// Follower.
+        to: u64,
+    },
+    /// Proposal acknowledgment.
+    Ack {
+        /// The acknowledged zxid.
+        zxid: i64,
+        /// Follower.
+        from: u64,
+        /// Leader.
+        to: u64,
+    },
+    /// Commit notification.
+    Commit {
+        /// The committed zxid.
+        zxid: i64,
+        /// Leader.
+        from: u64,
+        /// Follower.
+        to: u64,
+    },
+}
+
+impl ZabMsg {
+    /// Destination node.
+    pub fn dest(&self) -> u64 {
+        match self {
+            ZabMsg::Vote { to, .. }
+            | ZabMsg::NewEpoch { to, .. }
+            | ZabMsg::EpochAck { to, .. }
+            | ZabMsg::NewLeader { to, .. }
+            | ZabMsg::AckLd { to, .. }
+            | ZabMsg::Propose { to, .. }
+            | ZabMsg::Ack { to, .. }
+            | ZabMsg::Commit { to, .. } => *to,
+        }
+    }
+
+    /// Which message-related variable (pool) this message belongs to.
+    pub fn pool(&self) -> &'static str {
+        match self {
+            ZabMsg::Vote { .. } => "le_msgs",
+            _ => "bc_msgs",
+        }
+    }
+
+    /// The spec-record shape.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ZabMsg::Vote { vote, from, to } => vrec! {
+                mtype => "Vote",
+                mvote => vote.to_value(),
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::NewEpoch { epoch, from, to } => vrec! {
+                mtype => "NewEpoch",
+                mepoch => *epoch,
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::EpochAck {
+                epoch,
+                zxid,
+                from,
+                to,
+            } => vrec! {
+                mtype => "EpochAck",
+                mepoch => *epoch,
+                mzxid => *zxid,
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::NewLeader {
+                epoch,
+                history,
+                from,
+                to,
+            } => vrec! {
+                mtype => "NewLeader",
+                mepoch => *epoch,
+                mhistory => Value::seq(history.iter().map(ZEntry::to_value)),
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::AckLd { epoch, from, to } => vrec! {
+                mtype => "AckLd",
+                mepoch => *epoch,
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::Propose { entry, from, to } => vrec! {
+                mtype => "Propose",
+                mentry => entry.to_value(),
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::Ack { zxid, from, to } => vrec! {
+                mtype => "Ack",
+                mzxid => *zxid,
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+            ZabMsg::Commit { zxid, from, to } => vrec! {
+                mtype => "Commit",
+                mzxid => *zxid,
+                msource => *from as i64,
+                mdest => *to as i64,
+            },
+        }
+    }
+}
+
+impl Wire for ZabMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ZabMsg::Vote { vote, from, to } => {
+                buf.put_u8(0);
+                vote.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::NewEpoch { epoch, from, to } => {
+                buf.put_u8(1);
+                epoch.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::EpochAck {
+                epoch,
+                zxid,
+                from,
+                to,
+            } => {
+                buf.put_u8(2);
+                epoch.encode(buf);
+                zxid.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::NewLeader {
+                epoch,
+                history,
+                from,
+                to,
+            } => {
+                buf.put_u8(3);
+                epoch.encode(buf);
+                history.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::AckLd { epoch, from, to } => {
+                buf.put_u8(4);
+                epoch.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::Propose { entry, from, to } => {
+                buf.put_u8(5);
+                entry.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::Ack { zxid, from, to } => {
+                buf.put_u8(6);
+                zxid.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+            ZabMsg::Commit { zxid, from, to } => {
+                buf.put_u8(7);
+                zxid.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        WireError::need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(ZabMsg::Vote {
+                vote: ZVote::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            1 => Ok(ZabMsg::NewEpoch {
+                epoch: i64::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            2 => Ok(ZabMsg::EpochAck {
+                epoch: i64::decode(buf)?,
+                zxid: i64::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            3 => Ok(ZabMsg::NewLeader {
+                epoch: i64::decode(buf)?,
+                history: Vec::<ZEntry>::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            4 => Ok(ZabMsg::AckLd {
+                epoch: i64::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            5 => Ok(ZabMsg::Propose {
+                entry: ZEntry::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            6 => Ok(ZabMsg::Ack {
+                zxid: i64::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            7 => Ok(ZabMsg::Commit {
+                zxid: i64::decode(buf)?,
+                from: u64::decode(buf)?,
+                to: u64::decode(buf)?,
+            }),
+            other => Err(WireError::new(format!("bad ZabMsg tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_roundtrip() {
+        for m in [
+            ZabMsg::Vote {
+                vote: ZVote { leader: 2, zxid: 0 },
+                from: 1,
+                to: 2,
+            },
+            ZabMsg::NewEpoch {
+                epoch: 1,
+                from: 2,
+                to: 1,
+            },
+            ZabMsg::EpochAck {
+                epoch: 1,
+                zxid: 0,
+                from: 1,
+                to: 2,
+            },
+            ZabMsg::NewLeader {
+                epoch: 1,
+                history: vec![ZEntry {
+                    zxid: 101,
+                    value: 1,
+                }],
+                from: 2,
+                to: 1,
+            },
+            ZabMsg::AckLd {
+                epoch: 1,
+                from: 1,
+                to: 2,
+            },
+            ZabMsg::Propose {
+                entry: ZEntry {
+                    zxid: 101,
+                    value: 1,
+                },
+                from: 2,
+                to: 1,
+            },
+            ZabMsg::Ack {
+                zxid: 101,
+                from: 1,
+                to: 2,
+            },
+            ZabMsg::Commit {
+                zxid: 101,
+                from: 2,
+                to: 1,
+            },
+        ] {
+            assert_eq!(m.wire_roundtrip().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn pools_split_by_channel() {
+        let v = ZabMsg::Vote {
+            vote: ZVote { leader: 1, zxid: 0 },
+            from: 1,
+            to: 2,
+        };
+        assert_eq!(v.pool(), "le_msgs");
+        let c = ZabMsg::Commit {
+            zxid: 1,
+            from: 1,
+            to: 2,
+        };
+        assert_eq!(c.pool(), "bc_msgs");
+    }
+
+    #[test]
+    fn vote_ordering_is_zxid_then_id() {
+        assert!(ZVote { leader: 1, zxid: 5 }.beats(&ZVote { leader: 9, zxid: 0 }));
+        assert!(ZVote { leader: 3, zxid: 0 }.beats(&ZVote { leader: 2, zxid: 0 }));
+        assert!(!ZVote { leader: 2, zxid: 0 }.beats(&ZVote { leader: 2, zxid: 0 }));
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end Mocket runs against ZabKeeper.
+
+use std::sync::Arc;
+
+use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_specs::zab::{ZabSpec, ZabSpecConfig};
+use mocket_zab::{make_sut, mapping, ZabBugs};
+
+fn pipeline(cfg: ZabSpecConfig, por: bool, stop_at_first: bool) -> Pipeline {
+    let mut pc = PipelineConfig::default();
+    pc.por = por;
+    pc.stop_at_first_bug = stop_at_first;
+    pc.max_path_len = 60;
+    pc.run = RunConfig {
+        check_initial: true,
+        poll_rounds: 2,
+    };
+    Pipeline::new(Arc::new(ZabSpec::new(cfg)), mapping(), pc).expect("mapping is valid")
+}
+
+#[test]
+fn conformant_zabkeeper_passes_every_test_case() {
+    // Election + synchronization model (no client requests): small
+    // enough to run every generated case.
+    let mut cfg = ZabSpecConfig::small(vec![1, 2]);
+    cfg.client_request_limit = 0;
+    let p = pipeline(cfg, true, false);
+    let result = p
+        .run(|| Box::new(make_sut(vec![1, 2], ZabBugs::none())))
+        .expect("no SUT failures");
+    assert!(
+        result.reports.is_empty(),
+        "conformant run must be clean; first report:\n{}",
+        result.reports[0]
+    );
+    assert!(result.passed > 0);
+    assert_eq!(result.passed, result.effort.cases_run);
+}
+
+#[test]
+fn conformant_zabkeeper_broadcast_sample_passes() {
+    // The full model including broadcast, sampled: a capped number of
+    // POR-reduced cases.
+    let cfg = ZabSpecConfig::small(vec![1, 2]);
+    let mut pc = PipelineConfig::default();
+    pc.por = true;
+    pc.stop_at_first_bug = false;
+    pc.max_path_len = 60;
+    pc.max_test_cases = 800;
+    let p = Pipeline::new(Arc::new(ZabSpec::new(cfg)), mapping(), pc).unwrap();
+    let result = p
+        .run(|| Box::new(make_sut(vec![1, 2], ZabBugs::none())))
+        .expect("no SUT failures");
+    assert!(
+        result.reports.is_empty(),
+        "conformant run must be clean; first report:\n{}",
+        result.reports[0]
+    );
+    assert_eq!(result.effort.cases_run, 800);
+}
+
+#[test]
+fn election_echo_storm_is_unexpected_handle_vote() {
+    // ZooKeeper bug #1: agreeing votes are echoed through an
+    // uninstrumented resend path; the extra notifications surface as
+    // unexpected HandleVote offers.
+    let cfg = ZabSpecConfig::small(vec![1, 2]);
+    let p = pipeline(cfg, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                vec![1, 2],
+                ZabBugs {
+                    election_echo_storm: true,
+                    ..ZabBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Unexpected action");
+    assert_eq!(report.inconsistency.subject(), "HandleVote");
+}
+
+#[test]
+fn epoch_marker_race_is_missing_start_election() {
+    // ZooKeeper bug #2: a restarted follower trips the startup epoch
+    // sanity check and never joins the next election.
+    let mut cfg = ZabSpecConfig::small(vec![1, 2]);
+    cfg.restart_limit = 1;
+    cfg.client_request_limit = 0;
+    let p = pipeline(cfg, false, true);
+    let result = p
+        .run(|| {
+            Box::new(make_sut(
+                vec![1, 2],
+                ZabBugs {
+                    epoch_marker_race: true,
+                    ..ZabBugs::none()
+                },
+            ))
+        })
+        .expect("no SUT failures");
+    let report = result.reports.first().expect("bug must be detected");
+    assert_eq!(report.inconsistency.kind(), "Missing action");
+    assert_eq!(report.inconsistency.subject(), "StartElection");
+}

@@ -1,0 +1,156 @@
+//! Quickstart: the full Mocket pipeline on the paper's Figure 1
+//! example.
+//!
+//! We model-check the CacheMax specification (13 states with
+//! `Data = {1, 2}`, Figure 2), generate test cases by edge-coverage
+//! traversal, and run controlled testing against a tiny cache-server
+//! implementation — first a conformant one, then one with a seeded
+//! bug that answers `Max` for every request.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use mocket::checker::ModelChecker;
+use mocket::core::mapping::ActionBinding;
+use mocket::core::sut::{ExecReport, Offer, Snapshot, SutError};
+use mocket::core::{MappingRegistry, Pipeline, PipelineConfig, SystemUnderTest};
+use mocket::specs::cachemax::{cache_bounded_invariant, CacheMax};
+use mocket::tla::{ActionClass, ActionInstance, Value};
+
+/// A little cache server: the implementation side of Figure 1.
+struct CacheServer {
+    cache: std::collections::BTreeSet<i64>,
+    pending: Option<i64>,
+    answer: Value,
+    /// Seeded bug: always answer `Max`, even when the datum is not
+    /// the largest cached so far.
+    always_max: bool,
+}
+
+impl CacheServer {
+    fn new(always_max: bool) -> Self {
+        CacheServer {
+            cache: Default::default(),
+            pending: None,
+            answer: Value::Nil,
+            always_max,
+        }
+    }
+}
+
+impl SystemUnderTest for CacheServer {
+    fn deploy(&mut self) -> Result<(), SutError> {
+        self.cache.clear();
+        self.pending = None;
+        self.answer = Value::Nil;
+        Ok(())
+    }
+
+    fn teardown(&mut self) {}
+
+    fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+        // The server's worker blocks at the respond hook whenever a
+        // request is pending.
+        Ok(self
+            .pending
+            .map(|_| Offer {
+                node: 1,
+                action: ActionInstance::nullary("respond"),
+            })
+            .into_iter()
+            .collect())
+    }
+
+    fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError> {
+        assert_eq!(offer.action.name, "respond");
+        let datum = self.pending.take().expect("a request is pending");
+        self.cache.insert(datum);
+        let is_max = self.cache.iter().next_back() == Some(&datum);
+        self.answer = if self.always_max || is_max {
+            Value::str("Max")
+        } else {
+            Value::str("NotMax")
+        };
+        Ok(ExecReport::default())
+    }
+
+    fn execute_external(&mut self, action: &ActionInstance) -> Result<ExecReport, SutError> {
+        // `Request(d)`: the client script sends datum d.
+        assert_eq!(action.name, "Request");
+        let datum = action.params[0].expect_int();
+        self.pending = Some(datum);
+        self.answer = Value::Int(datum);
+        Ok(ExecReport::default())
+    }
+
+    fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+        Ok(Snapshot::from_pairs([
+            (
+                "serverCache",
+                Value::set(self.cache.iter().map(|&d| Value::Int(d))),
+            ),
+            ("lastMsg", self.answer.clone()),
+        ]))
+    }
+}
+
+/// Snapshots report *plain* values here (no per-node aggregation), so
+/// the mapping uses method variables and the Fun-free comparison.
+fn mapping() -> MappingRegistry {
+    let mut r = MappingRegistry::new();
+    r.map_method_variable("cache", "serverCache", "server.rs:21")
+        .map_method_variable("msg", "lastMsg", "server.rs:23")
+        .map_action(
+            "Request",
+            "send_request.sh",
+            ActionClass::UserRequest,
+            ActionBinding::Script,
+        )
+        .map_action(
+            "Respond",
+            "respond",
+            ActionClass::SingleNode,
+            ActionBinding::Method,
+        );
+    r
+}
+
+fn main() {
+    // Stage 1-2: model-check the specification (the TLC step).
+    let check = ModelChecker::new(Arc::new(CacheMax::paper_model()))
+        .invariant(cache_bounded_invariant(2))
+        .run();
+    assert!(check.ok());
+    println!(
+        "Model checking: {} states, {} transitions (Figure 2: 13 / 18)",
+        check.stats.distinct_states, check.stats.edges
+    );
+
+    // Stages 3-4: generate test cases and run controlled testing.
+    let mut config = PipelineConfig::default();
+    config.stop_at_first_bug = true;
+    let pipeline = Pipeline::new(Arc::new(CacheMax::paper_model()), mapping(), config)
+        .expect("mapping is valid");
+
+    let clean = pipeline
+        .run(|| Box::new(CacheServer::new(false)))
+        .expect("no SUT failure");
+    println!(
+        "Conformant server: {} test cases, {} passed, {} bug reports",
+        clean.effort.cases_run,
+        clean.passed,
+        clean.reports.len()
+    );
+    assert!(clean.reports.is_empty());
+
+    let buggy = pipeline
+        .run(|| Box::new(CacheServer::new(true)))
+        .expect("no SUT failure");
+    println!(
+        "Buggy server ('always Max'): caught after {} test case(s)",
+        buggy.effort.cases_run
+    );
+    let report = buggy.reports.first().expect("the bug must be caught");
+    println!("\n{report}");
+}

@@ -1,0 +1,364 @@
+//! `mocket-cli` — drive the Mocket pipeline from the command line.
+//!
+//! ```text
+//! mocket-cli check <spec> [--max-states N] [--dot FILE]
+//! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
+//! mocket-cli test <target> [--bug NAME] [--all] [--limit N]
+//! mocket-cli simulate <target> [--steps N] [--seed S]
+//! mocket-cli list
+//! ```
+//!
+//! Specs: `cachemax`, `xraft`, `raft-java`, `raft-official`, `zab`.
+//! Targets: `xraft`, `raft-java`, `zab` (bug names via `list`).
+
+use std::sync::Arc;
+
+use mocket::checker::{to_dot, ModelChecker};
+use mocket::core::{Pipeline, PipelineConfig, RunConfig, SystemUnderTest};
+use mocket::raft_async::XraftBugs;
+use mocket::raft_sync::SyncRaftBugs;
+use mocket::specs::cachemax::CacheMax;
+use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket::specs::zab::{ZabSpec, ZabSpecConfig};
+use mocket::tla::Spec;
+use mocket::zab::ZabBugs;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
+         mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
+         mocket-cli test <target> [--bug NAME] [--limit N]\n  \
+         mocket-cli simulate <target> [--steps N] [--seed S]\n  \
+         mocket-cli list"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs and bare flags.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::BTreeMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::BTreeMap::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(key.to_string(), value);
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag_usize(&self, key: &str, default: usize) -> usize {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(default)
+    }
+
+    fn flag_bool(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+fn spec_by_name(name: &str) -> Arc<dyn Spec> {
+    match name {
+        "cachemax" => Arc::new(CacheMax::paper_model()),
+        "xraft" => Arc::new(RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2]))),
+        "raft-java" => Arc::new(RaftSpec::new(RaftSpecConfig::raft_java(vec![1, 2, 3]))),
+        "raft-official" => Arc::new(RaftSpec::new(RaftSpecConfig::official_buggy(vec![1, 2]))),
+        "zab" => Arc::new(ZabSpec::new(ZabSpecConfig::small(vec![1, 2]))),
+        other => {
+            eprintln!("unknown spec {other:?} (try `mocket-cli list`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Target {
+    spec: Arc<dyn Spec>,
+    registry: mocket::core::MappingRegistry,
+    make: Box<dyn FnMut() -> Box<dyn SystemUnderTest>>,
+}
+
+fn target_by_name(name: &str, bug: Option<&str>) -> Target {
+    match name {
+        "xraft" => {
+            let mut bugs = XraftBugs::none();
+            let mut cfg = RaftSpecConfig::xraft(vec![1, 2]);
+            match bug {
+                None => {}
+                Some("duplicate-vote-counting") => {
+                    bugs.duplicate_vote_counting = true;
+                    cfg.restart_limit = 0;
+                    cfg.client_request_limit = 0;
+                }
+                Some("voted-for-not-persisted") => {
+                    bugs.voted_for_not_persisted = true;
+                    cfg.dup_limit = 0;
+                    cfg.client_request_limit = 0;
+                }
+                Some("noop-log-grant") => {
+                    bugs.noop_log_grant = true;
+                    cfg.dup_limit = 0;
+                    cfg.restart_limit = 0;
+                    cfg.client_request_limit = 0;
+                    cfg.max_term = 3;
+                }
+                Some(other) => {
+                    eprintln!("unknown xraft bug {other:?}");
+                    std::process::exit(2);
+                }
+            }
+            let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+            Target {
+                spec: Arc::new(RaftSpec::new(cfg)),
+                registry: mocket::raft_async::mapping(),
+                make: Box::new(move || {
+                    Box::new(mocket::raft_async::make_sut(servers.clone(), bugs.clone()))
+                }),
+            }
+        }
+        "raft-java" => {
+            let mut bugs = SyncRaftBugs::none();
+            let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+            match bug {
+                None => {}
+                Some("ignore-extra-vote-response") => {
+                    bugs.ignore_extra_vote_response = true;
+                    cfg.max_term = 2;
+                    cfg.client_request_limit = 0;
+                    cfg.candidates = Some(vec![1]);
+                }
+                Some("log-truncation") => {
+                    bugs.log_truncation_bug = true;
+                    cfg.max_term = 3;
+                    cfg.client_request_limit = 2;
+                    cfg.candidates = Some(vec![1, 2]);
+                    cfg.max_in_flight = 1;
+                }
+                Some(other) => {
+                    eprintln!("unknown raft-java bug {other:?}");
+                    std::process::exit(2);
+                }
+            }
+            let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+            Target {
+                spec: Arc::new(RaftSpec::new(cfg)),
+                registry: mocket::raft_sync::mapping(false),
+                make: Box::new(move || {
+                    Box::new(mocket::raft_sync::make_sut(servers.clone(), bugs.clone()))
+                }),
+            }
+        }
+        "zab" => {
+            let mut bugs = ZabBugs::none();
+            let mut cfg = ZabSpecConfig::small(vec![1, 2]);
+            match bug {
+                None => {}
+                Some("election-echo-storm") => bugs.election_echo_storm = true,
+                Some("epoch-marker-race") => {
+                    bugs.epoch_marker_race = true;
+                    cfg.restart_limit = 1;
+                    cfg.client_request_limit = 0;
+                }
+                Some(other) => {
+                    eprintln!("unknown zab bug {other:?}");
+                    std::process::exit(2);
+                }
+            }
+            let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+            Target {
+                spec: Arc::new(ZabSpec::new(cfg)),
+                registry: mocket::zab::mapping(),
+                make: Box::new(move || {
+                    Box::new(mocket::zab::make_sut(servers.clone(), bugs.clone()))
+                }),
+            }
+        }
+        other => {
+            eprintln!("unknown target {other:?} (try `mocket-cli list`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_check(args: &Args) {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let spec = spec_by_name(name);
+    let result = ModelChecker::new(spec)
+        .max_states(args.flag_usize("max-states", 1_000_000))
+        .run();
+    println!(
+        "{name}: {} distinct states, {} transitions, depth {}, {} generated, {:?}{}",
+        result.stats.distinct_states,
+        result.stats.edges,
+        result.stats.depth,
+        result.stats.states_generated,
+        result.stats.elapsed,
+        if result.stats.truncated {
+            " (TRUNCATED)"
+        } else {
+            ""
+        },
+    );
+    if let Some(path) = args.flags.get("dot") {
+        std::fs::write(path, to_dot(&result.graph)).expect("write DOT file");
+        println!("state-space graph written to {path}");
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let spec = spec_by_name(name);
+    let result = ModelChecker::new(spec).run();
+    let por = mocket::core::partial_order_reduction(&result.graph);
+    let mut cfg = mocket::core::TraversalConfig::default();
+    cfg.max_path_len = args.flag_usize("max-path-len", 60);
+    if args.flag_bool("por") {
+        cfg = cfg.with_excluded_edges(por.excluded_edges);
+    }
+    let traversal = mocket::core::edge_coverage_paths(&result.graph, &cfg);
+    let limit = args.flag_usize("limit", 50);
+    let mut out = String::new();
+    for path in traversal.paths.iter().take(limit) {
+        let tc = mocket::core::TestCase::from_edge_path(&result.graph, path);
+        out.push_str(&tc.serialize());
+        out.push('\n');
+    }
+    println!(
+        "{name}: {} paths generated ({} edges covered); writing first {}",
+        traversal.paths.len(),
+        traversal.edges_visited,
+        limit.min(traversal.paths.len()),
+    );
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, out).expect("write test cases");
+            println!("test cases written to {path}");
+        }
+        None => print!("{out}"),
+    }
+}
+
+fn cmd_test(args: &Args) {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let bug = args.flags.get("bug").map(String::as_str);
+    let mut target = target_by_name(name, bug);
+    let mut pc = PipelineConfig::default();
+    pc.por = false;
+    pc.stop_at_first_bug = true;
+    pc.max_path_len = 60;
+    pc.max_test_cases = args.flag_usize("limit", 0);
+    pc.run = RunConfig {
+        check_initial: true,
+        poll_rounds: 2,
+    };
+    let pipeline = Pipeline::new(target.spec, target.registry, pc).unwrap_or_else(|issues| {
+        eprintln!("mapping issues:");
+        for issue in issues {
+            eprintln!("  {issue}");
+        }
+        std::process::exit(1);
+    });
+    let result = pipeline.run(&mut target.make).expect("SUT failure");
+    println!(
+        "{name}{}: {} states, {} cases selected, {} run, {} passed",
+        bug.map(|b| format!(" (bug: {b})")).unwrap_or_default(),
+        result.effort.states,
+        result.cases_selected,
+        result.effort.cases_run,
+        result.passed,
+    );
+    match result.reports.first() {
+        Some(report) => println!("\n{report}"),
+        None => println!("no inconsistencies: the implementation conforms"),
+    }
+}
+
+fn cmd_simulate(args: &Args) {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let mut target = target_by_name(name, None);
+    let mut sut = (target.make)();
+    sut.deploy().expect("deploy");
+    // The random driver needs the raw cluster; only cluster-backed
+    // targets support simulation, which all three are.
+    drop(sut);
+    let steps = args.flag_usize("steps", 2000);
+    let seed = args.flag_usize("seed", 42) as u64;
+    let stats = match name {
+        "xraft" => {
+            let mut sut = mocket::raft_async::make_sut(vec![1, 2, 3], XraftBugs::none());
+            sut.deploy().expect("deploy");
+            let s = mocket::runtime::run_random(sut.cluster_mut(), steps, seed, 5);
+            sut.teardown();
+            s
+        }
+        "raft-java" => {
+            let mut sut = mocket::raft_sync::make_sut(vec![1, 2, 3], SyncRaftBugs::none());
+            sut.deploy().expect("deploy");
+            let s = mocket::runtime::run_random(sut.cluster_mut(), steps, seed, 5);
+            sut.teardown();
+            s
+        }
+        _ => {
+            let mut sut = mocket::zab::make_sut(vec![1, 2, 3], ZabBugs::none());
+            sut.deploy().expect("deploy");
+            let s = mocket::runtime::run_random(sut.cluster_mut(), steps, seed, 5);
+            sut.teardown();
+            s
+        }
+    }
+    .expect("random run");
+    println!("{name}: {} actions under a random schedule", stats.executed);
+    for (action, count) in &stats.action_counts {
+        println!("  {action:<24} x{count}");
+    }
+}
+
+fn cmd_list() {
+    println!("specs:    cachemax, xraft, raft-java, raft-official, zab");
+    println!("targets:  xraft, raft-java, zab");
+    println!("bugs:");
+    println!("  xraft:     duplicate-vote-counting, voted-for-not-persisted, noop-log-grant");
+    println!("  raft-java: ignore-extra-vote-response, log-truncation");
+    println!("  zab:       election-echo-storm, epoch-marker-race");
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.positional.first().map(String::as_str) {
+        Some("check") => cmd_check(&args),
+        Some("generate") => cmd_generate(&args),
+        Some("test") => cmd_test(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("list") => cmd_list(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based testing of the target systems under random
+//! schedules: safety invariants must hold on the conformant
+//! implementations no matter how the scheduler interleaves actions.
+
+use proptest::prelude::*;
+
+use mocket::core::sut::SystemUnderTest;
+use mocket::raft_async::{make_sut as raft_sut, XraftBugs};
+use mocket::runtime::run_random;
+use mocket::tla::Value;
+use mocket::zab::{make_sut as zab_sut, ZabBugs};
+
+/// At most one Raft leader per term (election safety), read from the
+/// runtime snapshot.
+fn raft_election_safety(snapshot: &mocket::core::Snapshot) -> Result<(), String> {
+    let (Some(Value::Fun(states)), Some(Value::Fun(terms))) =
+        (snapshot.get("state"), snapshot.get("currentTerm"))
+    else {
+        return Err("missing state/currentTerm".into());
+    };
+    let mut leader_terms = Vec::new();
+    for (node, role) in states {
+        if role == &Value::str("STATE_LEADER") {
+            let term = terms[node].expect_int();
+            if leader_terms.contains(&term) {
+                return Err(format!("two leaders in term {term}"));
+            }
+            leader_terms.push(term);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn asyncraft_election_safety_under_random_schedules(seed in 1u64..10_000) {
+        let mut sut = raft_sut(vec![1, 2, 3], XraftBugs::none());
+        sut.deploy().expect("deploy");
+        run_random(sut.cluster_mut(), 250, seed, 5).expect("random run");
+        let snapshot = sut.snapshot().expect("snapshot");
+        sut.teardown();
+        prop_assert!(raft_election_safety(&snapshot).is_ok());
+    }
+
+    #[test]
+    fn asyncraft_committed_logs_agree(seed in 1u64..10_000) {
+        let mut sut = raft_sut(vec![1, 2, 3], XraftBugs::none());
+        sut.deploy().expect("deploy");
+        run_random(sut.cluster_mut(), 300, seed.wrapping_mul(31), 5).expect("random run");
+        let snapshot = sut.snapshot().expect("snapshot");
+        sut.teardown();
+        let (Some(Value::Fun(logs)), Some(Value::Fun(commits))) =
+            (snapshot.get("log"), snapshot.get("commitIndex"))
+        else {
+            panic!("missing log/commitIndex");
+        };
+        let nodes: Vec<&Value> = logs.keys().collect();
+        for (x, i) in nodes.iter().enumerate() {
+            for j in nodes.iter().skip(x + 1) {
+                let c = commits[*i].expect_int().min(commits[*j].expect_int());
+                for n in 1..=c {
+                    prop_assert_eq!(
+                        logs[*i].index(n as usize),
+                        logs[*j].index(n as usize),
+                        "committed prefixes diverge at {}", n
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zabkeeper_single_leader_under_random_schedules(seed in 1u64..10_000) {
+        let mut sut = zab_sut(vec![1, 2, 3], ZabBugs::none());
+        sut.deploy().expect("deploy");
+        run_random(sut.cluster_mut(), 250, seed.wrapping_mul(17), 5).expect("random run");
+        let snapshot = sut.snapshot().expect("snapshot");
+        sut.teardown();
+        let Some(Value::Fun(states)) = snapshot.get("zkState") else {
+            panic!("missing zkState");
+        };
+        let leaders = states
+            .values()
+            .filter(|v| *v == &Value::str("LEADING"))
+            .count();
+        prop_assert!(leaders <= 1, "at most one ZAB leader, got {}", leaders);
+    }
+}
