@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks for the pipeline's hot paths:
-//! fingerprinting, successor generation, graph insertion, DOT
-//! round-trips and vote-message wire codecs.
+//! Microbenchmarks for the pipeline's hot paths: fingerprinting,
+//! successor generation, model checking, DOT round-trips and
+//! vote-message wire codecs.
+//!
+//! Criterion is unavailable offline, so this is a plain
+//! `harness = false` timing loop: each benchmark is warmed up, then
+//! run for a fixed wall-clock window and reported as ns/iter.
 
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
 
 use mocket_checker::{from_dot, to_dot, ModelChecker};
 use mocket_dsnet::Wire;
@@ -13,51 +16,59 @@ use mocket_specs::cachemax::CacheMax;
 use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
 use mocket_tla::{successors_with, Spec, State, Value};
 
+const WARMUP: Duration = Duration::from_millis(100);
+const WINDOW: Duration = Duration::from_millis(400);
+
+fn bench(name: &str, mut f: impl FnMut()) {
+    let start = Instant::now();
+    while start.elapsed() < WARMUP {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < WINDOW {
+        f();
+        iters += 1;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:40} {ns:>14.1} ns/iter   ({iters} iters)");
+}
+
 fn sample_state() -> State {
     RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2, 3]))
         .init_states()
         .remove(0)
 }
 
-fn bench_fingerprint(c: &mut Criterion) {
+fn main() {
     let state = sample_state();
-    c.bench_function("state_fingerprint_raft3", |b| {
-        b.iter(|| std::hint::black_box(state.fingerprint()))
+    bench("state_fingerprint_raft3", || {
+        std::hint::black_box(state.fingerprint());
     });
-}
 
-fn bench_successors(c: &mut Criterion) {
     let spec = RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2]));
     let actions = spec.actions();
     let init = spec.init_states().remove(0);
-    c.bench_function("successors_raft2_init", |b| {
-        b.iter(|| std::hint::black_box(successors_with(&actions, &init).len()))
+    bench("successors_raft2_init", || {
+        std::hint::black_box(successors_with(&actions, &init).len());
     });
-}
 
-fn bench_model_check(c: &mut Criterion) {
-    c.bench_function("model_check_cachemax_data4", |b| {
-        b.iter(|| {
-            let r = ModelChecker::new(Arc::new(CacheMax::with_data_size(4))).run();
-            std::hint::black_box(r.stats.distinct_states)
-        })
+    bench("model_check_cachemax_data4", || {
+        let r = ModelChecker::new(Arc::new(CacheMax::with_data_size(4))).run();
+        std::hint::black_box(r.stats.distinct_states);
     });
-}
 
-fn bench_dot_roundtrip(c: &mut Criterion) {
     let graph = ModelChecker::new(Arc::new(CacheMax::with_data_size(3)))
         .run()
         .graph;
     let dot = to_dot(&graph);
-    c.bench_function("dot_write_cachemax3", |b| {
-        b.iter(|| std::hint::black_box(to_dot(&graph).len()))
+    bench("dot_write_cachemax3", || {
+        std::hint::black_box(to_dot(&graph).len());
     });
-    c.bench_function("dot_parse_cachemax3", |b| {
-        b.iter(|| std::hint::black_box(from_dot(&dot).unwrap().state_count()))
+    bench("dot_parse_cachemax3", || {
+        std::hint::black_box(from_dot(&dot).unwrap().state_count());
     });
-}
 
-fn bench_wire(c: &mut Criterion) {
     let msg = RaftMsg::AppendRequest {
         term: 3,
         prev_log_index: 1,
@@ -67,37 +78,18 @@ fn bench_wire(c: &mut Criterion) {
         source: 1,
         dest: 2,
     };
-    c.bench_function("wire_roundtrip_append_entries", |b| {
-        b.iter(|| std::hint::black_box(msg.wire_roundtrip().unwrap()))
+    bench("wire_roundtrip_append_entries", || {
+        std::hint::black_box(msg.wire_roundtrip().unwrap());
     });
-    c.bench_function("msg_to_spec_record", |b| {
-        b.iter(|| std::hint::black_box(msg.to_value()))
+    bench("msg_to_spec_record", || {
+        std::hint::black_box(msg.to_value());
     });
-}
 
-fn bench_state_ops(c: &mut Criterion) {
     let state = sample_state();
-    c.bench_function("state_with_update", |b| {
-        b.iter_batched(
-            || state.clone(),
-            |s| {
-                std::hint::black_box(s.with(
-                    "currentTerm",
-                    Value::const_fun([Value::Int(1), Value::Int(2), Value::Int(3)], Value::Int(2)),
-                ))
-            },
-            BatchSize::SmallInput,
-        )
+    bench("state_with_update", || {
+        std::hint::black_box(state.clone().with(
+            "currentTerm",
+            Value::const_fun([Value::Int(1), Value::Int(2), Value::Int(3)], Value::Int(2)),
+        ));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_fingerprint,
-    bench_successors,
-    bench_model_check,
-    bench_dot_roundtrip,
-    bench_wire,
-    bench_state_ops,
-);
-criterion_main!(benches);

@@ -60,10 +60,7 @@ fn measure(
     let reduced = edge_coverage_paths(&graph, &reduced_cfg);
 
     // Execute a sample of the reduced cases to estimate per-case cost.
-    let run_cfg = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    let run_cfg = RunConfig::fast();
     let sample_start = Instant::now();
     let mut sample_run = 0usize;
     let mut sample_passed = 0usize;

@@ -52,10 +52,7 @@ pub fn bench_pipeline(
     pc.por = por;
     pc.stop_at_first_bug = true;
     pc.max_path_len = 60;
-    pc.run = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    pc.run = RunConfig::fast();
     Pipeline::new(spec, registry, pc).expect("bench mapping is valid")
 }
 

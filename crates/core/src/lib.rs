@@ -34,13 +34,18 @@ pub use mapping::{
     VariableMapping,
 };
 pub use msgpool::{MessagePools, PoolError};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineResult, TestingEffort};
+pub use pipeline::{
+    AttemptRecord, Pipeline, PipelineConfig, PipelineResult, QuarantinedCase, RetryPolicy,
+    TestingEffort,
+};
 pub use por::{partial_order_reduction, Diamond, PorResult};
 pub use report::{BugClass, BugReport, Inconsistency, VariableDivergence};
 pub use runner::{pools_from_registry, run_test_case, RunConfig, RunStats, TestOutcome};
 pub use scheduler::{find_match, translate_offers, unexpected_offers, SpecOffer};
 pub use statecheck::{check_state, state_matches};
-pub use sut::{ExecReport, MsgEvent, Offer, Snapshot, SutError, SystemUnderTest};
+pub use sut::{
+    int_param, record_int_field, ExecReport, MsgEvent, Offer, Snapshot, SutError, SystemUnderTest,
+};
 pub use testcase::{Step, TestCase};
 pub use traversal::{
     edge_coverage_paths, node_coverage_paths, random_walk_paths, TraversalConfig, TraversalResult,

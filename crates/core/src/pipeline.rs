@@ -6,7 +6,7 @@
 //! testing against the system under test, collecting bug reports.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mocket_tla::{ActionInstance, Spec, State};
 
@@ -14,11 +14,67 @@ use mocket_checker::{ModelChecker, StateGraph};
 
 use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::por::partial_order_reduction;
-use crate::report::{BugClass, BugReport};
+use crate::report::{BugClass, BugReport, Inconsistency};
 use crate::runner::{run_test_case, RunConfig, TestOutcome};
-use crate::sut::{SutError, SystemUnderTest};
+use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
 use crate::traversal::{edge_coverage_paths, TraversalConfig};
+
+/// Per-case retry policy for transient harness failures.
+///
+/// A campaign of thousands of deploy/run/teardown cycles will hit
+/// occasional environmental hiccups (a deploy that loses the race
+/// with teardown of the previous cluster, a dropped control channel).
+/// Those are not findings about the system under test; each case gets
+/// a small attempt budget, and only cases that fail *persistently*
+/// for harness-side reasons are quarantined.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per test case (>= 1).
+    pub attempts: usize,
+    /// Sleep before each retry, doubled per further attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 2,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient failure quarantines immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// One failed attempt at running a test case.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// What went wrong, rendered for the report.
+    pub error: String,
+    /// Wall-clock duration of the attempt in seconds.
+    pub seconds: f64,
+}
+
+/// A test case the pipeline gave up on for harness-side reasons: it
+/// neither passed nor produced a verdict about the implementation.
+/// Quarantined cases are surfaced in the result so a campaign summary
+/// can never silently under-report coverage.
+#[derive(Debug, Clone)]
+pub struct QuarantinedCase {
+    /// The case that could not be driven to a verdict.
+    pub test_case: TestCase,
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+}
 
 /// Pipeline configuration.
 pub struct PipelineConfig {
@@ -43,6 +99,8 @@ pub struct PipelineConfig {
     pub stop_at_first_bug: bool,
     /// Controlled-run configuration.
     pub run: RunConfig,
+    /// Retry policy for transient harness failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PipelineConfig {
@@ -56,6 +114,7 @@ impl Default for PipelineConfig {
             max_path_len: 0,
             stop_at_first_bug: true,
             run: RunConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -103,6 +162,9 @@ pub struct PipelineResult {
     pub cases_selected: usize,
     /// Bug reports from controlled testing.
     pub reports: Vec<BugReport>,
+    /// Cases abandoned for harness-side reasons after exhausting
+    /// their attempt budget (neither passed nor failed).
+    pub quarantined: Vec<QuarantinedCase>,
     /// Effort statistics.
     pub effort: TestingEffort,
     /// Test cases that passed.
@@ -216,7 +278,13 @@ impl Pipeline {
     ///
     /// `make_sut` deploys a fresh system per call; a new cluster is
     /// used for every test case (§4.3.2).
-    pub fn run<F>(&self, mut make_sut: F) -> Result<PipelineResult, SutError>
+    ///
+    /// The campaign always runs to completion (or to
+    /// `stop_at_first_bug`): a single misbehaving case can no longer
+    /// abort the whole run. Transient harness failures are retried
+    /// per [`RetryPolicy`]; cases that stay undrivable are
+    /// quarantined with their attempt history.
+    pub fn run<F>(&self, mut make_sut: F) -> PipelineResult
     where
         F: FnMut() -> Box<dyn SystemUnderTest>,
     {
@@ -225,39 +293,95 @@ impl Pipeline {
         let cases_selected = paths.len();
 
         let mut reports = Vec::new();
+        let mut quarantined = Vec::new();
         let mut passed = 0usize;
         let test_start = Instant::now();
         let mut cases_run = 0usize;
 
-        for path in &paths {
+        'cases: for path in &paths {
             // Materialize one case at a time.
             let tc = TestCase::from_edge_path(&graph, path);
             let final_node = graph.edge(*path.last().expect("non-empty path")).to;
             let final_enabled: Vec<ActionInstance> =
                 graph.enabled_at(final_node).into_iter().cloned().collect();
-            let mut sut = make_sut();
-            let (outcome, stats) = run_test_case(
-                sut.as_mut(),
-                &tc,
-                &self.registry,
-                &final_enabled,
-                &self.config.run,
-            )?;
-            cases_run += 1;
-            match outcome {
-                TestOutcome::Passed => passed += 1,
-                TestOutcome::Failed(inconsistency) => {
-                    reports.push(BugReport {
-                        inconsistency,
-                        test_case: tc,
-                        actions_executed: stats.actions_executed,
-                        elapsed: test_start.elapsed(),
-                        class: BugClass::Unclassified,
-                    });
-                    if self.config.stop_at_first_bug {
+
+            let max_attempts = self.config.retry.attempts.max(1);
+            let mut attempts: Vec<AttemptRecord> = Vec::new();
+            let mut verdict_reached = false;
+            for attempt in 1..=max_attempts {
+                if attempt > 1 {
+                    // Exponential backoff: transient conditions (a
+                    // slow teardown, an exhausted port) need time.
+                    let exp = (attempt - 2).min(16) as u32;
+                    std::thread::sleep(self.config.retry.backoff * 2u32.pow(exp));
+                }
+                let mut sut = make_sut();
+                match run_test_case(
+                    sut.as_mut(),
+                    &tc,
+                    &self.registry,
+                    &final_enabled,
+                    &self.config.run,
+                ) {
+                    Ok((outcome, stats)) => {
+                        verdict_reached = true;
+                        cases_run += 1;
+                        match outcome {
+                            TestOutcome::Passed => passed += 1,
+                            TestOutcome::Failed(inconsistency) => {
+                                // A node death before any action ran is a
+                                // deploy-time accident, not a verdict about
+                                // this schedule: retry it like a harness
+                                // failure.
+                                let premature_death = matches!(
+                                    inconsistency,
+                                    Inconsistency::NodeDeath { .. }
+                                ) && stats.actions_executed == 0;
+                                if premature_death && attempt < max_attempts {
+                                    attempts.push(AttemptRecord {
+                                        error: format!(
+                                            "{}",
+                                            inconsistency
+                                        )
+                                        .trim_end()
+                                        .to_string(),
+                                        seconds: stats.seconds,
+                                    });
+                                    verdict_reached = false;
+                                    cases_run -= 1;
+                                    continue;
+                                }
+                                reports.push(BugReport {
+                                    inconsistency,
+                                    test_case: tc.clone(),
+                                    actions_executed: stats.actions_executed,
+                                    elapsed: test_start.elapsed(),
+                                    attempt,
+                                    class: BugClass::Unclassified,
+                                });
+                                if self.config.stop_at_first_bug {
+                                    break 'cases;
+                                }
+                            }
+                        }
                         break;
                     }
+                    Err(err) => {
+                        // Harness-side failure (deploy, external
+                        // script, control channel): retry, then
+                        // quarantine.
+                        attempts.push(AttemptRecord {
+                            error: err.to_string(),
+                            seconds: 0.0,
+                        });
+                    }
                 }
+            }
+            if !verdict_reached {
+                quarantined.push(QuarantinedCase {
+                    test_case: tc,
+                    attempts: std::mem::take(&mut attempts),
+                });
             }
         }
 
@@ -272,13 +396,14 @@ impl Pipeline {
             check_seconds,
         };
 
-        Ok(PipelineResult {
+        PipelineResult {
             graph,
             cases_selected,
             reports,
+            quarantined,
             effort,
             passed,
-        })
+        }
     }
 }
 
@@ -286,7 +411,7 @@ impl Pipeline {
 mod tests {
     use super::*;
     use crate::mapping::ActionBinding;
-    use crate::sut::{ExecReport, Offer, Snapshot};
+    use crate::sut::{ExecReport, Offer, Snapshot, SutError};
     use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
 
     /// Counter spec: Inc up to 2, Dec down to 0.
@@ -385,8 +510,7 @@ mod tests {
         let p =
             Pipeline::new(Arc::new(CounterSpec), registry(), PipelineConfig::default()).unwrap();
         let result = p
-            .run(|| Box::new(CounterSut { n: 0, buggy: false }))
-            .unwrap();
+            .run(|| Box::new(CounterSut { n: 0, buggy: false }));
         assert!(result.reports.is_empty(), "{:?}", result.reports);
         assert_eq!(result.passed, result.effort.cases_run);
         assert!(result.effort.states >= 3);
@@ -399,8 +523,7 @@ mod tests {
         cfg.por = false;
         let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
         let result = p
-            .run(|| Box::new(CounterSut { n: 0, buggy: true }))
-            .unwrap();
+            .run(|| Box::new(CounterSut { n: 0, buggy: true }));
         assert_eq!(result.reports.len(), 1);
         let report = &result.reports[0];
         assert_eq!(report.inconsistency.kind(), "Inconsistent state");
@@ -417,8 +540,7 @@ mod tests {
         let p =
             Pipeline::new(Arc::new(CounterSpec), registry(), PipelineConfig::default()).unwrap();
         let result = p
-            .run(|| Box::new(CounterSut { n: 0, buggy: true }))
-            .unwrap();
+            .run(|| Box::new(CounterSut { n: 0, buggy: true }));
         assert!(result.reports.is_empty());
     }
 
@@ -437,8 +559,99 @@ mod tests {
         cfg.max_test_cases = 1;
         let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
         let result = p
-            .run(|| Box::new(CounterSut { n: 0, buggy: false }))
-            .unwrap();
+            .run(|| Box::new(CounterSut { n: 0, buggy: false }));
         assert_eq!(result.effort.cases_run, 1);
+    }
+
+    /// Delegates to a [`CounterSut`] but fails deployment on demand —
+    /// stands in for a flaky testbed (port exhaustion, slow teardown).
+    struct FlakySut {
+        inner: CounterSut,
+        fail_deploy: bool,
+    }
+
+    impl SystemUnderTest for FlakySut {
+        fn deploy(&mut self) -> Result<(), SutError> {
+            if self.fail_deploy {
+                return Err(SutError::Deploy("testbed hiccup".into()));
+            }
+            self.inner.deploy()
+        }
+        fn teardown(&mut self) {
+            self.inner.teardown()
+        }
+        fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+            self.inner.offers()
+        }
+        fn execute(&mut self, offer: &Offer) -> Result<ExecReport, SutError> {
+            self.inner.execute(offer)
+        }
+        fn execute_external(&mut self, a: &ActionInstance) -> Result<ExecReport, SutError> {
+            self.inner.execute_external(a)
+        }
+        fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+            self.inner.snapshot()
+        }
+    }
+
+    #[test]
+    fn transient_deploy_failure_is_retried_not_fatal() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut cfg = PipelineConfig::default();
+        cfg.retry = RetryPolicy {
+            attempts: 2,
+            backoff: Duration::ZERO,
+        };
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let made = AtomicUsize::new(0);
+        // Only the very first deployed cluster fails; the retry and
+        // every later case succeed.
+        let result = p.run(|| {
+            let k = made.fetch_add(1, Ordering::SeqCst);
+            Box::new(FlakySut {
+                inner: CounterSut { n: 0, buggy: false },
+                fail_deploy: k == 0,
+            })
+        });
+        assert!(result.quarantined.is_empty(), "{:?}", result.quarantined);
+        assert!(result.reports.is_empty());
+        assert_eq!(result.passed, result.effort.cases_run);
+        assert!(result.passed > 0);
+    }
+
+    #[test]
+    fn persistent_failure_is_quarantined_with_attempt_history() {
+        let mut cfg = PipelineConfig::default();
+        cfg.retry = RetryPolicy {
+            attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| {
+            Box::new(FlakySut {
+                inner: CounterSut { n: 0, buggy: false },
+                fail_deploy: true,
+            })
+        });
+        // Every case exhausted its budget; none reached a verdict,
+        // none aborted the campaign.
+        assert_eq!(result.quarantined.len(), result.cases_selected);
+        assert_eq!(result.effort.cases_run, 0);
+        assert!(result.reports.is_empty());
+        for q in &result.quarantined {
+            assert_eq!(q.attempts.len(), 3);
+            assert!(q.attempts[0].error.contains("testbed hiccup"));
+        }
+    }
+
+    #[test]
+    fn bug_reports_record_the_revealing_attempt() {
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.retry = RetryPolicy::none();
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: true }));
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(result.reports[0].attempt, 1);
     }
 }

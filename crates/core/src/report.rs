@@ -67,6 +67,33 @@ pub enum Inconsistency {
         /// The offending notifications.
         actions: Vec<ActionInstance>,
     },
+    /// A node's application code crashed (panicked) while the runner
+    /// was driving the test case. The specification never models its
+    /// nodes dying on their own, so an involuntary death is a
+    /// divergence in its own right — reported instead of tearing the
+    /// harness down.
+    NodeDeath {
+        /// Index of the step being driven when the node died.
+        step: usize,
+        /// The action being driven.
+        action: ActionInstance,
+        /// The node that died.
+        node: u64,
+        /// Panic message or death diagnosis.
+        reason: String,
+    },
+    /// The runner's watchdog gave up on the system under test: a node
+    /// stopped answering, or a step blew its wall-clock budget.
+    WatchdogTimeout {
+        /// Index of the step being driven.
+        step: usize,
+        /// The action being driven.
+        action: ActionInstance,
+        /// How long the runner waited.
+        waited: Duration,
+        /// What the watchdog observed.
+        reason: String,
+    },
 }
 
 impl Inconsistency {
@@ -76,7 +103,18 @@ impl Inconsistency {
             Inconsistency::InconsistentState { .. } => "Inconsistent state",
             Inconsistency::MissingAction { .. } => "Missing action",
             Inconsistency::UnexpectedAction { .. } => "Unexpected action",
+            Inconsistency::NodeDeath { .. } => "Node crash",
+            Inconsistency::WatchdogTimeout { .. } => "Watchdog timeout",
         }
+    }
+
+    /// Whether the inconsistency reflects the system under test
+    /// crashing or stalling (rather than a state/action divergence).
+    pub fn is_crash(&self) -> bool {
+        matches!(
+            self,
+            Inconsistency::NodeDeath { .. } | Inconsistency::WatchdogTimeout { .. }
+        )
     }
 
     /// The subject Table 2 prints: the diverging variable or the
@@ -91,6 +129,8 @@ impl Inconsistency {
             Inconsistency::UnexpectedAction { actions } => {
                 actions.first().map(|a| a.name.clone()).unwrap_or_default()
             }
+            Inconsistency::NodeDeath { node, .. } => format!("node {node}"),
+            Inconsistency::WatchdogTimeout { action, .. } => action.name.clone(),
         }
     }
 }
@@ -143,6 +183,28 @@ impl fmt::Display for Inconsistency {
                         .join(", ")
                 )
             }
+            Inconsistency::NodeDeath {
+                step,
+                action,
+                node,
+                reason,
+            } => {
+                writeln!(
+                    f,
+                    "Node {node} crashed at step {step} while driving {action}: {reason}"
+                )
+            }
+            Inconsistency::WatchdogTimeout {
+                step,
+                action,
+                waited,
+                reason,
+            } => {
+                writeln!(
+                    f,
+                    "Watchdog timeout at step {step} ({action}) after {waited:.1?}: {reason}"
+                )
+            }
         }
     }
 }
@@ -171,6 +233,9 @@ pub struct BugReport {
     pub actions_executed: usize,
     /// Wall-clock testing time elapsed when the report was produced.
     pub elapsed: Duration,
+    /// 1-based attempt on which the revealing run happened (retried
+    /// test cases can reveal a bug on a later attempt).
+    pub attempt: usize,
     /// Human classification.
     pub class: BugClass,
 }
@@ -255,6 +320,7 @@ mod tests {
             test_case: tc,
             actions_executed: 1,
             elapsed: Duration::from_millis(5),
+            attempt: 1,
             class: BugClass::Unclassified,
         };
         let text = report.to_string();

@@ -8,7 +8,7 @@
 //! the end leftover offers are classified against the actions the
 //! specification enables in the final state.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mocket_tla::{ActionClass, ActionInstance, State};
 
@@ -21,21 +21,57 @@ use crate::sut::{ExecReport, SutError, SystemUnderTest};
 use crate::testcase::TestCase;
 
 /// Runner configuration.
+///
+/// Offer polling is deadline-based: the runner keeps polling (with
+/// exponential backoff between rounds) until a matching offer shows
+/// up or [`offer_deadline`](Self::offer_deadline) elapses — replacing
+/// the old fixed `poll_rounds` count, which conflated "how long to
+/// wait" with "how fast to poll". A separate
+/// [`per_action_budget`](Self::per_action_budget) bounds each step
+/// end-to-end; blowing it is reported as a watchdog-timeout
+/// inconsistency rather than an opaque hang.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Check the verified initial state before the first action
     /// (§4.3.1 adds `checkAllStates` for the first scheduled action).
     pub check_initial: bool,
-    /// How many offer-poll rounds to try before declaring a missing
-    /// action (the paper's scheduler timeout).
-    pub poll_rounds: usize,
+    /// How long to wait for a matching offer before declaring a
+    /// missing action (the paper's scheduler timeout). At least one
+    /// poll always happens, even with a zero deadline.
+    pub offer_deadline: Duration,
+    /// Wall-clock budget for one step end-to-end (offer matching,
+    /// execution, state check). Exceeding it fails the test case with
+    /// [`Inconsistency::WatchdogTimeout`].
+    pub per_action_budget: Duration,
+    /// Sleep between the first and second offer poll; doubled after
+    /// every further miss.
+    pub poll_backoff: Duration,
+    /// Upper bound for the poll backoff.
+    pub poll_backoff_max: Duration,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
             check_initial: true,
-            poll_rounds: 3,
+            offer_deadline: Duration::from_secs(2),
+            per_action_budget: Duration::from_secs(10),
+            poll_backoff: Duration::from_millis(1),
+            poll_backoff_max: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RunConfig {
+    /// A configuration for in-process targets that answer offers
+    /// immediately: short deadlines so missing-action cases fail fast.
+    pub fn fast() -> Self {
+        RunConfig {
+            check_initial: true,
+            offer_deadline: Duration::from_millis(50),
+            per_action_budget: Duration::from_secs(5),
+            poll_backoff: Duration::from_millis(1),
+            poll_backoff_max: Duration::from_millis(10),
         }
     }
 }
@@ -100,6 +136,42 @@ pub fn run_test_case(
     result.map(|outcome| (outcome, stats))
 }
 
+/// How a SUT error during a driven step is handled.
+enum Classified {
+    /// The system under test is at fault: report as an inconsistency.
+    Fail(Inconsistency),
+    /// Harness-side trouble: propagate (the pipeline may retry).
+    Harness(SutError),
+}
+
+/// Node deaths and node failures mid-run are divergences in the
+/// system under test (a specification never models its nodes dying
+/// or hanging on their own); everything else is harness trouble.
+fn classify_sut_error(
+    err: SutError,
+    step: usize,
+    action: &ActionInstance,
+    waited: Duration,
+) -> Classified {
+    match err {
+        SutError::NodeDeath { node, reason } => Classified::Fail(Inconsistency::NodeDeath {
+            step,
+            action: action.clone(),
+            node,
+            reason,
+        }),
+        SutError::NodeFailure { node, message } => {
+            Classified::Fail(Inconsistency::WatchdogTimeout {
+                step,
+                action: action.clone(),
+                waited,
+                reason: format!("node {node}: {message}"),
+            })
+        }
+        other => Classified::Harness(other),
+    }
+}
+
 fn drive(
     sut: &mut dyn SystemUnderTest,
     test_case: &TestCase,
@@ -110,20 +182,39 @@ fn drive(
 ) -> Result<TestOutcome, SutError> {
     let mut pools = pools_from_registry(registry);
 
+    // Classifies a failed SUT call: crash-style errors become a
+    // failed outcome, harness errors propagate to the caller.
+    macro_rules! try_sut {
+        ($call:expr, $step:expr, $action:expr, $start:expr) => {
+            match $call {
+                Ok(v) => v,
+                Err(e) => {
+                    return match classify_sut_error(e, $step, $action, $start.elapsed()) {
+                        Classified::Fail(inc) => Ok(TestOutcome::Failed(inc)),
+                        Classified::Harness(e) => Err(e),
+                    }
+                }
+            }
+        };
+    }
+
     if config.check_initial {
-        let snapshot = sut.snapshot()?;
+        let init_start = Instant::now();
+        let init_action = ActionInstance::nullary("<Init>");
+        let snapshot = try_sut!(sut.snapshot(), 0, &init_action, init_start);
         stats.checks += 1;
         let divergences = check_state(&test_case.initial, &snapshot, &pools, registry);
         if !divergences.is_empty() {
             return Ok(TestOutcome::Failed(Inconsistency::InconsistentState {
                 step: 0,
-                action: ActionInstance::nullary("<Init>"),
+                action: init_action,
                 divergences,
             }));
         }
     }
 
     for (i, step) in test_case.steps.iter().enumerate() {
+        let step_start = Instant::now();
         let class = registry
             .action_by_spec_name(&step.action.name)
             .map(|m| m.class)
@@ -134,21 +225,33 @@ fn drive(
                 // Triggered by the testbed itself (§4.1.2): scripts
                 // for crash/restart/user requests, overriding switches
                 // for drop/duplicate.
-                sut.execute_external(&step.action)?
+                try_sut!(sut.execute_external(&step.action), i, &step.action, step_start)
             }
             _ => {
+                // Deadline-based offer matching with exponential
+                // backoff: poll, sleep, poll again until the offer
+                // shows up or the deadline elapses.
                 let mut matched = None;
                 let mut last_offers = Vec::new();
-                for _ in 0..config.poll_rounds.max(1) {
-                    let offers = translate_offers(registry, sut.offers()?);
+                let mut backoff = config.poll_backoff;
+                loop {
+                    let offers = translate_offers(
+                        registry,
+                        try_sut!(sut.offers(), i, &step.action, step_start),
+                    );
                     if let Some(hit) = find_match(&step.action, &offers) {
                         matched = Some(hit.raw.clone());
                         break;
                     }
                     last_offers = offers;
+                    if step_start.elapsed() >= config.offer_deadline {
+                        break;
+                    }
+                    std::thread::sleep(backoff.min(config.poll_backoff_max));
+                    backoff = (backoff * 2).min(config.poll_backoff_max);
                 }
                 match matched {
-                    Some(offer) => sut.execute(&offer)?,
+                    Some(offer) => try_sut!(sut.execute(&offer), i, &step.action, step_start),
                     None => {
                         return Ok(TestOutcome::Failed(Inconsistency::MissingAction {
                             step: i,
@@ -173,7 +276,7 @@ fn drive(
         }
 
         // Check the verified post-state.
-        let snapshot = sut.snapshot()?;
+        let snapshot = try_sut!(sut.snapshot(), i, &step.action, step_start);
         stats.checks += 1;
         let divergences = check_state(&step.expected, &snapshot, &pools, registry);
         if !divergences.is_empty() {
@@ -183,11 +286,33 @@ fn drive(
                 divergences,
             }));
         }
+
+        // Per-step watchdog: a step that consumed more than its
+        // budget indicates a stalled system even if every call
+        // eventually answered.
+        if step_start.elapsed() > config.per_action_budget {
+            return Ok(TestOutcome::Failed(Inconsistency::WatchdogTimeout {
+                step: i,
+                action: step.action.clone(),
+                waited: step_start.elapsed(),
+                reason: "per-action budget exceeded".to_string(),
+            }));
+        }
     }
 
     // End of test case: leftover notifications the spec does not
     // enable in the final state are unexpected actions.
-    let offers = translate_offers(registry, sut.offers()?);
+    let final_start = Instant::now();
+    let final_action = ActionInstance::nullary("<Final>");
+    let offers = translate_offers(
+        registry,
+        try_sut!(
+            sut.offers(),
+            test_case.steps.len(),
+            &final_action,
+            final_start
+        ),
+    );
     let unexpected = unexpected_offers(registry, &offers, final_enabled);
     if !unexpected.is_empty() {
         return Ok(TestOutcome::Failed(Inconsistency::UnexpectedAction {
@@ -384,7 +509,7 @@ mod tests {
             &inc_case(3),
             &registry(),
             &[ActionInstance::nullary("Inc")],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         assert!(outcome.passed(), "{outcome:?}");
@@ -402,7 +527,7 @@ mod tests {
             &inc_case(2),
             &registry(),
             &[],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         match outcome {
@@ -427,7 +552,7 @@ mod tests {
             &inc_case(1),
             &registry(),
             &[],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         match outcome {
@@ -447,7 +572,7 @@ mod tests {
             &inc_case(1),
             &registry(),
             &[ActionInstance::nullary("Inc")],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         match outcome {
@@ -468,7 +593,7 @@ mod tests {
             &inc_case(1),
             &registry(),
             &[ActionInstance::nullary("Inc")],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         assert!(outcome.passed());
@@ -489,7 +614,7 @@ mod tests {
             &tc,
             &registry(),
             &[ActionInstance::nullary("Inc")],
-            &RunConfig::default(),
+            &RunConfig::fast(),
         )
         .unwrap();
         assert!(outcome.passed(), "{outcome:?}");
@@ -501,7 +626,7 @@ mod tests {
         let mut sut = FakeSut::new(10);
         let tc = TestCase::new(st(7), vec![]);
         let (outcome, _) =
-            run_test_case(&mut sut, &tc, &registry(), &[], &RunConfig::default()).unwrap();
+            run_test_case(&mut sut, &tc, &registry(), &[], &RunConfig::fast()).unwrap();
         match outcome {
             TestOutcome::Failed(Inconsistency::InconsistentState { action, .. }) => {
                 assert_eq!(action.name, "<Init>");
@@ -566,7 +691,7 @@ mod tests {
             &[],
             &RunConfig {
                 check_initial: false,
-                poll_rounds: 1,
+                ..RunConfig::fast()
             },
         )
         .unwrap();

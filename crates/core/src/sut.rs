@@ -116,6 +116,17 @@ pub enum SutError {
         /// Description.
         message: String,
     },
+    /// A node's application code crashed (panic or equivalent) while
+    /// the harness was driving it. Unlike [`SutError::NodeFailure`],
+    /// the death is attributable to the node's own logic — the runner
+    /// classifies it as a crash-style inconsistency in the system
+    /// under test, not as harness trouble.
+    NodeDeath {
+        /// The dead node.
+        node: u64,
+        /// Panic message or death diagnosis.
+        reason: String,
+    },
     /// An external action could not be triggered.
     External(String),
 }
@@ -127,12 +138,50 @@ impl fmt::Display for SutError {
             SutError::NodeFailure { node, message } => {
                 write!(f, "node {node} failed: {message}")
             }
+            SutError::NodeDeath { node, reason } => {
+                write!(f, "node {node} died: {reason}")
+            }
             SutError::External(m) => write!(f, "external action failed: {m}"),
         }
     }
 }
 
 impl std::error::Error for SutError {}
+
+/// Extracts the integer parameter `idx` of an external action as a
+/// typed error instead of a panic.
+///
+/// External-action parameters arrive from the scheduler in the spec
+/// domain; a malformed mapping (wrong arity, wrong type) used to
+/// panic the harness mid-campaign. Drivers should use this and
+/// [`record_int_field`] so a bad parameter surfaces as
+/// [`SutError::External`] — one failed case, not a dead testbed.
+pub fn int_param(action: &ActionInstance, idx: usize) -> Result<i64, SutError> {
+    let param = action.params.get(idx).ok_or_else(|| {
+        SutError::External(format!(
+            "{}: missing parameter {idx} (got {} parameters)",
+            action.name,
+            action.params.len()
+        ))
+    })?;
+    param.as_int().ok_or_else(|| {
+        SutError::External(format!(
+            "{}: parameter {idx} is not an integer: {param}",
+            action.name
+        ))
+    })
+}
+
+/// Extracts an integer record field from a spec-domain value as a
+/// typed error instead of a panic. See [`int_param`].
+pub fn record_int_field(value: &Value, field: &str) -> Result<i64, SutError> {
+    let v = value.field(field).ok_or_else(|| {
+        SutError::External(format!("record {value} has no field {field:?}"))
+    })?;
+    v.as_int().ok_or_else(|| {
+        SutError::External(format!("record field {field:?} is not an integer: {v}"))
+    })
+}
 
 /// A deployable, controllable distributed system.
 ///

@@ -7,10 +7,12 @@
 //! restarts, and a [`wire::Wire`] codec boundary that every message
 //! crosses.
 
+pub mod faults;
 pub mod net;
 pub mod storage;
 pub mod wire;
 
+pub use faults::{FaultDecision, FaultPlan, FaultPlanConfig, PartitionEdict, TraceEntry};
 pub use net::{Envelope, Net, NetStats, NodeId};
 pub use storage::{ClusterStorage, Storage};
 pub use wire::{Wire, WireError};

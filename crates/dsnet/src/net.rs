@@ -6,12 +6,24 @@
 //! action for it — which is exactly what lets Mocket's scheduler
 //! decide delivery order. Drop and duplicate faults manipulate inbox
 //! contents directly (§4.1.2).
+//!
+//! Two fault sources compose on top of that base behaviour, both of
+//! them applied inside [`Net::send`] so the scheduler's view of
+//! "inbox = deliverable messages" stays intact:
+//!
+//! * **Scripted partitions** ([`Net::partition`] / [`Net::heal`])
+//!   silently discard traffic between a node pair, in both
+//!   directions, until healed.
+//! * **A [`FaultPlan`]** (see [`crate::faults`]) makes a
+//!   deterministic, seed-driven drop / duplicate / delay / reorder /
+//!   partition decision for every send.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::faults::{FaultDecision, FaultPlan, TraceEntry};
 use crate::wire::{Wire, WireError};
 
 /// A node identifier.
@@ -26,13 +38,61 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// A message held back by a delay fault: released into the inbox once
+/// `after_sends` further messages have been enqueued for the same
+/// destination.
+#[derive(Debug)]
+struct Delayed<M> {
+    after_sends: u32,
+    env: Envelope<M>,
+}
+
 #[derive(Debug)]
 struct Inner<M> {
     inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
+    delayed: BTreeMap<NodeId, Vec<Delayed<M>>>,
+    /// Scripted cuts: normalized node pairs that cannot talk.
+    partitions: BTreeSet<(NodeId, NodeId)>,
+    plan: Option<FaultPlan>,
     sent: u64,
     delivered: u64,
     dropped: u64,
     duplicated: u64,
+    delayed_count: u64,
+    reordered: u64,
+    partition_dropped: u64,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl<M> Inner<M> {
+    /// Ages the delayed queue for `dest` by one send and releases
+    /// matured messages to the back of the inbox. Called once per
+    /// send addressed to `dest`, whatever the send's own fate.
+    fn tick_delayed(&mut self, dest: NodeId) {
+        let Some(queue) = self.delayed.get_mut(&dest) else {
+            return;
+        };
+        let mut released = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].after_sends <= 1 {
+                released.push(queue.remove(i).env);
+            } else {
+                queue[i].after_sends -= 1;
+                i += 1;
+            }
+        }
+        if !released.is_empty() {
+            self.inboxes.entry(dest).or_default().extend(released);
+        }
+    }
 }
 
 /// A shared, thread-safe simulated network.
@@ -52,6 +112,12 @@ pub struct NetStats {
     pub dropped: u64,
     /// Copies added by duplicate faults.
     pub duplicated: u64,
+    /// Messages held back by delay faults.
+    pub delayed: u64,
+    /// Messages that jumped the queue (reorder faults).
+    pub reordered: u64,
+    /// Messages discarded by a partition (scripted or planned).
+    pub partition_dropped: u64,
 }
 
 impl<M: Wire + Clone> Net<M> {
@@ -60,25 +126,81 @@ impl<M: Wire + Clone> Net<M> {
         Arc::new(Net {
             inner: Mutex::new(Inner {
                 inboxes: nodes.into_iter().map(|n| (n, Vec::new())).collect(),
+                delayed: BTreeMap::new(),
+                partitions: BTreeSet::new(),
+                plan: None,
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
                 duplicated: 0,
+                delayed_count: 0,
+                reordered: 0,
+                partition_dropped: 0,
             }),
         })
     }
 
     /// Sends `msg` from `from` to `to`, round-tripping it through its
     /// wire encoding so no memory is shared across the boundary.
+    ///
+    /// Scripted partitions and the installed [`FaultPlan`] (if any)
+    /// are consulted here; every path leaves the inbox in a state the
+    /// scheduler can reason about (delayed messages are invisible
+    /// until they mature).
     pub fn send(&self, from: NodeId, to: NodeId, msg: &M) -> Result<(), WireError> {
         let msg = msg.wire_roundtrip()?;
         let mut inner = self.inner.lock();
         inner.sent += 1;
-        inner
-            .inboxes
-            .entry(to)
-            .or_default()
-            .push(Envelope { from, msg });
+        // Age the destination's delayed queue by this send *first*:
+        // messages delayed by earlier sends mature ahead of this one,
+        // and a delay fault on this send cannot release itself.
+        inner.tick_delayed(to);
+
+        if inner.partitions.contains(&pair(from, to)) {
+            inner.partition_dropped += 1;
+            return Ok(());
+        }
+
+        let decision = match inner.plan.as_mut() {
+            Some(plan) => {
+                let (decision, edict) = plan.decide(from, to);
+                let partitioned = edict.is_some() || plan.is_partitioned(from, to);
+                if decision == FaultDecision::Drop && partitioned {
+                    inner.partition_dropped += 1;
+                    return Ok(());
+                }
+                decision
+            }
+            None => FaultDecision::Deliver,
+        };
+
+        let env = Envelope { from, msg };
+        match decision {
+            FaultDecision::Deliver => {
+                inner.inboxes.entry(to).or_default().push(env);
+            }
+            FaultDecision::Drop => {
+                inner.dropped += 1;
+            }
+            FaultDecision::Duplicate => {
+                let inbox = inner.inboxes.entry(to).or_default();
+                inbox.push(env.clone());
+                inbox.push(env);
+                inner.duplicated += 1;
+            }
+            FaultDecision::Delay { after_sends } => {
+                inner
+                    .delayed
+                    .entry(to)
+                    .or_default()
+                    .push(Delayed { after_sends, env });
+                inner.delayed_count += 1;
+            }
+            FaultDecision::Reorder => {
+                inner.inboxes.entry(to).or_default().insert(0, env);
+                inner.reordered += 1;
+            }
+        }
         Ok(())
     }
 
@@ -110,7 +232,7 @@ impl<M: Wire + Clone> Net<M> {
     {
         let mut inner = self.inner.lock();
         let inbox = inner.inboxes.get_mut(&node)?;
-        let idx = inbox.iter().position(|e| pred(e))?;
+        let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
         inner.delivered += 1;
         Some(env)
@@ -124,7 +246,7 @@ impl<M: Wire + Clone> Net<M> {
     {
         let mut inner = self.inner.lock();
         let inbox = inner.inboxes.get_mut(&node)?;
-        let idx = inbox.iter().position(|e| pred(e))?;
+        let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
         inner.dropped += 1;
         Some(env)
@@ -138,7 +260,7 @@ impl<M: Wire + Clone> Net<M> {
     {
         let mut inner = self.inner.lock();
         let inbox = inner.inboxes.get_mut(&node)?;
-        let idx = inbox.iter().position(|e| pred(e))?;
+        let idx = inbox.iter().position(pred)?;
         let copy = inbox[idx].clone();
         inbox.insert(idx + 1, copy.clone());
         inner.duplicated += 1;
@@ -146,16 +268,90 @@ impl<M: Wire + Clone> Net<M> {
     }
 
     /// Discards every message addressed to `node` (node crash: the
-    /// process's socket buffers die with it).
+    /// process's socket buffers die with it). Delayed messages for
+    /// the node die too.
     pub fn clear_inbox(&self, node: NodeId) {
-        if let Some(inbox) = self.inner.lock().inboxes.get_mut(&node) {
+        let mut inner = self.inner.lock();
+        if let Some(inbox) = inner.inboxes.get_mut(&node) {
             inbox.clear();
+        }
+        inner.delayed.remove(&node);
+    }
+
+    /// Cuts the link between `a` and `b` in both directions until
+    /// [`Net::heal`] (scripted partition fault).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.inner.lock().partitions.insert(pair(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.inner.lock().partitions.remove(&pair(a, b));
+    }
+
+    /// Removes every scripted partition.
+    pub fn heal_all(&self) {
+        self.inner.lock().partitions.clear();
+    }
+
+    /// Whether a scripted partition currently cuts `a` from `b`.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.lock().partitions.contains(&pair(a, b))
+    }
+
+    /// Installs a seed-driven fault plan consulted on every
+    /// subsequent send. Replaces any previous plan.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().plan = Some(plan);
+    }
+
+    /// Removes the fault plan and returns it (its trace records every
+    /// decision it made — the replay-determinism hook).
+    pub fn take_fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.lock().plan.take()
+    }
+
+    /// The installed plan's decision trace so far (empty without a
+    /// plan).
+    pub fn fault_trace(&self) -> Vec<TraceEntry> {
+        self.inner
+            .lock()
+            .plan
+            .as_ref()
+            .map(|p| p.trace().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Messages currently held back by delay faults for `node`.
+    pub fn delayed_len(&self, node: NodeId) -> usize {
+        self.inner
+            .lock()
+            .delayed
+            .get(&node)
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+
+    /// Releases every delayed message into its destination inbox
+    /// (e.g. when a test case ends and held messages must surface).
+    pub fn flush_delayed(&self) {
+        let mut inner = self.inner.lock();
+        let delayed = std::mem::take(&mut inner.delayed);
+        for (dest, queue) in delayed {
+            inner
+                .inboxes
+                .entry(dest)
+                .or_default()
+                .extend(queue.into_iter().map(|d| d.env));
         }
     }
 
-    /// Total messages in flight across all inboxes.
+    /// Total messages in flight across all inboxes, including
+    /// messages held back by delay faults.
     pub fn in_flight(&self) -> usize {
-        self.inner.lock().inboxes.values().map(Vec::len).sum()
+        let inner = self.inner.lock();
+        inner.inboxes.values().map(Vec::len).sum::<usize>()
+            + inner.delayed.values().map(Vec::len).sum::<usize>()
     }
 
     /// Activity counters.
@@ -166,6 +362,9 @@ impl<M: Wire + Clone> Net<M> {
             delivered: inner.delivered,
             dropped: inner.dropped,
             duplicated: inner.duplicated,
+            delayed: inner.delayed_count,
+            reordered: inner.reordered,
+            partition_dropped: inner.partition_dropped,
         }
     }
 }
@@ -240,5 +439,112 @@ mod tests {
         let net: Arc<Net<String>> = Net::new([1]);
         net.send(1, 9, &"x".to_string()).unwrap();
         assert_eq!(net.inbox_len(9), 1);
+    }
+
+    #[test]
+    fn scripted_partition_blocks_both_directions_until_healed() {
+        let net: Arc<Net<String>> = Net::new([1, 2, 3]);
+        net.partition(1, 2);
+        assert!(net.is_partitioned(2, 1));
+        net.send(1, 2, &"a".to_string()).unwrap();
+        net.send(2, 1, &"b".to_string()).unwrap();
+        // Unrelated links are unaffected.
+        net.send(1, 3, &"c".to_string()).unwrap();
+        assert_eq!(net.inbox_len(1) + net.inbox_len(2), 0);
+        assert_eq!(net.inbox_len(3), 1);
+        assert_eq!(net.stats().partition_dropped, 2);
+        net.heal(1, 2);
+        net.send(1, 2, &"d".to_string()).unwrap();
+        assert_eq!(net.inbox_len(2), 1);
+    }
+
+    #[test]
+    fn delay_fault_holds_message_until_matured() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        // A plan that always delays by exactly 1 send.
+        let cfg = FaultPlanConfig {
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 1000,
+            max_delay: 1,
+            reorder_per_mille: 0,
+            partition_per_mille: 0,
+            partition_heal_after: 0,
+        };
+        net.install_fault_plan(FaultPlan::with_config(5, cfg));
+        net.send(1, 2, &"first".to_string()).unwrap();
+        assert_eq!(net.inbox_len(2), 0, "held back");
+        assert_eq!(net.delayed_len(2), 1);
+        assert_eq!(net.in_flight(), 1, "delayed messages stay in flight");
+        // The next send matures it (and is itself delayed).
+        net.send(1, 2, &"second".to_string()).unwrap();
+        let inbox = net.inbox(2);
+        assert_eq!(
+            inbox.iter().map(|e| e.msg.as_str()).collect::<Vec<_>>(),
+            ["first"]
+        );
+        assert_eq!(net.delayed_len(2), 1);
+        net.flush_delayed();
+        assert_eq!(net.inbox_len(2), 2);
+        assert_eq!(net.stats().delayed, 2);
+    }
+
+    #[test]
+    fn reorder_fault_jumps_the_queue() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"old".to_string()).unwrap();
+        let cfg = FaultPlanConfig {
+            reorder_per_mille: 1000,
+            delay_per_mille: 0,
+            ..FaultPlanConfig::quiescent()
+        };
+        net.install_fault_plan(FaultPlan::with_config(5, cfg));
+        net.send(1, 2, &"new".to_string()).unwrap();
+        let inbox = net.inbox(2);
+        assert_eq!(
+            inbox.iter().map(|e| e.msg.as_str()).collect::<Vec<_>>(),
+            ["new", "old"]
+        );
+        assert_eq!(net.stats().reordered, 1);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_replayable_from_the_seed() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        let run = |seed: u64| {
+            let net: Arc<Net<String>> = Net::new([1, 2, 3]);
+            net.install_fault_plan(FaultPlan::with_config(
+                seed,
+                FaultPlanConfig::aggressive(),
+            ));
+            for i in 0..400u64 {
+                let from = 1 + i % 3;
+                let to = 1 + (i + 1) % 3;
+                net.send(from, to, &format!("m{i}")).unwrap();
+            }
+            let inboxes: Vec<_> = (1..=3).map(|n| net.inbox(n)).collect();
+            (net.fault_trace(), inboxes, net.stats())
+        };
+        assert_eq!(run(42), run(42), "same seed, byte-identical outcome");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+
+    #[test]
+    fn crash_clears_delayed_messages_too() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        let cfg = FaultPlanConfig {
+            delay_per_mille: 1000,
+            max_delay: 3,
+            ..FaultPlanConfig::quiescent()
+        };
+        net.install_fault_plan(FaultPlan::with_config(5, cfg));
+        net.send(1, 2, &"x".to_string()).unwrap();
+        assert_eq!(net.delayed_len(2), 1);
+        net.clear_inbox(2);
+        assert_eq!(net.delayed_len(2), 0);
+        assert_eq!(net.in_flight(), 0);
     }
 }

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use mocket_core::mapping::{ActionBinding, MappingRegistry};
-use mocket_core::sut::{ExecReport, MsgEvent, SutError};
+use mocket_core::sut::{int_param, record_int_field, ExecReport, MsgEvent, SutError};
 use mocket_dsnet::{ClusterStorage, Net, NodeId};
 use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
 use mocket_tla::{ActionClass, ActionInstance, Value};
@@ -140,7 +140,7 @@ impl ExternalDriver for XraftDriver {
         match action.name.as_str() {
             "ClientRequest" => {
                 // §4.1.2: the k-th user request writes datum k.
-                let leader = action.params[0].expect_int() as NodeId;
+                let leader = int_param(action, 0)? as NodeId;
                 self.client_counter += 1;
                 let datum = self.client_counter;
                 let events = cluster
@@ -152,18 +152,18 @@ impl ExternalDriver for XraftDriver {
                 Ok(ExecReport { msg_events: events })
             }
             "Restart" => {
-                let id = action.params[0].expect_int() as NodeId;
+                let id = int_param(action, 0)? as NodeId;
                 cluster.restart(id);
                 Ok(ExecReport::default())
             }
             "Crash" => {
-                let id = action.params[0].expect_int() as NodeId;
+                let id = int_param(action, 0)? as NodeId;
                 cluster.crash(id);
                 Ok(ExecReport::default())
             }
             "DropMessage" => {
                 let wanted = &action.params[0];
-                let dest = wanted.expect_field("mdest").expect_int() as NodeId;
+                let dest = record_int_field(wanted, "mdest")? as NodeId;
                 self.net
                     .drop_matching(dest, |env| env.msg.to_value() == *wanted)
                     .ok_or_else(|| {
@@ -178,7 +178,7 @@ impl ExternalDriver for XraftDriver {
             }
             "DuplicateMessage" => {
                 let wanted = &action.params[0];
-                let dest = wanted.expect_field("mdest").expect_int() as NodeId;
+                let dest = record_int_field(wanted, "mdest")? as NodeId;
                 self.net
                     .duplicate_matching(dest, |env| env.msg.to_value() == *wanted)
                     .ok_or_else(|| {

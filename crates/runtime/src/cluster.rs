@@ -8,11 +8,21 @@
 //! (`checkAllStates`). Crash kills the thread; restart spawns a fresh
 //! incarnation — whatever the application persisted in its
 //! `dsnet::Storage` survives, nothing else does.
+//!
+//! **Panic isolation.** A node panicking inside application code must
+//! not tear the harness down: `node_main` catches the unwind and
+//! reports it as a structured [`ClusterError::Died`], the node is
+//! deregistered with its shadow variables frozen (the registry uses
+//! non-poisoning locks, so it stays readable after a panic), and the
+//! rest of the cluster keeps answering. Nodes that *hang* instead of
+//! panicking are detached on the first reply timeout — their thread
+//! is abandoned, never joined, so a stuck `execute` can stall one
+//! request but not the whole campaign.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
@@ -56,11 +66,17 @@ enum Rsp {
     Offers(Vec<ActionInstance>),
     Done(Vec<MsgEvent>),
     Snapshot(Vec<(String, Value)>),
+    /// The node panicked while handling the request; the payload is
+    /// the panic message.
+    Died(String),
 }
 
 struct NodeHandle {
     ctl_tx: Sender<Ctl>,
     rsp_rx: Receiver<Rsp>,
+    /// The node's shadow registry, kept harness-side so a panicked or
+    /// hung node's last state stays readable (non-poisoning locks).
+    registry: Arc<VarRegistry>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -69,10 +85,32 @@ struct NodeHandle {
 pub enum ClusterError {
     /// The node is not running.
     NotRunning(NodeId),
-    /// The node did not answer within the timeout (likely panicked).
+    /// The node did not answer within the timeout. The node is
+    /// deregistered and its thread detached: a late reply must never
+    /// desynchronise the request/reply protocol.
     Unresponsive(NodeId),
     /// The node answered with the wrong reply kind (protocol bug).
     ProtocolViolation(NodeId),
+    /// The node's application code panicked (or its channels closed
+    /// unexpectedly). The harness survives; the node is gone.
+    Died {
+        /// The dead node.
+        node: NodeId,
+        /// Panic message or channel diagnosis.
+        reason: String,
+    },
+}
+
+impl ClusterError {
+    /// The node the error concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            ClusterError::NotRunning(n)
+            | ClusterError::Unresponsive(n)
+            | ClusterError::ProtocolViolation(n) => *n,
+            ClusterError::Died { node, .. } => *node,
+        }
+    }
 }
 
 impl std::fmt::Display for ClusterError {
@@ -83,27 +121,65 @@ impl std::fmt::Display for ClusterError {
             ClusterError::ProtocolViolation(n) => {
                 write!(f, "node {n} violated the control protocol")
             }
+            ClusterError::Died { node, reason } => {
+                write!(f, "node {node} died: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
 
+/// Suppresses default panic output from node threads: their panics
+/// are caught, reported as [`ClusterError::Died`] and classified by
+/// the test runner, so the default stderr backtrace is just noise.
+/// Panics on any other thread keep the previous hook's behaviour.
+fn install_node_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_node_thread = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("node-"));
+            if !is_node_thread {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// A running instrumented cluster.
 pub struct Cluster {
     factory: NodeFactory,
     nodes: BTreeMap<NodeId, NodeHandle>,
     last_snapshot: BTreeMap<NodeId, Vec<(String, Value)>>,
+    /// Nodes that died involuntarily (panic / hang / channel loss)
+    /// since the last [`Cluster::take_deaths`], with the reason.
+    deaths: BTreeMap<NodeId, String>,
     reply_timeout: Duration,
 }
 
 impl Cluster {
     /// Creates a cluster (no nodes yet).
     pub fn new(factory: NodeFactory) -> Self {
+        install_node_panic_hook();
         Cluster {
             factory,
             nodes: BTreeMap::new(),
             last_snapshot: BTreeMap::new(),
+            deaths: BTreeMap::new(),
             reply_timeout: Duration::from_secs(5),
         }
     }
@@ -123,17 +199,20 @@ impl Cluster {
 
     fn spawn(&mut self, id: NodeId) {
         let app = (self.factory)(id);
+        let registry = app.registry();
         let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
         let (rsp_tx, rsp_rx) = bounded::<Rsp>(1);
         let thread = std::thread::Builder::new()
             .name(format!("node-{id}"))
             .spawn(move || node_main(app, ctl_rx, rsp_tx))
             .expect("spawn node thread");
+        self.deaths.remove(&id);
         self.nodes.insert(
             id,
             NodeHandle {
                 ctl_tx,
                 rsp_rx,
+                registry,
                 thread: Some(thread),
             },
         );
@@ -150,16 +229,56 @@ impl Cluster {
     }
 
     fn request(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
-        let handle = self.nodes.get(&id).ok_or(ClusterError::NotRunning(id))?;
-        if handle.ctl_tx.send(msg).is_err() {
-            return Err(ClusterError::Unresponsive(id));
+        enum Outcome {
+            Ok(Rsp),
+            Died(String),
+            Hung,
         }
-        match handle.rsp_rx.recv_timeout(self.reply_timeout) {
-            Ok(rsp) => Ok(rsp),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+        let outcome = {
+            let handle = self.nodes.get(&id).ok_or(ClusterError::NotRunning(id))?;
+            if handle.ctl_tx.send(msg).is_err() {
+                Outcome::Died("control channel closed".to_string())
+            } else {
+                match handle.rsp_rx.recv_timeout(self.reply_timeout) {
+                    Ok(Rsp::Died(reason)) => Outcome::Died(reason),
+                    Ok(rsp) => Outcome::Ok(rsp),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        Outcome::Died("reply channel closed".to_string())
+                    }
+                    Err(RecvTimeoutError::Timeout) => Outcome::Hung,
+                }
+            }
+        };
+        match outcome {
+            Outcome::Ok(rsp) => Ok(rsp),
+            Outcome::Died(reason) => {
+                self.bury(id, reason.clone());
+                Err(ClusterError::Died { node: id, reason })
+            }
+            Outcome::Hung => {
+                // A node that misses the deadline is detached on the
+                // spot: a late reply sitting in the bounded(1) buffer
+                // would otherwise answer the *next* request.
+                self.bury(id, "request timed out".to_string());
                 Err(ClusterError::Unresponsive(id))
             }
         }
+    }
+
+    /// Deregisters a dead or hung node: freezes its shadow variables
+    /// from the harness-side registry handle, records the cause, and
+    /// abandons the thread without joining (it may be hung forever).
+    fn bury(&mut self, id: NodeId, reason: String) {
+        if let Some(handle) = self.nodes.remove(&id) {
+            self.last_snapshot.insert(id, handle.registry.snapshot());
+        }
+        self.deaths.insert(id, reason);
+    }
+
+    /// Drains the record of involuntary node deaths (panics, hangs,
+    /// lost channels) observed since the last call.
+    pub fn take_deaths(&mut self) -> BTreeMap<NodeId, String> {
+        std::mem::take(&mut self.deaths)
     }
 
     /// All blocked-action notifications, across all running nodes.
@@ -237,11 +356,25 @@ impl Cluster {
     /// state checks after the crash still see its frozen last state —
     /// the specification keeps modeling a crashed node's variables.
     pub fn crash(&mut self, id: NodeId) {
-        let _ = self.snapshot_node(id);
         if let Some(mut handle) = self.nodes.remove(&id) {
-            let _ = handle.ctl_tx.send(Ctl::Kill);
-            if let Some(t) = handle.thread.take() {
-                let _ = t.join();
+            self.last_snapshot.insert(id, handle.registry.snapshot());
+            // Best-effort kill; a hung node won't read it, and a
+            // blocking send here would hang the harness with it.
+            let _ = handle.ctl_tx.try_send(Ctl::Kill);
+            let thread = handle.thread.take();
+            // Dropping the channels disconnects the node's recv loop.
+            drop(handle);
+            if let Some(t) = thread {
+                // Join only if the thread actually winds down in
+                // time; otherwise detach it — the harness never
+                // blocks on application code.
+                let deadline = Instant::now() + self.reply_timeout;
+                while !t.is_finished() && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                if t.is_finished() {
+                    let _ = t.join();
+                }
             }
         }
     }
@@ -269,11 +402,24 @@ impl Drop for Cluster {
 
 fn node_main(mut app: Box<dyn NodeApp>, ctl_rx: Receiver<Ctl>, rsp_tx: Sender<Rsp>) {
     while let Ok(msg) = ctl_rx.recv() {
-        let reply = match msg {
+        if matches!(msg, Ctl::Kill) {
+            break;
+        }
+        // Application code runs inside catch_unwind so a protocol bug
+        // (or an injected fault tripping an assertion) becomes a
+        // structured death report instead of a harness teardown.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
             Ctl::Offers => Rsp::Offers(app.enabled()),
             Ctl::Execute(action) => Rsp::Done(app.execute(&action)),
             Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
-            Ctl::Kill => break,
+            Ctl::Kill => unreachable!("handled above"),
+        }));
+        let reply = match outcome {
+            Ok(reply) => reply,
+            Err(payload) => {
+                let _ = rsp_tx.send(Rsp::Died(panic_message(payload.as_ref())));
+                return;
+            }
         };
         if rsp_tx.send(reply).is_err() {
             break;
@@ -402,5 +548,130 @@ mod tests {
             c.execute(1, &ActionInstance::nullary("bump")).unwrap();
         }
         assert!(c.offers().unwrap().is_empty());
+    }
+
+    /// Bumps a counter; panics when told to `boom`.
+    struct PanicApp {
+        registry: Arc<VarRegistry>,
+        count: Shadow<i64>,
+    }
+
+    impl PanicApp {
+        fn boxed(_id: NodeId) -> Box<dyn NodeApp> {
+            let registry = VarRegistry::new();
+            let count = Shadow::new("count", 0i64, registry.clone());
+            Box::new(PanicApp { registry, count })
+        }
+    }
+
+    impl NodeApp for PanicApp {
+        fn enabled(&mut self) -> Vec<ActionInstance> {
+            vec![
+                ActionInstance::nullary("bump"),
+                ActionInstance::nullary("boom"),
+            ]
+        }
+
+        fn execute(&mut self, action: &ActionInstance) -> Vec<MsgEvent> {
+            if action.name == "boom" {
+                panic!("injected fault: boom");
+            }
+            self.count.update(|c| c + 1);
+            vec![]
+        }
+
+        fn registry(&self) -> Arc<VarRegistry> {
+            self.registry.clone()
+        }
+    }
+
+    #[test]
+    fn node_panic_becomes_structured_death_and_harness_survives() {
+        let mut c = Cluster::new(Box::new(PanicApp::boxed))
+            .with_reply_timeout(Duration::from_secs(2));
+        c.start(&[1, 2]);
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+
+        let err = c.execute(1, &ActionInstance::nullary("boom")).unwrap_err();
+        match &err {
+            ClusterError::Died { node, reason } => {
+                assert_eq!(*node, 1);
+                assert!(reason.contains("boom"), "reason: {reason}");
+            }
+            other => panic!("expected Died, got {other:?}"),
+        }
+        assert!(!c.is_running(1), "dead node is deregistered");
+
+        // The rest of the cluster keeps answering.
+        assert_eq!(c.offers().unwrap().len(), 2);
+        c.execute(2, &ActionInstance::nullary("bump")).unwrap();
+
+        // The panicked node's last state is frozen in the aggregate.
+        let agg = c.aggregate_snapshot(&[1, 2]).unwrap();
+        let count = agg.iter().find(|(n, _)| n == "count").unwrap();
+        assert_eq!(count.1.expect_apply(&Value::Int(1)), &Value::Int(1));
+
+        let deaths = c.take_deaths();
+        assert!(deaths[&1].contains("boom"));
+        assert!(c.take_deaths().is_empty(), "deaths drain");
+    }
+
+    #[test]
+    fn restart_clears_a_recorded_death() {
+        let mut c = Cluster::new(Box::new(PanicApp::boxed))
+            .with_reply_timeout(Duration::from_secs(2));
+        c.start(&[1]);
+        let _ = c.execute(1, &ActionInstance::nullary("boom"));
+        assert!(!c.is_running(1));
+        c.restart(1);
+        assert!(c.is_running(1));
+        assert!(c.take_deaths().is_empty());
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+    }
+
+    /// Hangs forever when told to `stall`.
+    struct HangApp {
+        registry: Arc<VarRegistry>,
+    }
+
+    impl HangApp {
+        fn boxed(_id: NodeId) -> Box<dyn NodeApp> {
+            let registry = VarRegistry::new();
+            Shadow::new("x", 0i64, registry.clone());
+            Box::new(HangApp { registry })
+        }
+    }
+
+    impl NodeApp for HangApp {
+        fn enabled(&mut self) -> Vec<ActionInstance> {
+            vec![ActionInstance::nullary("stall")]
+        }
+
+        fn execute(&mut self, _action: &ActionInstance) -> Vec<MsgEvent> {
+            std::thread::sleep(Duration::from_secs(3600));
+            vec![]
+        }
+
+        fn registry(&self) -> Arc<VarRegistry> {
+            self.registry.clone()
+        }
+    }
+
+    #[test]
+    fn hung_node_is_detached_not_joined() {
+        let mut c = Cluster::new(Box::new(HangApp::boxed))
+            .with_reply_timeout(Duration::from_millis(100));
+        c.start(&[1, 2]);
+        let start = std::time::Instant::now();
+        let err = c.execute(1, &ActionInstance::nullary("stall")).unwrap_err();
+        assert!(matches!(err, ClusterError::Unresponsive(1)));
+        assert!(!c.is_running(1), "hung node is deregistered");
+        // Shutdown must not block on the stuck thread either.
+        c.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "harness never waits out a hung node"
+        );
+        assert!(c.take_deaths().contains_key(&1));
     }
 }

@@ -60,6 +60,7 @@ fn convert(err: ClusterError) -> SutError {
             node: n,
             message: "control protocol violation".into(),
         },
+        ClusterError::Died { node, reason } => SutError::NodeDeath { node, reason },
     }
 }
 

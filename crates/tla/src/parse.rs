@@ -246,8 +246,8 @@ impl<'a> Parser<'a> {
     fn action_instance(&mut self) -> Result<crate::spec::ActionInstance, ParseError> {
         let name = self.ident()?;
         let mut params = Vec::new();
-        if self.eat("(") {
-            if !self.eat(")") {
+        if self.eat("(")
+            && !self.eat(")") {
                 loop {
                     params.push(self.value()?);
                     if self.eat(")") {
@@ -256,7 +256,6 @@ impl<'a> Parser<'a> {
                     self.expect(",")?;
                 }
             }
-        }
         Ok(crate::spec::ActionInstance::new(name, params))
     }
 }

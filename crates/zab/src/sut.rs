@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use mocket_core::mapping::{ActionBinding, MappingRegistry};
-use mocket_core::sut::{ExecReport, SutError};
+use mocket_core::sut::{int_param, ExecReport, SutError};
 use mocket_dsnet::{ClusterStorage, Net, NodeId};
 use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
 use mocket_tla::{ActionClass, ActionInstance, Value};
@@ -158,7 +158,7 @@ impl ExternalDriver for ZabDriver {
     ) -> Result<ExecReport, SutError> {
         match action.name.as_str() {
             "ClientRequest" => {
-                let leader = action.params[0].expect_int() as NodeId;
+                let leader = int_param(action, 0)? as NodeId;
                 self.client_counter += 1;
                 let events = cluster
                     .execute(
@@ -169,11 +169,11 @@ impl ExternalDriver for ZabDriver {
                 Ok(ExecReport { msg_events: events })
             }
             "Restart" => {
-                cluster.restart(action.params[0].expect_int() as NodeId);
+                cluster.restart(int_param(action, 0)? as NodeId);
                 Ok(ExecReport::default())
             }
             "Crash" => {
-                cluster.crash(action.params[0].expect_int() as NodeId);
+                cluster.crash(int_param(action, 0)? as NodeId);
                 Ok(ExecReport::default())
             }
             other => Err(SutError::External(format!(

@@ -134,8 +134,7 @@ fn main() {
         .expect("mapping is valid");
 
     let clean = pipeline
-        .run(|| Box::new(CacheServer::new(false)))
-        .expect("no SUT failure");
+        .run(|| Box::new(CacheServer::new(false)));
     println!(
         "Conformant server: {} test cases, {} passed, {} bug reports",
         clean.effort.cases_run,
@@ -145,8 +144,7 @@ fn main() {
     assert!(clean.reports.is_empty());
 
     let buggy = pipeline
-        .run(|| Box::new(CacheServer::new(true)))
-        .expect("no SUT failure");
+        .run(|| Box::new(CacheServer::new(true)));
     println!(
         "Buggy server ('always Max'): caught after {} test case(s)",
         buggy.effort.cases_run

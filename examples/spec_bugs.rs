@@ -15,10 +15,7 @@ fn pipeline() -> Pipeline {
     pc.por = false;
     pc.stop_at_first_bug = true;
     pc.max_path_len = 60;
-    pc.run = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    pc.run = RunConfig::fast();
     Pipeline::new(
         Arc::new(RaftSpec::new(RaftSpecConfig::official_buggy(vec![1, 2]))),
         mapping(true),
@@ -40,8 +37,7 @@ fn main() {
                 SyncRaftBugs::none(),
                 false,
             ))
-        })
-        .expect("no SUT failure");
+        });
     println!("--- natural mapping (UpdateTerm has no standalone region) ---");
     println!(
         "{}",
@@ -57,8 +53,7 @@ fn main() {
                 SyncRaftBugs::none(),
                 true,
             ))
-        })
-        .expect("no SUT failure");
+        });
     println!("--- stepDown-region mapping (UpdateTerm runs the handler) ---");
     println!("{}", region.reports.first().expect("spec bug must surface"));
 

@@ -36,15 +36,11 @@ fn main() {
     pc.por = true;
     pc.stop_at_first_bug = false;
     pc.max_path_len = 60;
-    pc.run = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    pc.run = RunConfig::fast();
     let pipeline =
         Pipeline::new(Arc::new(ZabSpec::new(cfg)), mapping(), pc).expect("mapping is valid");
     let result = pipeline
-        .run(|| Box::new(make_sut(vec![1, 2], ZabBugs::none())))
-        .expect("no SUT failure");
+        .run(|| Box::new(make_sut(vec![1, 2], ZabBugs::none())));
     println!(
         "\nControlled testing: {} states, {} EC paths -> {} after POR; \
          {} cases run, {} passed, {} inconsistencies",

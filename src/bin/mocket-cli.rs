@@ -272,10 +272,7 @@ fn cmd_test(args: &Args) {
     pc.stop_at_first_bug = true;
     pc.max_path_len = 60;
     pc.max_test_cases = args.flag_usize("limit", 0);
-    pc.run = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    pc.run = RunConfig::fast();
     let pipeline = Pipeline::new(target.spec, target.registry, pc).unwrap_or_else(|issues| {
         eprintln!("mapping issues:");
         for issue in issues {
@@ -283,15 +280,26 @@ fn cmd_test(args: &Args) {
         }
         std::process::exit(1);
     });
-    let result = pipeline.run(&mut target.make).expect("SUT failure");
+    let result = pipeline.run(&mut target.make);
     println!(
-        "{name}{}: {} states, {} cases selected, {} run, {} passed",
+        "{name}{}: {} states, {} cases selected, {} run, {} passed, {} quarantined",
         bug.map(|b| format!(" (bug: {b})")).unwrap_or_default(),
         result.effort.states,
         result.cases_selected,
         result.effort.cases_run,
         result.passed,
+        result.quarantined.len(),
     );
+    for q in &result.quarantined {
+        println!(
+            "  quarantined after {} attempt(s): {}",
+            q.attempts.len(),
+            q.attempts
+                .last()
+                .map(|a| a.error.as_str())
+                .unwrap_or("<no record>")
+        );
+    }
     match result.reports.first() {
         Some(report) => println!("\n{report}"),
         None => println!("no inconsistencies: the implementation conforms"),

@@ -88,8 +88,7 @@ fn wrong_hook_binding_surfaces_as_missing_action_then_fixed_mapping_passes() {
     let pipeline = Pipeline::new(Arc::new(RaftSpec::new(small_model())), wrong, pc)
         .expect("spec names are all valid");
     let result = pipeline
-        .run(|| Box::new(make_sut(vec![1, 2], XraftBugs::none())))
-        .expect("no SUT failure");
+        .run(|| Box::new(make_sut(vec![1, 2], XraftBugs::none())));
     let report = result
         .reports
         .first()
@@ -108,8 +107,7 @@ fn wrong_hook_binding_surfaces_as_missing_action_then_fixed_mapping_passes() {
     )
     .expect("mapping is valid");
     let result = fixed
-        .run(|| Box::new(make_sut(vec![1, 2], XraftBugs::none())))
-        .expect("no SUT failure");
+        .run(|| Box::new(make_sut(vec![1, 2], XraftBugs::none())));
     assert!(
         result.reports.is_empty(),
         "after the fix the multi-round re-test is clean"

@@ -45,10 +45,7 @@ fn dot_boundary_then_controlled_testing() {
     // Test-case serialization boundary: serialize, parse back, verify
     // the parsed case still validates against the graph.
     let registry = mapping();
-    let run_cfg = RunConfig {
-        check_initial: true,
-        poll_rounds: 2,
-    };
+    let run_cfg = RunConfig::fast();
     let mut ran = 0;
     for path in traversal.paths.iter().take(40) {
         let tc = TestCase::from_edge_path(&graph, path);

@@ -1,8 +1,7 @@
-//! Property-based testing of the target systems under random
-//! schedules: safety invariants must hold on the conformant
-//! implementations no matter how the scheduler interleaves actions.
-
-use proptest::prelude::*;
+//! Randomized testing of the target systems under random schedules:
+//! safety invariants must hold on the conformant implementations no
+//! matter how the scheduler interleaves actions. Seeds are fixed so
+//! runs are reproducible.
 
 use mocket::core::sut::SystemUnderTest;
 use mocket::raft_async::{make_sut as raft_sut, XraftBugs};
@@ -31,21 +30,27 @@ fn raft_election_safety(snapshot: &mocket::core::Snapshot) -> Result<(), String>
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+const SEEDS: [u64; 12] = [1, 7, 42, 97, 311, 977, 1753, 2961, 4099, 5807, 7919, 9973];
 
-    #[test]
-    fn asyncraft_election_safety_under_random_schedules(seed in 1u64..10_000) {
+#[test]
+fn asyncraft_election_safety_under_random_schedules() {
+    for seed in SEEDS {
         let mut sut = raft_sut(vec![1, 2, 3], XraftBugs::none());
         sut.deploy().expect("deploy");
         run_random(sut.cluster_mut(), 250, seed, 5).expect("random run");
         let snapshot = sut.snapshot().expect("snapshot");
         sut.teardown();
-        prop_assert!(raft_election_safety(&snapshot).is_ok());
+        assert!(
+            raft_election_safety(&snapshot).is_ok(),
+            "seed {seed}: {:?}",
+            raft_election_safety(&snapshot)
+        );
     }
+}
 
-    #[test]
-    fn asyncraft_committed_logs_agree(seed in 1u64..10_000) {
+#[test]
+fn asyncraft_committed_logs_agree() {
+    for seed in SEEDS {
         let mut sut = raft_sut(vec![1, 2, 3], XraftBugs::none());
         sut.deploy().expect("deploy");
         run_random(sut.cluster_mut(), 300, seed.wrapping_mul(31), 5).expect("random run");
@@ -61,18 +66,20 @@ proptest! {
             for j in nodes.iter().skip(x + 1) {
                 let c = commits[*i].expect_int().min(commits[*j].expect_int());
                 for n in 1..=c {
-                    prop_assert_eq!(
+                    assert_eq!(
                         logs[*i].index(n as usize),
                         logs[*j].index(n as usize),
-                        "committed prefixes diverge at {}", n
+                        "seed {seed}: committed prefixes diverge at {n}"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn zabkeeper_single_leader_under_random_schedules(seed in 1u64..10_000) {
+#[test]
+fn zabkeeper_single_leader_under_random_schedules() {
+    for seed in SEEDS {
         let mut sut = zab_sut(vec![1, 2, 3], ZabBugs::none());
         sut.deploy().expect("deploy");
         run_random(sut.cluster_mut(), 250, seed.wrapping_mul(17), 5).expect("random run");
@@ -85,6 +92,6 @@ proptest! {
             .values()
             .filter(|v| *v == &Value::str("LEADING"))
             .count();
-        prop_assert!(leaders <= 1, "at most one ZAB leader, got {}", leaders);
+        assert!(leaders <= 1, "seed {seed}: at most one ZAB leader, got {leaders}");
     }
 }

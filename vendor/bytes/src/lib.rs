@@ -1,0 +1,264 @@
+//! A minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! This workspace builds in environments without network access to a
+//! crates.io mirror, so the handful of `bytes` APIs the wire codecs
+//! use are reimplemented here on top of `Vec<u8>`. Semantics match
+//! the real crate for this subset; zero-copy behavior is not a goal —
+//! the simulated network round-trips every message anyway.
+
+/// Read access to a byte buffer with an advancing cursor.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian u32, advancing the cursor.
+    fn get_u32(&mut self) -> u32;
+
+    /// Reads a big-endian u64, advancing the cursor.
+    fn get_u64(&mut self) -> u64;
+
+    /// Reads a big-endian i64, advancing the cursor.
+    fn get_i64(&mut self) -> i64;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+
+    /// Appends a big-endian i64.
+    fn put_i64(&mut self, v: i64);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the first `n` remaining bytes,
+    /// advancing this buffer past them.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "split_to out of bounds");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+
+    /// A sub-range view of the remaining bytes.
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[self.pos + range.start..self.pos + range.end].to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl core::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance out of bounds");
+        self.pos += n;
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl core::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(u64::MAX - 1);
+        b.put_i64(-42);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_i64(), -42);
+        let tail = r.split_to(3);
+        assert_eq!(&tail[..], b"xyz");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_and_split_are_views_from_cursor() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.advance(1);
+        assert_eq!(&b.slice(0..2)[..], &[2, 3]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 4);
+    }
+}

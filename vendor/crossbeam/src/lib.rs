@@ -1,0 +1,86 @@
+//! A minimal, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` subset the cluster runtime uses is provided,
+//! backed by `std::sync::mpsc`. Semantics match crossbeam for this
+//! subset: `bounded(n)` blocks senders when full, receivers observe
+//! disconnection when every sender is dropped.
+
+/// Multi-producer channels (the crossbeam `channel` module subset).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; errors when the
+        /// receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+
+        /// Non-blocking send: errors when the channel is full or the
+        /// receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}
