@@ -1,0 +1,786 @@
+//! Self-contained replay artifacts and the campaign journal
+//! (failure triage: persist, replay, resume).
+//!
+//! A bug report that dies with its campaign is a bug lost. Every
+//! confirmed failure is persisted as a [`ReplayArtifact`]: one text
+//! file carrying the (minimized) revealing [`TestCase`], the actions
+//! the specification enables in its final state, the fault-plan
+//! identity (seed + intensities, serialized by `dsnet` and opaque
+//! here), the [`RunConfig`], the spec identity and the observed
+//! inconsistency classification. [`replay`] re-drives a fresh SUT
+//! from nothing but the artifact — the "small, deterministic
+//! reproducer" that trace-validation and model-guided-fuzzing work
+//! identify as the artifact that matters.
+//!
+//! The [`CampaignJournal`] is the resume half: an append-only file
+//! with one line per *completed* case (hash, outcome, attempts).
+//! `Pipeline::run` consults it on startup, skips finished cases and
+//! rebuilds its coverage counters, so an interrupted campaign
+//! continues instead of restarting. Quarantined cases are deliberately
+//! not journaled — they reached no verdict and deserve a fresh try.
+//! Corrupt lines (a crash mid-append, a hand-edited file) are
+//! collected as typed [`JournalIssue`]s, never panics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use mocket_tla::{parse_action_instance, ActionInstance, ParseError};
+
+use crate::mapping::MappingRegistry;
+use crate::report::{Determinism, Inconsistency};
+use crate::runner::{run_test_case, RunConfig, RunStats, TestOutcome};
+use crate::sut::{SutError, SystemUnderTest};
+use crate::testcase::TestCase;
+
+/// The artifact format version this build writes and reads.
+pub const ARTIFACT_VERSION: &str = "v1";
+
+/// A failure to parse or load an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// A required header line is missing.
+    MissingField(&'static str),
+    /// A header value did not parse.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// An embedded test case, state or action failed to parse.
+    Parse(ParseError),
+    /// The file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::MissingField(key) => write!(f, "artifact is missing {key:?}"),
+            ArtifactError::BadValue { key, message } => {
+                write!(f, "artifact field {key:?}: {message}")
+            }
+            ArtifactError::Parse(e) => write!(f, "artifact payload: {e}"),
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<ParseError> for ArtifactError {
+    fn from(e: ParseError) -> Self {
+        ArtifactError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// A self-contained reproducer for one confirmed failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArtifact {
+    /// Specification name (`Spec::name`).
+    pub spec: String,
+    /// Free-form spec/model identity (servers, bug flags, bounds) —
+    /// whatever the campaign operator set; informational.
+    pub spec_config: String,
+    /// The inconsistency kind label the failure was classified as
+    /// (matches `Inconsistency::kind`).
+    pub kind: String,
+    /// The inconsistency subject (diverging variable / action name).
+    pub subject: String,
+    /// One-line rendering of the observed inconsistency.
+    pub summary: String,
+    /// Repro-rate classification from confirm & classify.
+    pub determinism: Determinism,
+    /// Serialized fault-plan identity (`dsnet` `FaultPlan::serialize`:
+    /// seed + intensities), opaque to this crate. `None` when the
+    /// campaign injected no planned faults.
+    pub fault_plan: Option<String>,
+    /// The runner configuration the failure was observed under.
+    pub run: RunConfig,
+    /// Length of the original revealing case (the stored case is the
+    /// minimized reproducer, never longer).
+    pub original_len: usize,
+    /// Actions the specification enables in the stored case's final
+    /// state — needed to re-check for unexpected actions on replay
+    /// without the state graph.
+    pub final_enabled: Vec<ActionInstance>,
+    /// The reproducer to replay.
+    pub test_case: TestCase,
+}
+
+fn dur_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn serialize_run(run: &RunConfig) -> String {
+    format!(
+        "check_initial={} offer_deadline_ms={} per_action_budget_ms={} \
+         poll_backoff_ms={} poll_backoff_max_ms={}",
+        run.check_initial,
+        dur_ms(run.offer_deadline),
+        dur_ms(run.per_action_budget),
+        dur_ms(run.poll_backoff),
+        dur_ms(run.poll_backoff_max),
+    )
+}
+
+fn deserialize_run(input: &str) -> Result<RunConfig, ArtifactError> {
+    let mut run = RunConfig::default();
+    for token in input.split_whitespace() {
+        let (key, value) = token.split_once('=').ok_or_else(|| ArtifactError::BadValue {
+            key: "run".into(),
+            message: format!("token {token:?} is not key=value"),
+        })?;
+        let bad = |message: String| ArtifactError::BadValue {
+            key: format!("run.{key}"),
+            message,
+        };
+        match key {
+            "check_initial" => {
+                run.check_initial = value.parse().map_err(|_| bad(format!("{value:?}")))?
+            }
+            "offer_deadline_ms" => {
+                run.offer_deadline =
+                    Duration::from_millis(value.parse().map_err(|e| bad(format!("{e}")))?)
+            }
+            "per_action_budget_ms" => {
+                run.per_action_budget =
+                    Duration::from_millis(value.parse().map_err(|e| bad(format!("{e}")))?)
+            }
+            "poll_backoff_ms" => {
+                run.poll_backoff =
+                    Duration::from_millis(value.parse().map_err(|e| bad(format!("{e}")))?)
+            }
+            "poll_backoff_max_ms" => {
+                run.poll_backoff_max =
+                    Duration::from_millis(value.parse().map_err(|e| bad(format!("{e}")))?)
+            }
+            other => {
+                return Err(ArtifactError::BadValue {
+                    key: "run".into(),
+                    message: format!("unknown key {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(run)
+}
+
+fn serialize_determinism(d: &Determinism) -> String {
+    match d {
+        Determinism::Unconfirmed => "unconfirmed".to_string(),
+        Determinism::Deterministic { reruns } => format!("deterministic reruns={reruns}"),
+        Determinism::Flaky { reproduced, reruns } => {
+            format!("flaky reproduced={reproduced} reruns={reruns}")
+        }
+    }
+}
+
+fn deserialize_determinism(input: &str) -> Result<Determinism, ArtifactError> {
+    let bad = |message: String| ArtifactError::BadValue {
+        key: "determinism".into(),
+        message,
+    };
+    let mut parts = input.split_whitespace();
+    let head = parts.next().ok_or_else(|| bad("empty".into()))?;
+    let mut fields = BTreeMap::new();
+    for token in parts {
+        let (k, v) = token
+            .split_once('=')
+            .ok_or_else(|| bad(format!("token {token:?} is not key=value")))?;
+        let n: usize = v.parse().map_err(|e| bad(format!("{k}: {e}")))?;
+        fields.insert(k.to_string(), n);
+    }
+    let field = |name: &str| {
+        fields
+            .get(name)
+            .copied()
+            .ok_or_else(|| bad(format!("missing {name}")))
+    };
+    match head {
+        "unconfirmed" => Ok(Determinism::Unconfirmed),
+        "deterministic" => Ok(Determinism::Deterministic {
+            reruns: field("reruns")?,
+        }),
+        "flaky" => Ok(Determinism::Flaky {
+            reproduced: field("reproduced")?,
+            reruns: field("reruns")?,
+        }),
+        other => Err(bad(format!("unknown classification {other:?}"))),
+    }
+}
+
+/// Flattens a (possibly multi-line) rendering into one journal-safe
+/// line.
+fn one_line(text: &str) -> String {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+impl ReplayArtifact {
+    /// Builds an artifact from an observed failure. `test_case` is the
+    /// reproducer to store (minimized when available); `original_len`
+    /// the revealing case's length before shrinking.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_failure(
+        spec: impl Into<String>,
+        spec_config: impl Into<String>,
+        inconsistency: &Inconsistency,
+        determinism: Determinism,
+        fault_plan: Option<String>,
+        run: &RunConfig,
+        original_len: usize,
+        final_enabled: Vec<ActionInstance>,
+        test_case: TestCase,
+    ) -> Self {
+        ReplayArtifact {
+            spec: spec.into(),
+            spec_config: spec_config.into(),
+            kind: inconsistency.kind().to_string(),
+            subject: inconsistency.subject(),
+            summary: one_line(&inconsistency.to_string()),
+            determinism,
+            fault_plan,
+            run: run.clone(),
+            original_len,
+            final_enabled,
+            test_case,
+        }
+    }
+
+    /// Serializes into the line-oriented artifact format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("mocket-artifact: {ARTIFACT_VERSION}\n"));
+        out.push_str(&format!("spec: {}\n", one_line(&self.spec)));
+        out.push_str(&format!("spec-config: {}\n", one_line(&self.spec_config)));
+        out.push_str(&format!("kind: {}\n", one_line(&self.kind)));
+        out.push_str(&format!("subject: {}\n", one_line(&self.subject)));
+        out.push_str(&format!("summary: {}\n", one_line(&self.summary)));
+        out.push_str(&format!(
+            "determinism: {}\n",
+            serialize_determinism(&self.determinism)
+        ));
+        if let Some(fp) = &self.fault_plan {
+            out.push_str(&format!("fault-plan: {}\n", one_line(fp)));
+        }
+        out.push_str(&format!("run: {}\n", serialize_run(&self.run)));
+        out.push_str(&format!("original-len: {}\n", self.original_len));
+        for a in &self.final_enabled {
+            out.push_str(&format!("final: {a}\n"));
+        }
+        out.push_str(&self.test_case.serialize());
+        out
+    }
+
+    /// Parses the [`serialize`](Self::serialize) format. Malformed
+    /// input yields a typed [`ArtifactError`], never a panic — a
+    /// corrupt artifact is reported, not a harness abort.
+    pub fn deserialize(input: &str) -> Result<Self, ArtifactError> {
+        let mut version = None;
+        let mut spec = None;
+        let mut spec_config = None;
+        let mut kind = None;
+        let mut subject = None;
+        let mut summary = None;
+        let mut determinism = None;
+        let mut fault_plan = None;
+        let mut run = None;
+        let mut original_len = None;
+        let mut final_enabled = Vec::new();
+        let mut case_lines = String::new();
+
+        for line in input.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once(':') else {
+                return Err(ArtifactError::BadValue {
+                    key: "<line>".into(),
+                    message: format!("unrecognized line {trimmed:?}"),
+                });
+            };
+            let value = value.trim();
+            match key {
+                "mocket-artifact" => version = Some(value.to_string()),
+                "spec" => spec = Some(value.to_string()),
+                "spec-config" => spec_config = Some(value.to_string()),
+                "kind" => kind = Some(value.to_string()),
+                "subject" => subject = Some(value.to_string()),
+                "summary" => summary = Some(value.to_string()),
+                "determinism" => determinism = Some(deserialize_determinism(value)?),
+                "fault-plan" => fault_plan = Some(value.to_string()),
+                "run" => run = Some(deserialize_run(value)?),
+                "original-len" => {
+                    original_len =
+                        Some(value.parse::<usize>().map_err(|e| ArtifactError::BadValue {
+                            key: "original-len".into(),
+                            message: e.to_string(),
+                        })?)
+                }
+                "final" => final_enabled.push(parse_action_instance(value)?),
+                "init" | "step" => {
+                    case_lines.push_str(trimmed);
+                    case_lines.push('\n');
+                }
+                other => {
+                    return Err(ArtifactError::BadValue {
+                        key: other.to_string(),
+                        message: "unknown artifact key".into(),
+                    })
+                }
+            }
+        }
+
+        let version = version.ok_or(ArtifactError::MissingField("mocket-artifact"))?;
+        if version != ARTIFACT_VERSION {
+            return Err(ArtifactError::BadValue {
+                key: "mocket-artifact".into(),
+                message: format!("unsupported version {version:?}"),
+            });
+        }
+        let test_case = TestCase::deserialize(&case_lines)?;
+        Ok(ReplayArtifact {
+            spec: spec.ok_or(ArtifactError::MissingField("spec"))?,
+            spec_config: spec_config.unwrap_or_default(),
+            kind: kind.ok_or(ArtifactError::MissingField("kind"))?,
+            subject: subject.unwrap_or_default(),
+            summary: summary.unwrap_or_default(),
+            determinism: determinism.unwrap_or(Determinism::Unconfirmed),
+            fault_plan,
+            run: run.ok_or(ArtifactError::MissingField("run"))?,
+            original_len: original_len.unwrap_or(0),
+            final_enabled,
+            test_case,
+        })
+    }
+
+    /// The file name this artifact is stored under (keyed by the
+    /// reproducer's stable hash).
+    pub fn file_name(&self) -> String {
+        format!("case-{}.artifact", self.test_case.stable_hash())
+    }
+
+    /// Writes the artifact into `dir` (created if needed); returns the
+    /// path written.
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf, ArtifactError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        fs::write(&path, self.serialize())?;
+        Ok(path)
+    }
+
+    /// Loads an artifact from disk.
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let text = fs::read_to_string(path)?;
+        Self::deserialize(&text)
+    }
+}
+
+/// What a replayed artifact did.
+#[derive(Debug, Clone)]
+pub enum ReplayVerdict {
+    /// The run failed with the same inconsistency kind the artifact
+    /// records — the bug reproduced.
+    Reproduced(Inconsistency),
+    /// The run failed, but with a different inconsistency kind.
+    DifferentFailure(Inconsistency),
+    /// The run passed: the bug did not reproduce (fixed, or flaky).
+    Passed,
+}
+
+impl ReplayVerdict {
+    /// Whether the artifact's inconsistency kind reproduced.
+    pub fn reproduced(&self) -> bool {
+        matches!(self, ReplayVerdict::Reproduced(_))
+    }
+}
+
+/// Re-drives a fresh SUT from an artifact: the replay entry point.
+///
+/// The caller builds the SUT (re-installing the artifact's
+/// [`fault_plan`](ReplayArtifact::fault_plan) if one is recorded —
+/// `dsnet`'s `FaultPlan::deserialize` reconstructs it) and supplies
+/// the same mapping registry the campaign used; everything else comes
+/// from the artifact.
+pub fn replay(
+    artifact: &ReplayArtifact,
+    sut: &mut dyn SystemUnderTest,
+    registry: &MappingRegistry,
+) -> Result<(ReplayVerdict, RunStats), SutError> {
+    let (outcome, stats) = run_test_case(
+        sut,
+        &artifact.test_case,
+        registry,
+        &artifact.final_enabled,
+        &artifact.run,
+    )?;
+    let verdict = match outcome {
+        TestOutcome::Passed => ReplayVerdict::Passed,
+        TestOutcome::Failed(inc) => {
+            if inc.kind() == artifact.kind {
+                ReplayVerdict::Reproduced(inc)
+            } else {
+                ReplayVerdict::DifferentFailure(inc)
+            }
+        }
+    };
+    Ok((verdict, stats))
+}
+
+/// The verdict a completed (journaled) case reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// All checks matched.
+    Passed,
+    /// Failed with the recorded inconsistency kind.
+    Failed {
+        /// `Inconsistency::kind` label.
+        kind: String,
+    },
+}
+
+/// One completed case in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// `TestCase::stable_hash` of the case.
+    pub hash: String,
+    /// Attempts spent reaching the verdict.
+    pub attempts: usize,
+    /// The verdict.
+    pub outcome: CaseOutcome,
+}
+
+/// A journal line that could not be parsed (reported, not fatal).
+#[derive(Debug, Clone)]
+pub struct JournalIssue {
+    /// 1-based line number in the journal file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JournalIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.message)
+    }
+}
+
+fn parse_journal_line(line: &str) -> Result<JournalEntry, String> {
+    let rest = line
+        .strip_prefix("case:")
+        .ok_or_else(|| format!("unrecognized line {line:?}"))?
+        .trim();
+    let mut parts = rest.splitn(3, char::is_whitespace);
+    let hash = parts
+        .next()
+        .filter(|h| !h.is_empty())
+        .ok_or("missing case hash")?;
+    let attempts_tok = parts.next().ok_or("missing attempts=N")?;
+    let attempts = attempts_tok
+        .strip_prefix("attempts=")
+        .ok_or_else(|| format!("expected attempts=N, got {attempts_tok:?}"))?
+        .parse::<usize>()
+        .map_err(|e| format!("bad attempts: {e}"))?;
+    let outcome_tok = parts.next().ok_or("missing outcome=...")?;
+    let outcome_val = outcome_tok
+        .strip_prefix("outcome=")
+        .ok_or_else(|| format!("expected outcome=..., got {outcome_tok:?}"))?;
+    let outcome = match outcome_val.split_once(' ') {
+        None if outcome_val == "passed" => CaseOutcome::Passed,
+        Some(("failed", kind)) if !kind.trim().is_empty() => CaseOutcome::Failed {
+            kind: kind.trim().to_string(),
+        },
+        _ => return Err(format!("bad outcome {outcome_val:?}")),
+    };
+    Ok(JournalEntry {
+        hash: hash.to_string(),
+        attempts,
+        outcome,
+    })
+}
+
+fn render_journal_line(entry: &JournalEntry) -> String {
+    let outcome = match &entry.outcome {
+        CaseOutcome::Passed => "passed".to_string(),
+        CaseOutcome::Failed { kind } => format!("failed {}", one_line(kind)),
+    };
+    format!(
+        "case: {} attempts={} outcome={}\n",
+        entry.hash, entry.attempts, outcome
+    )
+}
+
+/// The append-only campaign journal.
+pub struct CampaignJournal {
+    path: PathBuf,
+    completed: BTreeMap<String, JournalEntry>,
+    issues: Vec<JournalIssue>,
+}
+
+impl CampaignJournal {
+    /// The journal's file name inside a campaign directory.
+    pub const FILE_NAME: &'static str = "journal.log";
+
+    /// Opens (or creates) the journal inside campaign directory
+    /// `dir`, loading every completed case recorded by previous runs.
+    /// Malformed lines — a crash mid-append truncates the last line —
+    /// are collected as [`issues`](Self::issues) and skipped.
+    pub fn open(dir: &Path) -> Result<Self, std::io::Error> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(Self::FILE_NAME);
+        let mut completed = BTreeMap::new();
+        let mut issues = Vec::new();
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                for (i, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match parse_journal_line(line) {
+                        Ok(entry) => {
+                            completed.insert(entry.hash.clone(), entry);
+                        }
+                        Err(message) => issues.push(JournalIssue {
+                            line: i + 1,
+                            message,
+                        }),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(CampaignJournal {
+            path,
+            completed,
+            issues,
+        })
+    }
+
+    /// The completed entry for `hash`, if a previous run finished it.
+    pub fn completed(&self, hash: &str) -> Option<&JournalEntry> {
+        self.completed.get(hash)
+    }
+
+    /// Number of completed cases on record.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether no case has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Malformed lines encountered while loading.
+    pub fn issues(&self) -> &[JournalIssue] {
+        &self.issues
+    }
+
+    /// Appends one completed case and flushes it to disk immediately —
+    /// an interruption right after a case finishes loses nothing.
+    pub fn record(&mut self, entry: JournalEntry) -> Result<(), std::io::Error> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(render_journal_line(&entry).as_bytes())?;
+        file.flush()?;
+        self.completed.insert(entry.hash.clone(), entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mocket_tla::{State, Value};
+
+    fn st(n: i64) -> State {
+        State::from_pairs([("n", Value::Int(n))])
+    }
+
+    fn case() -> TestCase {
+        TestCase::new(
+            st(0),
+            vec![
+                (ActionInstance::nullary("Inc"), st(1)),
+                (ActionInstance::new("Add", vec![Value::Int(5)]), st(6)),
+            ],
+        )
+    }
+
+    fn artifact() -> ReplayArtifact {
+        let inc = Inconsistency::MissingAction {
+            step: 1,
+            action: ActionInstance::new("Add", vec![Value::Int(5)]),
+            offered: vec![ActionInstance::nullary("Inc")],
+        };
+        ReplayArtifact::from_failure(
+            "Counter",
+            "limit=2 buggy=true",
+            &inc,
+            Determinism::Deterministic { reruns: 2 },
+            Some("seed=42 drop=20 dup=20 delay=40 max_delay=3 reorder=40 partition=5 heal=20".into()),
+            &RunConfig::fast(),
+            5,
+            vec![ActionInstance::nullary("Inc")],
+            case(),
+        )
+    }
+
+    #[test]
+    fn artifact_text_roundtrip() {
+        let a = artifact();
+        let text = a.serialize();
+        let back = ReplayArtifact::deserialize(&text).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn artifact_roundtrip_without_fault_plan() {
+        let mut a = artifact();
+        a.fault_plan = None;
+        a.determinism = Determinism::Flaky {
+            reproduced: 1,
+            reruns: 3,
+        };
+        let back = ReplayArtifact::deserialize(&a.serialize()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn artifact_deserialize_rejects_garbage() {
+        assert!(matches!(
+            ReplayArtifact::deserialize(""),
+            Err(ArtifactError::MissingField("mocket-artifact"))
+        ));
+        assert!(ReplayArtifact::deserialize("mocket-artifact: v999\nspec: X\n").is_err());
+        assert!(ReplayArtifact::deserialize("totally bogus").is_err());
+        let missing_case = "mocket-artifact: v1\nspec: X\nkind: K\nrun: check_initial=true\n";
+        assert!(ReplayArtifact::deserialize(missing_case).is_err());
+        let bad_run = artifact().serialize().replace("check_initial=true", "check_initial=maybe");
+        assert!(ReplayArtifact::deserialize(&bad_run).is_err());
+        let bad_det = artifact()
+            .serialize()
+            .replace("determinism: deterministic reruns=2", "determinism: sometimes");
+        assert!(ReplayArtifact::deserialize(&bad_det).is_err());
+    }
+
+    #[test]
+    fn artifact_file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-artifact-test-{}",
+            std::process::id()
+        ));
+        let a = artifact();
+        let path = a.write_to(&dir).unwrap();
+        assert!(path.ends_with(a.file_name()));
+        let back = ReplayArtifact::load(&path).unwrap();
+        assert_eq!(back, a);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_roundtrip_and_resume_view() {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-journal-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut j = CampaignJournal::open(&dir).unwrap();
+            assert!(j.is_empty());
+            j.record(JournalEntry {
+                hash: "aaaa".into(),
+                attempts: 1,
+                outcome: CaseOutcome::Passed,
+            })
+            .unwrap();
+            j.record(JournalEntry {
+                hash: "bbbb".into(),
+                attempts: 2,
+                outcome: CaseOutcome::Failed {
+                    kind: "Inconsistent state".into(),
+                },
+            })
+            .unwrap();
+        }
+        // A fresh open (the "resumed campaign") sees both.
+        let j = CampaignJournal::open(&dir).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.completed("aaaa").unwrap().outcome, CaseOutcome::Passed);
+        assert_eq!(
+            j.completed("bbbb").unwrap().outcome,
+            CaseOutcome::Failed {
+                kind: "Inconsistent state".into()
+            }
+        );
+        assert!(j.completed("cccc").is_none());
+        assert!(j.issues().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_lines_are_reported_not_fatal() {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-journal-corrupt-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CampaignJournal::FILE_NAME),
+            "case: aaaa attempts=1 outcome=passed\n\
+             garbage line\n\
+             case: bbbb attempts=x outcome=passed\n\
+             case: cccc attempts=1 outcome=exploded\n\
+             case: dddd attempts=3 outcome=failed Missing action\n\
+             case: eeee attempts=1 outco",
+        )
+        .unwrap();
+        let j = CampaignJournal::open(&dir).unwrap();
+        assert_eq!(j.len(), 2, "only well-formed lines load");
+        assert!(j.completed("aaaa").is_some());
+        assert!(j.completed("dddd").is_some());
+        assert_eq!(j.issues().len(), 4, "{:?}", j.issues());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_line_roundtrip() {
+        for entry in [
+            JournalEntry {
+                hash: "0123456789abcdef".into(),
+                attempts: 1,
+                outcome: CaseOutcome::Passed,
+            },
+            JournalEntry {
+                hash: "ffff".into(),
+                attempts: 7,
+                outcome: CaseOutcome::Failed {
+                    kind: "Watchdog timeout".into(),
+                },
+            },
+        ] {
+            let line = render_journal_line(&entry);
+            assert_eq!(parse_journal_line(line.trim()).unwrap(), entry);
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //!
 //! The [`pipeline`] module wires all stages together (Figure 3).
 
+pub mod artifact;
 pub mod mapping;
+pub mod minimize;
 pub mod msgpool;
 pub mod pipeline;
 pub mod por;
@@ -29,17 +31,22 @@ pub mod sut;
 pub mod testcase;
 pub mod traversal;
 
+pub use artifact::{
+    replay, ArtifactError, CampaignJournal, CaseOutcome, JournalEntry, JournalIssue,
+    ReplayArtifact, ReplayVerdict,
+};
 pub use mapping::{
     ActionBinding, ActionMapping, ConstMap, MappingIssue, MappingRegistry, VarTarget,
     VariableMapping,
 };
+pub use minimize::{minimize_case, weaken, MinimizeConfig, Minimized};
 pub use msgpool::{MessagePools, PoolError};
 pub use pipeline::{
     AttemptRecord, Pipeline, PipelineConfig, PipelineResult, QuarantinedCase, RetryPolicy,
-    TestingEffort,
+    TestingEffort, TriageConfig,
 };
 pub use por::{partial_order_reduction, Diamond, PorResult};
-pub use report::{BugClass, BugReport, Inconsistency, VariableDivergence};
+pub use report::{BugClass, BugReport, Determinism, Inconsistency, VariableDivergence};
 pub use runner::{pools_from_registry, run_test_case, RunConfig, RunStats, TestOutcome};
 pub use scheduler::{find_match, translate_offers, unexpected_offers, SpecOffer};
 pub use statecheck::{check_state, state_matches};

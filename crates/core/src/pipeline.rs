@@ -5,6 +5,7 @@
 //! traversal with optional partial-order reduction, ④ run controlled
 //! testing against the system under test, collecting bug reports.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -12,9 +13,11 @@ use mocket_tla::{ActionInstance, Spec, State};
 
 use mocket_checker::{ModelChecker, StateGraph};
 
+use crate::artifact::{CampaignJournal, CaseOutcome, JournalEntry, ReplayArtifact};
 use crate::mapping::{MappingIssue, MappingRegistry};
+use crate::minimize::{minimize_case, MinimizeConfig};
 use crate::por::partial_order_reduction;
-use crate::report::{BugClass, BugReport, Inconsistency};
+use crate::report::{BugClass, BugReport, Determinism, Inconsistency};
 use crate::runner::{run_test_case, RunConfig, TestOutcome};
 use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
@@ -76,6 +79,58 @@ pub struct QuarantinedCase {
     pub attempts: Vec<AttemptRecord>,
 }
 
+/// Failure-triage configuration: confirm & classify, shrink,
+/// persist, resume.
+#[derive(Debug, Clone)]
+pub struct TriageConfig {
+    /// Re-run every failure once with the identical seed/config to
+    /// confirm it, classifying it deterministic or flaky.
+    pub confirm: bool,
+    /// Total re-runs used to measure the repro rate of a failure whose
+    /// first confirmation re-run diverged (>= 1).
+    pub flaky_reruns: usize,
+    /// Delta-debugging budget for shrinking confirmed-deterministic
+    /// failures (`max_oracle_runs: 0` disables shrinking).
+    pub minimize: MinimizeConfig,
+    /// Campaign directory: when set, every confirmed failure is
+    /// persisted as a replay artifact here, and the campaign journal
+    /// (`journal.log`) makes the run resumable — completed cases are
+    /// skipped on restart.
+    pub campaign_dir: Option<PathBuf>,
+    /// Free-form spec/model identity recorded in artifacts (servers,
+    /// bug flags, bounds).
+    pub spec_config: String,
+    /// Serialized fault-plan identity (`dsnet` `FaultPlan::serialize`)
+    /// recorded in artifacts, opaque to this crate. The campaign's
+    /// `make_sut` is responsible for actually installing it.
+    pub fault_plan: Option<String>,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        TriageConfig {
+            confirm: true,
+            flaky_reruns: 3,
+            minimize: MinimizeConfig::default(),
+            campaign_dir: None,
+            spec_config: String::new(),
+            fault_plan: None,
+        }
+    }
+}
+
+impl TriageConfig {
+    /// PR-1 behavior: no confirmation re-runs, no shrinking, no
+    /// persistence.
+    pub fn off() -> Self {
+        TriageConfig {
+            confirm: false,
+            minimize: MinimizeConfig { max_oracle_runs: 0 },
+            ..TriageConfig::default()
+        }
+    }
+}
+
 /// Pipeline configuration.
 pub struct PipelineConfig {
     /// Bound on distinct states during model checking.
@@ -101,6 +156,8 @@ pub struct PipelineConfig {
     pub run: RunConfig,
     /// Retry policy for transient harness failures.
     pub retry: RetryPolicy,
+    /// Failure triage: confirm, shrink, persist, resume.
+    pub triage: TriageConfig,
 }
 
 impl Default for PipelineConfig {
@@ -115,6 +172,7 @@ impl Default for PipelineConfig {
             stop_at_first_bug: true,
             run: RunConfig::default(),
             retry: RetryPolicy::default(),
+            triage: TriageConfig::default(),
         }
     }
 }
@@ -169,6 +227,17 @@ pub struct PipelineResult {
     pub effort: TestingEffort,
     /// Test cases that passed.
     pub passed: usize,
+    /// Cases skipped because the campaign journal already recorded a
+    /// verdict for them (their verdicts are folded into `passed` /
+    /// `effort.cases_run`).
+    pub skipped_from_journal: usize,
+    /// Replay artifacts written this run (one per confirmed failure,
+    /// when a campaign directory is configured).
+    pub artifacts: Vec<PathBuf>,
+    /// Non-fatal persistence problems: malformed journal lines,
+    /// failed appends, failed artifact writes. Surfaced, never
+    /// aborting the campaign.
+    pub journal_issues: Vec<String>,
 }
 
 /// The Mocket pipeline for one specification + mapping + target.
@@ -297,6 +366,26 @@ impl Pipeline {
         let mut passed = 0usize;
         let test_start = Instant::now();
         let mut cases_run = 0usize;
+        let mut skipped_from_journal = 0usize;
+        let mut artifacts: Vec<PathBuf> = Vec::new();
+        let mut journal_issues: Vec<String> = Vec::new();
+
+        // Resume: load the campaign journal (if a campaign directory
+        // is configured) and fold previously completed cases back into
+        // the coverage counters instead of re-running them.
+        let mut journal = match &self.config.triage.campaign_dir {
+            Some(dir) => match CampaignJournal::open(dir) {
+                Ok(j) => {
+                    journal_issues.extend(j.issues().iter().map(|i| i.to_string()));
+                    Some(j)
+                }
+                Err(e) => {
+                    journal_issues.push(format!("campaign journal unavailable: {e}"));
+                    None
+                }
+            },
+            None => None,
+        };
 
         'cases: for path in &paths {
             // Materialize one case at a time.
@@ -304,6 +393,20 @@ impl Pipeline {
             let final_node = graph.edge(*path.last().expect("non-empty path")).to;
             let final_enabled: Vec<ActionInstance> =
                 graph.enabled_at(final_node).into_iter().cloned().collect();
+
+            let hash = tc.stable_hash();
+            if let Some(entry) = journal.as_ref().and_then(|j| j.completed(&hash)) {
+                // A previous run of this campaign already reached a
+                // verdict here; rebuild the counters and move on.
+                // (Quarantined cases are never journaled, so they get
+                // a fresh try on resume.)
+                skipped_from_journal += 1;
+                cases_run += 1;
+                if entry.outcome == CaseOutcome::Passed {
+                    passed += 1;
+                }
+                continue;
+            }
 
             let max_attempts = self.config.retry.attempts.max(1);
             let mut attempts: Vec<AttemptRecord> = Vec::new();
@@ -327,7 +430,19 @@ impl Pipeline {
                         verdict_reached = true;
                         cases_run += 1;
                         match outcome {
-                            TestOutcome::Passed => passed += 1,
+                            TestOutcome::Passed => {
+                                passed += 1;
+                                if let Some(j) = journal.as_mut() {
+                                    if let Err(e) = j.record(JournalEntry {
+                                        hash: hash.clone(),
+                                        attempts: attempt,
+                                        outcome: CaseOutcome::Passed,
+                                    }) {
+                                        journal_issues
+                                            .push(format!("journal append failed: {e}"));
+                                    }
+                                }
+                            }
                             TestOutcome::Failed(inconsistency) => {
                                 // A node death before any action ran is a
                                 // deploy-time accident, not a verdict about
@@ -351,12 +466,72 @@ impl Pipeline {
                                     cases_run -= 1;
                                     continue;
                                 }
+                                // Failure triage: confirm & classify,
+                                // then shrink deterministic failures.
+                                let (determinism, minimized) = self.triage_failure(
+                                    &graph,
+                                    &tc,
+                                    &inconsistency,
+                                    &final_enabled,
+                                    &mut make_sut,
+                                );
+                                // Persist a self-contained replay
+                                // artifact for the reproducer.
+                                if let Some(dir) = &self.config.triage.campaign_dir {
+                                    let repro =
+                                        minimized.clone().unwrap_or_else(|| tc.clone());
+                                    let repro_enabled = match &minimized {
+                                        None => final_enabled.clone(),
+                                        Some(min) => min
+                                            .validate_against(&graph)
+                                            .ok()
+                                            .and_then(|nodes| nodes.last().copied())
+                                            .map(|n| {
+                                                graph
+                                                    .enabled_at(n)
+                                                    .into_iter()
+                                                    .cloned()
+                                                    .collect()
+                                            })
+                                            .unwrap_or_else(|| final_enabled.clone()),
+                                    };
+                                    let artifact = ReplayArtifact::from_failure(
+                                        self.spec.name(),
+                                        self.config.triage.spec_config.clone(),
+                                        &inconsistency,
+                                        determinism,
+                                        self.config.triage.fault_plan.clone(),
+                                        &self.config.run,
+                                        tc.len(),
+                                        repro_enabled,
+                                        repro,
+                                    );
+                                    match artifact.write_to(dir) {
+                                        Ok(path) => artifacts.push(path),
+                                        Err(e) => journal_issues
+                                            .push(format!("artifact write failed: {e}")),
+                                    }
+                                }
+                                if let Some(j) = journal.as_mut() {
+                                    if let Err(e) = j.record(JournalEntry {
+                                        hash: hash.clone(),
+                                        attempts: attempt,
+                                        outcome: CaseOutcome::Failed {
+                                            kind: inconsistency.kind().to_string(),
+                                        },
+                                    }) {
+                                        journal_issues
+                                            .push(format!("journal append failed: {e}"));
+                                    }
+                                }
                                 reports.push(BugReport {
                                     inconsistency,
                                     test_case: tc.clone(),
                                     actions_executed: stats.actions_executed,
                                     elapsed: test_start.elapsed(),
                                     attempt,
+                                    determinism,
+                                    minimized,
                                     class: BugClass::Unclassified,
                                 });
                                 if self.config.stop_at_first_bug {
@@ -403,7 +578,90 @@ impl Pipeline {
             quarantined,
             effort,
             passed,
+            skipped_from_journal,
+            artifacts,
+            journal_issues,
         }
+    }
+
+    /// Confirm & classify a failure, then shrink it if deterministic.
+    ///
+    /// Re-runs the revealing case with the identical configuration —
+    /// `make_sut` rebuilds the same environment (same fault seed, same
+    /// cluster) every call, which is exactly what makes confirmation
+    /// meaningful. The first re-run decides the classification: same
+    /// inconsistency kind again means deterministic; anything else
+    /// means flaky, and the remaining re-run budget measures the repro
+    /// rate. Only deterministic failures are worth the oracle cost of
+    /// delta debugging.
+    fn triage_failure<F>(
+        &self,
+        graph: &StateGraph,
+        tc: &TestCase,
+        inconsistency: &Inconsistency,
+        final_enabled: &[ActionInstance],
+        make_sut: &mut F,
+    ) -> (Determinism, Option<TestCase>)
+    where
+        F: FnMut() -> Box<dyn SystemUnderTest>,
+    {
+        let triage = &self.config.triage;
+        if !triage.confirm {
+            return (Determinism::Unconfirmed, None);
+        }
+        let kind = inconsistency.kind();
+        // One re-run = one fresh deployment driven through the same
+        // schedule; a harness error during triage counts as "did not
+        // reproduce" rather than aborting the campaign.
+        let mut rerun = |case: &TestCase, enabled: &[ActionInstance]| -> bool {
+            let mut sut = make_sut();
+            matches!(
+                run_test_case(sut.as_mut(), case, &self.registry, enabled, &self.config.run),
+                Ok((TestOutcome::Failed(inc), _)) if inc.kind() == kind
+            )
+        };
+
+        let determinism = if rerun(tc, final_enabled) {
+            Determinism::Deterministic { reruns: 1 }
+        } else {
+            let reruns = triage.flaky_reruns.max(1);
+            let mut reproduced = 0usize;
+            for _ in 1..reruns {
+                if rerun(tc, final_enabled) {
+                    reproduced += 1;
+                }
+            }
+            Determinism::Flaky { reproduced, reruns }
+        };
+
+        let minimized = if determinism.is_deterministic() && triage.minimize.max_oracle_runs > 0
+        {
+            let failing_step = match inconsistency {
+                Inconsistency::InconsistentState { step, .. }
+                | Inconsistency::MissingAction { step, .. }
+                | Inconsistency::NodeDeath { step, .. }
+                | Inconsistency::WatchdogTimeout { step, .. } => *step,
+                Inconsistency::UnexpectedAction { .. } => tc.len(),
+            };
+            let out = minimize_case(graph, tc, failing_step, &triage.minimize, |candidate| {
+                // Each candidate is graph-valid (the minimizer filters
+                // first), so its own final-enabled set comes straight
+                // from the graph.
+                let Ok(nodes) = candidate.validate_against(graph) else {
+                    return false;
+                };
+                let Some(&last) = nodes.last() else {
+                    return false;
+                };
+                let enabled: Vec<ActionInstance> =
+                    graph.enabled_at(last).into_iter().cloned().collect();
+                rerun(candidate, &enabled)
+            });
+            (out.case.len() < tc.len()).then_some(out.case)
+        } else {
+            None
+        };
+        (determinism, minimized)
     }
 }
 
@@ -653,5 +911,129 @@ mod tests {
         let result = p.run(|| Box::new(CounterSut { n: 0, buggy: true }));
         assert_eq!(result.reports.len(), 1);
         assert_eq!(result.reports[0].attempt, 1);
+    }
+
+    fn temp_campaign_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-pipeline-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn deterministic_failures_are_confirmed_and_minimized() {
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: true }));
+        assert_eq!(result.reports.len(), 1);
+        let report = &result.reports[0];
+        assert!(
+            report.determinism.is_deterministic(),
+            "{:?}",
+            report.determinism
+        );
+        if let Some(min) = &report.minimized {
+            assert!(min.len() < report.test_case.len());
+            assert!(min.validate_against(&result.graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn triage_off_leaves_failures_unconfirmed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.triage = TriageConfig::off();
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let made = AtomicUsize::new(0);
+        let result = p.run(|| {
+            made.fetch_add(1, Ordering::SeqCst);
+            Box::new(CounterSut { n: 0, buggy: true })
+        });
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(result.reports[0].determinism, Determinism::Unconfirmed);
+        assert!(result.reports[0].minimized.is_none());
+        // One deployment per case up to the revealing one — no
+        // confirmation or shrinking re-runs.
+        assert_eq!(made.load(Ordering::SeqCst), result.effort.cases_run);
+    }
+
+    #[test]
+    fn confirmed_failures_emit_replay_artifacts() {
+        let dir = temp_campaign_dir("artifacts");
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.triage.campaign_dir = Some(dir.clone());
+        cfg.triage.spec_config = "buggy counter".into();
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: true }));
+        assert_eq!(result.artifacts.len(), 1, "{:?}", result.journal_issues);
+        let artifact = crate::artifact::ReplayArtifact::load(&result.artifacts[0]).unwrap();
+        let report = &result.reports[0];
+        assert_eq!(artifact.kind, report.inconsistency.kind());
+        assert_eq!(artifact.spec, "Counter");
+        assert_eq!(artifact.spec_config, "buggy counter");
+        assert_eq!(artifact.original_len, report.test_case.len());
+        assert!(artifact.test_case.len() <= report.test_case.len());
+        // The stored reproducer replays to the same verdict in a
+        // fresh SUT.
+        let mut sut = CounterSut { n: 0, buggy: true };
+        let (verdict, _) = crate::artifact::replay(&artifact, &mut sut, &registry()).unwrap();
+        assert!(verdict.reproduced(), "{verdict:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_from_journal() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dir = temp_campaign_dir("resume");
+
+        // Straight-through baseline (no journal) for the totals.
+        let mut base_cfg = PipelineConfig::default();
+        base_cfg.por = false;
+        base_cfg.max_path_len = 3;
+        let baseline = Pipeline::new(Arc::new(CounterSpec), registry(), base_cfg)
+            .unwrap()
+            .run(|| Box::new(CounterSut { n: 0, buggy: false }));
+        let interrupted_at = 1usize;
+        assert!(baseline.effort.cases_run > interrupted_at);
+
+        // "Interrupted" campaign: same ordering, stops early.
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.max_path_len = 3;
+        cfg.max_test_cases = interrupted_at;
+        cfg.triage.campaign_dir = Some(dir.clone());
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let first = p.run(|| Box::new(CounterSut { n: 0, buggy: false }));
+        assert_eq!(first.effort.cases_run, interrupted_at);
+        assert_eq!(first.skipped_from_journal, 0);
+
+        // Resume with the full case set and the same campaign dir:
+        // the completed cases are skipped, the totals match the
+        // straight-through run.
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.max_path_len = 3;
+        cfg.triage.campaign_dir = Some(dir.clone());
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let deployed = AtomicUsize::new(0);
+        let resumed = p.run(|| {
+            deployed.fetch_add(1, Ordering::SeqCst);
+            Box::new(CounterSut { n: 0, buggy: false })
+        });
+        assert_eq!(resumed.skipped_from_journal, interrupted_at);
+        assert_eq!(resumed.effort.cases_run, baseline.effort.cases_run);
+        assert_eq!(resumed.passed, baseline.passed);
+        assert_eq!(
+            deployed.load(Ordering::SeqCst),
+            baseline.effort.cases_run - interrupted_at,
+            "resumed campaign must not redeploy finished cases"
+        );
+        assert!(resumed.journal_issues.is_empty(), "{:?}", resumed.journal_issues);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -209,6 +209,52 @@ impl fmt::Display for Inconsistency {
     }
 }
 
+/// How reliably a failure reproduces when its case is re-run with the
+/// identical seed and configuration (failure triage, confirm &
+/// classify). A deterministic reproducer is the artifact that
+/// matters; a flaky one is reported with its observed repro rate so a
+/// human knows how many replay attempts to budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Never re-run (triage disabled, or `stop_at_first_bug` raced).
+    Unconfirmed,
+    /// Every confirmation re-run reproduced the same inconsistency
+    /// kind.
+    Deterministic {
+        /// Number of confirming re-runs (>= 1).
+        reruns: usize,
+    },
+    /// At least one re-run diverged; `reproduced` of `reruns` re-runs
+    /// hit the same inconsistency kind again.
+    Flaky {
+        /// Re-runs that reproduced the inconsistency kind.
+        reproduced: usize,
+        /// Total re-runs performed.
+        reruns: usize,
+    },
+}
+
+impl Determinism {
+    /// Whether the failure reproduced on every re-run.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Determinism::Deterministic { .. })
+    }
+}
+
+impl fmt::Display for Determinism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Determinism::Unconfirmed => write!(f, "unconfirmed"),
+            Determinism::Deterministic { reruns } => {
+                write!(f, "deterministic ({reruns}/{reruns} re-runs)")
+            }
+            Determinism::Flaky { reproduced, reruns } => {
+                write!(f, "flaky ({reproduced}/{reruns} re-runs)")
+            }
+        }
+    }
+}
+
 /// Human classification of a confirmed inconsistency (§4.3.3): Mocket
 /// itself cannot distinguish these; investigation does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,6 +282,11 @@ pub struct BugReport {
     /// 1-based attempt on which the revealing run happened (retried
     /// test cases can reveal a bug on a later attempt).
     pub attempt: usize,
+    /// How reliably the failure reproduced on confirmation re-runs.
+    pub determinism: Determinism,
+    /// The delta-debugged reproducer, when triage minimized the
+    /// revealing case (never longer than `test_case`).
+    pub minimized: Option<TestCase>,
     /// Human classification.
     pub class: BugClass,
 }
@@ -250,8 +301,21 @@ impl fmt::Display for BugReport {
             self.elapsed
         )?;
         write!(f, "{}", self.inconsistency)?;
+        if self.determinism != Determinism::Unconfirmed {
+            writeln!(f, "Reproducibility: {}", self.determinism)?;
+        }
         writeln!(f, "Revealing test case:")?;
-        write!(f, "{}", self.test_case)
+        write!(f, "{}", self.test_case)?;
+        if let Some(min) = &self.minimized {
+            writeln!(
+                f,
+                "Minimized reproducer ({} of {} actions):",
+                min.len(),
+                self.test_case.len()
+            )?;
+            write!(f, "{min}")?;
+        }
+        Ok(())
     }
 }
 
@@ -321,10 +385,25 @@ mod tests {
             actions_executed: 1,
             elapsed: Duration::from_millis(5),
             attempt: 1,
+            determinism: Determinism::Deterministic { reruns: 2 },
+            minimized: None,
             class: BugClass::Unclassified,
         };
         let text = report.to_string();
         assert!(text.contains("Unexpected action"));
         assert!(text.contains("Inc"));
+        assert!(text.contains("deterministic (2/2 re-runs)"));
+    }
+
+    #[test]
+    fn determinism_labels() {
+        assert_eq!(Determinism::Unconfirmed.to_string(), "unconfirmed");
+        assert!(Determinism::Deterministic { reruns: 1 }.is_deterministic());
+        let flaky = Determinism::Flaky {
+            reproduced: 1,
+            reruns: 4,
+        };
+        assert!(!flaky.is_deterministic());
+        assert_eq!(flaky.to_string(), "flaky (1/4 re-runs)");
     }
 }

@@ -30,7 +30,7 @@ use crate::testcase::TestCase;
 /// [`per_action_budget`](Self::per_action_budget) bounds each step
 /// end-to-end; blowing it is reported as a watchdog-timeout
 /// inconsistency rather than an opaque hang.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunConfig {
     /// Check the verified initial state before the first action
     /// (§4.3.1 adds `checkAllStates` for the first scheduled action).

@@ -153,6 +153,18 @@ impl TestCase {
         })
     }
 
+    /// A stable 64-bit identity hash (FNV-1a over the serialized
+    /// text), rendered as fixed-width hex. Stable across processes and
+    /// platforms — the campaign journal keys completed cases by it.
+    pub fn stable_hash(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.serialize().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{h:016x}")
+    }
+
     /// Validates the case against a graph: every step must follow an
     /// existing edge from the current state. Returns the node path.
     pub fn validate_against(&self, graph: &StateGraph) -> Result<Vec<NodeId>, String> {
@@ -242,6 +254,15 @@ mod tests {
         assert!(TestCase::deserialize("bogus").is_err());
         assert!(TestCase::deserialize("step: A => /\\ n = 1").is_err());
         assert!(TestCase::deserialize("init: /\\ n = 0\nstep: A -> bad").is_err());
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_cases_and_is_stable() {
+        let a = case();
+        assert_eq!(a.stable_hash(), case().stable_hash());
+        assert_eq!(a.stable_hash().len(), 16);
+        let b = TestCase::new(st(0), vec![(ActionInstance::nullary("Inc"), st(1))]);
+        assert_ne!(a.stable_hash(), b.stable_hash());
     }
 
     #[test]

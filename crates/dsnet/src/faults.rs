@@ -15,8 +15,24 @@
 //! exactly like the hand-scripted faults.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::net::NodeId;
+
+/// A failure to parse the textual fault-plan format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// What was wrong with the input.
+    pub message: String,
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault-plan parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 /// What the plan decided for one send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +143,158 @@ impl FaultPlanConfig {
             partition_heal_after: 40,
         }
     }
+
+    /// Whether the config injects nothing at all.
+    pub fn is_quiescent(&self) -> bool {
+        self.drop_per_mille == 0
+            && self.duplicate_per_mille == 0
+            && self.delay_per_mille == 0
+            && self.reorder_per_mille == 0
+            && self.partition_per_mille == 0
+    }
+
+    /// Serializes into the single-line `key=value` format (the same
+    /// hand-rolled text style as `TestCase`), e.g.
+    /// `drop=20 dup=20 delay=40 max_delay=3 reorder=40 partition=5 heal=20`.
+    pub fn serialize(&self) -> String {
+        format!(
+            "drop={} dup={} delay={} max_delay={} reorder={} partition={} heal={}",
+            self.drop_per_mille,
+            self.duplicate_per_mille,
+            self.delay_per_mille,
+            self.max_delay,
+            self.reorder_per_mille,
+            self.partition_per_mille,
+            self.partition_heal_after,
+        )
+    }
+
+    /// Parses the [`serialize`](Self::serialize) format. Every key
+    /// must appear exactly once; unknown keys and malformed numbers
+    /// are typed errors, never panics.
+    pub fn deserialize(input: &str) -> Result<Self, FaultParseError> {
+        let mut cfg = FaultPlanConfig::quiescent();
+        let mut seen = [false; 7];
+        for token in input.split_whitespace() {
+            let (key, value) = token.split_once('=').ok_or_else(|| FaultParseError {
+                message: format!("token {token:?} is not key=value"),
+            })?;
+            let num = |v: &str| {
+                v.parse::<u64>().map_err(|e| FaultParseError {
+                    message: format!("bad number for {key}: {e}"),
+                })
+            };
+            let idx = match key {
+                "drop" => {
+                    cfg.drop_per_mille = num(value)? as u32;
+                    0
+                }
+                "dup" => {
+                    cfg.duplicate_per_mille = num(value)? as u32;
+                    1
+                }
+                "delay" => {
+                    cfg.delay_per_mille = num(value)? as u32;
+                    2
+                }
+                "max_delay" => {
+                    cfg.max_delay = num(value)? as u32;
+                    3
+                }
+                "reorder" => {
+                    cfg.reorder_per_mille = num(value)? as u32;
+                    4
+                }
+                "partition" => {
+                    cfg.partition_per_mille = num(value)? as u32;
+                    5
+                }
+                "heal" => {
+                    cfg.partition_heal_after = num(value)?;
+                    6
+                }
+                other => {
+                    return Err(FaultParseError {
+                        message: format!("unknown key {other:?}"),
+                    })
+                }
+            };
+            if seen[idx] {
+                return Err(FaultParseError {
+                    message: format!("duplicate key {key:?}"),
+                });
+            }
+            seen[idx] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            let names = [
+                "drop",
+                "dup",
+                "delay",
+                "max_delay",
+                "reorder",
+                "partition",
+                "heal",
+            ];
+            return Err(FaultParseError {
+                message: format!("missing key {:?}", names[missing]),
+            });
+        }
+        Ok(cfg)
+    }
+
+    /// Strictly weaker configurations, ordered weakest first — the
+    /// candidate ladder a minimizer climbs when shrinking a failing
+    /// schedule toward `quiescent` (§ triage): no faults at all, each
+    /// fault family alone, then everything halved. `self` is never in
+    /// the list.
+    pub fn weakenings(&self) -> Vec<FaultPlanConfig> {
+        if self.is_quiescent() {
+            return Vec::new();
+        }
+        let mut out = vec![FaultPlanConfig::quiescent()];
+        let families: [FaultPlanConfig; 3] = [
+            // Drops and duplicates only.
+            FaultPlanConfig {
+                delay_per_mille: 0,
+                reorder_per_mille: 0,
+                partition_per_mille: 0,
+                ..*self
+            },
+            // Delays and reorders only.
+            FaultPlanConfig {
+                drop_per_mille: 0,
+                duplicate_per_mille: 0,
+                partition_per_mille: 0,
+                ..*self
+            },
+            // Partitions only.
+            FaultPlanConfig {
+                drop_per_mille: 0,
+                duplicate_per_mille: 0,
+                delay_per_mille: 0,
+                reorder_per_mille: 0,
+                ..*self
+            },
+        ];
+        for f in families {
+            if !f.is_quiescent() && f != *self && !out.contains(&f) {
+                out.push(f);
+            }
+        }
+        let halved = FaultPlanConfig {
+            drop_per_mille: self.drop_per_mille / 2,
+            duplicate_per_mille: self.duplicate_per_mille / 2,
+            delay_per_mille: self.delay_per_mille / 2,
+            reorder_per_mille: self.reorder_per_mille / 2,
+            partition_per_mille: self.partition_per_mille / 2,
+            ..*self
+        };
+        if halved != *self && !out.contains(&halved) {
+            out.push(halved);
+        }
+        out
+    }
 }
 
 /// A deterministic fault schedule.
@@ -140,6 +308,7 @@ impl FaultPlanConfig {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     cfg: FaultPlanConfig,
+    seed: u64,
     state: u64,
     seq: u64,
     trace: Vec<TraceEntry>,
@@ -165,11 +334,49 @@ impl FaultPlan {
     pub fn with_config(seed: u64, cfg: FaultPlanConfig) -> Self {
         FaultPlan {
             cfg,
+            seed,
             state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
             seq: 0,
             trace: Vec::new(),
             partitions: BTreeMap::new(),
         }
+    }
+
+    /// The seed the plan was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serializes the plan's *identity* — seed plus intensities, the
+    /// two values that fully determine every decision — as one line:
+    /// `seed=42 drop=20 ...`. Mid-run progress is deliberately not
+    /// serialized; a deserialized plan starts from send 0, which is
+    /// exactly what a replay wants.
+    pub fn serialize(&self) -> String {
+        format!("seed={} {}", self.seed, self.cfg.serialize())
+    }
+
+    /// Parses the [`serialize`](Self::serialize) format into a fresh
+    /// plan (at send 0, empty trace).
+    pub fn deserialize(input: &str) -> Result<Self, FaultParseError> {
+        let input = input.trim();
+        let (seed_tok, rest) = input.split_once(char::is_whitespace).ok_or_else(|| {
+            FaultParseError {
+                message: "expected `seed=N` followed by intensities".into(),
+            }
+        })?;
+        let seed_val = seed_tok
+            .strip_prefix("seed=")
+            .ok_or_else(|| FaultParseError {
+                message: format!("expected leading seed=N, got {seed_tok:?}"),
+            })?;
+        let seed = seed_val.parse::<u64>().map_err(|e| FaultParseError {
+            message: format!("bad seed: {e}"),
+        })?;
+        Ok(FaultPlan::with_config(
+            seed,
+            FaultPlanConfig::deserialize(rest)?,
+        ))
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -324,6 +531,61 @@ mod tests {
         let (d, _) = p.decide(1, 2);
         assert_eq!(d, FaultDecision::Deliver);
         assert!(!p.is_partitioned(1, 2));
+    }
+
+    #[test]
+    fn config_text_roundtrip() {
+        for cfg in [
+            FaultPlanConfig::default(),
+            FaultPlanConfig::quiescent(),
+            FaultPlanConfig::aggressive(),
+        ] {
+            let text = cfg.serialize();
+            assert_eq!(FaultPlanConfig::deserialize(&text).unwrap(), cfg, "{text}");
+        }
+    }
+
+    #[test]
+    fn config_deserialize_rejects_garbage() {
+        assert!(FaultPlanConfig::deserialize("").is_err(), "missing keys");
+        assert!(FaultPlanConfig::deserialize("drop").is_err(), "no =");
+        assert!(FaultPlanConfig::deserialize("drop=x").is_err(), "bad number");
+        assert!(
+            FaultPlanConfig::deserialize("bogus=1").is_err(),
+            "unknown key"
+        );
+        let doubled = format!("{} drop=1", FaultPlanConfig::default().serialize());
+        assert!(
+            FaultPlanConfig::deserialize(&doubled).is_err(),
+            "duplicate key"
+        );
+    }
+
+    #[test]
+    fn seeded_plan_roundtrip_replays_identically() {
+        let mut original = FaultPlan::with_config(42, FaultPlanConfig::aggressive());
+        let text = original.serialize();
+        let mut replayed = FaultPlan::deserialize(&text).unwrap();
+        assert_eq!(replayed.seed(), 42);
+        assert_eq!(replayed.config(), original.config());
+        assert_eq!(drive(&mut original, 500), drive(&mut replayed, 500));
+    }
+
+    #[test]
+    fn plan_deserialize_rejects_garbage() {
+        assert!(FaultPlan::deserialize("").is_err());
+        assert!(FaultPlan::deserialize("drop=1").is_err(), "seed missing");
+        assert!(FaultPlan::deserialize("seed=zzz drop=1").is_err());
+    }
+
+    #[test]
+    fn weakenings_are_ordered_and_end_before_self() {
+        let cfg = FaultPlanConfig::aggressive();
+        let ladder = cfg.weakenings();
+        assert!(!ladder.is_empty());
+        assert!(ladder[0].is_quiescent(), "weakest candidate first");
+        assert!(!ladder.contains(&cfg), "self is never a weakening");
+        assert!(FaultPlanConfig::quiescent().weakenings().is_empty());
     }
 
     #[test]

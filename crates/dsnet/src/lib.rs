@@ -12,7 +12,9 @@ pub mod net;
 pub mod storage;
 pub mod wire;
 
-pub use faults::{FaultDecision, FaultPlan, FaultPlanConfig, PartitionEdict, TraceEntry};
+pub use faults::{
+    FaultDecision, FaultParseError, FaultPlan, FaultPlanConfig, PartitionEdict, TraceEntry,
+};
 pub use net::{Envelope, Net, NetStats, NodeId};
 pub use storage::{ClusterStorage, Storage};
 pub use wire::{Wire, WireError};

@@ -206,14 +206,21 @@ pub fn make_sut(servers: Vec<NodeId>, bugs: XraftBugs) -> ClusterSut {
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();
+    let factory_storage = storage.clone();
     let cluster = Cluster::new(Box::new(move |id| {
         Box::new(AsyncRaftNode::new(
             id,
             factory_servers.clone(),
             bugs.clone(),
             factory_net.clone(),
-            storage.for_node(id),
+            factory_storage.for_node(id),
         )) as Box<dyn mocket_runtime::NodeApp>
+    }))
+    // Disk-loss faults erase the node's durable storage; the next
+    // restart recovers nothing (unlike a plain Restart, which reloads
+    // whatever the node persisted).
+    .with_disk_wiper(Box::new(move |id| {
+        storage.for_node(id).wipe();
     }));
     ClusterSut::new(
         cluster,

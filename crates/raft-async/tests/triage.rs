@@ -1,0 +1,94 @@
+//! Failure-triage integration tests against the real AsyncRaft SUT:
+//! the minimizer invariant (the shrunk case still validates against
+//! the graph and reproduces the same inconsistency kind) and the
+//! artifact round trip through disk and a fresh cluster.
+
+use std::sync::Arc;
+
+use mocket_core::{replay, Pipeline, PipelineConfig, ReplayArtifact, RunConfig};
+use mocket_raft_async::{make_sut, mapping, XraftBugs};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+/// Table 2 Bug #2: `votedFor` forgotten across a restart. Small model
+/// (two servers, no duplicates, no client requests) so the campaign
+/// stays quick.
+fn bug2() -> (RaftSpecConfig, XraftBugs) {
+    (
+        RaftSpecConfig {
+            dup_limit: 0,
+            client_request_limit: 0,
+            ..RaftSpecConfig::xraft(vec![1, 2])
+        },
+        XraftBugs {
+            voted_for_not_persisted: true,
+            ..XraftBugs::none()
+        },
+    )
+}
+
+fn campaign_config(dir: &std::path::Path) -> PipelineConfig {
+    let mut pc = PipelineConfig::default();
+    pc.por = false;
+    pc.stop_at_first_bug = true;
+    pc.max_path_len = 60;
+    pc.run = RunConfig::fast();
+    pc.triage.campaign_dir = Some(dir.to_path_buf());
+    pc.triage.spec_config = "xraft bug2".into();
+    pc
+}
+
+#[test]
+fn minimized_raft_failure_validates_and_replays_to_the_same_kind() {
+    let dir = std::env::temp_dir().join(format!("mocket-raft-triage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (spec_cfg, bugs) = bug2();
+    let servers: Vec<u64> = spec_cfg.servers.iter().map(|&i| i as u64).collect();
+    let pipeline = Pipeline::new(
+        Arc::new(RaftSpec::new(spec_cfg)),
+        mapping(),
+        campaign_config(&dir),
+    )
+    .unwrap();
+    let result = pipeline.run(|| Box::new(make_sut(servers.clone(), bugs.clone())));
+
+    // The bug is found and confirmed deterministic.
+    let report = result.reports.first().expect("bug #2 must be detected");
+    assert_eq!(report.inconsistency.kind(), "Inconsistent state");
+    assert!(
+        report.determinism.is_deterministic(),
+        "{:?}",
+        report.determinism
+    );
+
+    // Minimizer invariant: never longer, still a valid graph path.
+    if let Some(min) = &report.minimized {
+        assert!(min.len() <= report.test_case.len());
+        assert!(min.validate_against(&result.graph).is_ok());
+    }
+
+    // The persisted artifact replays to the same inconsistency kind
+    // against a completely fresh cluster.
+    let path = result.artifacts.first().expect("artifact written");
+    let artifact = ReplayArtifact::load(path).unwrap();
+    assert_eq!(artifact.kind, report.inconsistency.kind());
+    assert_eq!(
+        artifact.original_len,
+        report.test_case.len(),
+        "artifact records the pre-shrink length"
+    );
+    let mut fresh = make_sut(servers.clone(), bugs.clone());
+    let (verdict, _) = replay(&artifact, &mut fresh, &mapping()).unwrap();
+    assert!(verdict.reproduced(), "{verdict:?}");
+
+    // A fixed build does NOT reproduce: replay distinguishes "still
+    // broken" from "fixed" for free.
+    let mut fixed = make_sut(servers, XraftBugs::none());
+    let (verdict, _) = replay(&artifact, &mut fixed, &mapping()).unwrap();
+    assert!(
+        !verdict.reproduced(),
+        "fixed build must not reproduce: {verdict:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

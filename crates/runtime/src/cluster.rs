@@ -160,6 +160,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Erases one node's durable storage (disk-loss fault). Protocol
+/// crates wire this to their storage substrate (e.g. wiping the
+/// node's `dsnet::Storage`); the cluster itself stays
+/// storage-agnostic.
+pub type DiskWiper = Box<dyn Fn(NodeId) + Send>;
+
 /// A running instrumented cluster.
 pub struct Cluster {
     factory: NodeFactory,
@@ -169,6 +175,7 @@ pub struct Cluster {
     /// since the last [`Cluster::take_deaths`], with the reason.
     deaths: BTreeMap<NodeId, String>,
     reply_timeout: Duration,
+    disk_wiper: Option<DiskWiper>,
 }
 
 impl Cluster {
@@ -181,6 +188,7 @@ impl Cluster {
             last_snapshot: BTreeMap::new(),
             deaths: BTreeMap::new(),
             reply_timeout: Duration::from_secs(5),
+            disk_wiper: None,
         }
     }
 
@@ -188,6 +196,32 @@ impl Cluster {
     pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
         self.reply_timeout = timeout;
         self
+    }
+
+    /// Installs the disk wiper used by [`wipe_disk`](Self::wipe_disk).
+    pub fn with_disk_wiper(mut self, wiper: DiskWiper) -> Self {
+        self.disk_wiper = Some(wiper);
+        self
+    }
+
+    /// Whether a disk wiper is installed.
+    pub fn has_disk_wiper(&self) -> bool {
+        self.disk_wiper.is_some()
+    }
+
+    /// Erases `id`'s durable storage (disk-loss fault). Unlike
+    /// [`crash`](Self::crash), which only loses volatile state, a
+    /// wiped node must come back empty after
+    /// [`restart`](Self::restart). Returns `false` when no wiper is
+    /// installed.
+    pub fn wipe_disk(&mut self, id: NodeId) -> bool {
+        match &self.disk_wiper {
+            Some(wiper) => {
+                wiper(id);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Starts (or restarts after shutdown) the given nodes.

@@ -7,9 +7,14 @@
 //! wires both to the testbed.
 
 use mocket_core::sut::{ExecReport, Offer, Snapshot, SutError, SystemUnderTest};
-use mocket_tla::ActionInstance;
+use mocket_tla::{ActionInstance, Value};
 
 use crate::cluster::{Cluster, ClusterError, NodeId};
+
+/// The external-action name the adapter handles itself: erase a
+/// node's durable storage and restart it. A plain `Restart` recovers
+/// whatever the node persisted; `DiskLoss` must not.
+pub const DISK_LOSS_ACTION: &str = "DiskLoss";
 
 /// Handles external-fault and user-request actions that nodes cannot
 /// offer themselves.
@@ -94,6 +99,25 @@ impl SystemUnderTest for ClusterSut {
     }
 
     fn execute_external(&mut self, action: &ActionInstance) -> Result<ExecReport, SutError> {
+        // Disk loss is generic across protocols (crash + wiped
+        // storage + restart), so the adapter handles it here instead
+        // of every driver reimplementing it.
+        if action.name == DISK_LOSS_ACTION {
+            let Some(&Value::Int(id)) = action.params.first() else {
+                return Err(SutError::External(
+                    "DiskLoss requires a node-id parameter".into(),
+                ));
+            };
+            let id = id as NodeId;
+            self.cluster.crash(id);
+            if !self.cluster.wipe_disk(id) {
+                return Err(SutError::External(
+                    "DiskLoss: no disk wiper installed on this cluster".into(),
+                ));
+            }
+            self.cluster.restart(id);
+            return Ok(ExecReport::default());
+        }
         self.external.execute(&mut self.cluster, action)
     }
 
@@ -218,5 +242,105 @@ mod tests {
             .execute_external(&ActionInstance::nullary("FlipTable"))
             .is_err());
         s.teardown();
+    }
+
+    /// A node app with durable state: `count` is re-read from a
+    /// shared "disk" at every (re)start, and written back on bump.
+    struct DurableApp {
+        id: NodeId,
+        disk: Arc<std::sync::Mutex<std::collections::BTreeMap<NodeId, i64>>>,
+        registry: Arc<VarRegistry>,
+        count: Shadow<i64>,
+    }
+
+    impl NodeApp for DurableApp {
+        fn enabled(&mut self) -> Vec<ActionInstance> {
+            vec![ActionInstance::nullary("bump")]
+        }
+        fn execute(&mut self, _action: &ActionInstance) -> Vec<MsgEvent> {
+            self.count.update(|c| c + 1);
+            self.disk.lock().unwrap().insert(self.id, *self.count.get());
+            vec![]
+        }
+        fn registry(&self) -> Arc<VarRegistry> {
+            self.registry.clone()
+        }
+    }
+
+    fn durable_sut() -> ClusterSut {
+        let disk = Arc::new(std::sync::Mutex::new(
+            std::collections::BTreeMap::<NodeId, i64>::new(),
+        ));
+        let factory_disk = disk.clone();
+        let cluster = Cluster::new(Box::new(move |id| {
+            let registry = VarRegistry::new();
+            let recovered = factory_disk.lock().unwrap().get(&id).copied().unwrap_or(0);
+            let count = Shadow::new("count", recovered, registry.clone());
+            Box::new(DurableApp {
+                id,
+                disk: factory_disk.clone(),
+                registry,
+                count,
+            }) as Box<dyn NodeApp>
+        }))
+        .with_disk_wiper(Box::new(move |id| {
+            disk.lock().unwrap().remove(&id);
+        }));
+        ClusterSut::new(cluster, vec![1], Box::new(CrashDriver))
+    }
+
+    fn count_of(s: &mut ClusterSut, node: i64) -> Value {
+        s.snapshot()
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .expect_apply(&Value::Int(node))
+            .clone()
+    }
+
+    #[test]
+    fn restart_recovers_durable_state_but_disk_loss_does_not() {
+        let mut s = durable_sut();
+        s.deploy().unwrap();
+        let offer = s.offers().unwrap().remove(0);
+        s.execute(&offer).unwrap();
+        assert_eq!(count_of(&mut s, 1), Value::Int(1));
+
+        // A plain restart recovers what the node persisted.
+        s.execute_external(&ActionInstance::new("Restart", vec![Value::Int(1)]))
+            .unwrap();
+        assert_eq!(count_of(&mut s, 1), Value::Int(1), "restart keeps the disk");
+
+        // Disk loss erases durable state: the node comes back empty.
+        s.execute_external(&ActionInstance::new(
+            DISK_LOSS_ACTION,
+            vec![Value::Int(1)],
+        ))
+        .unwrap();
+        assert_eq!(count_of(&mut s, 1), Value::Int(0), "disk loss wipes it");
+        s.teardown();
+    }
+
+    #[test]
+    fn disk_loss_without_wiper_or_node_id_is_a_typed_error() {
+        let mut s = durable_sut();
+        s.deploy().unwrap();
+        assert!(matches!(
+            s.execute_external(&ActionInstance::nullary(DISK_LOSS_ACTION)),
+            Err(SutError::External(_))
+        ));
+        // A cluster without a wiper reports the misconfiguration
+        // instead of silently degrading DiskLoss into Restart.
+        let mut plain = sut();
+        plain.deploy().unwrap();
+        assert!(matches!(
+            plain.execute_external(&ActionInstance::new(
+                DISK_LOSS_ACTION,
+                vec![Value::Int(1)]
+            )),
+            Err(SutError::External(_))
+        ));
+        s.teardown();
+        plain.teardown();
     }
 }

@@ -29,14 +29,25 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Nesting bound for values: parsing is recursive-descent, so
+/// unbounded nesting (`<<<<<<...`) would overflow the stack — an
+/// abort, not a typed error. Real spec states nest a handful of
+/// levels; 128 is far beyond anything legitimate.
+const MAX_VALUE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     input: &'a str,
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { input, pos: 0 }
+        Parser {
+            input,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -97,6 +108,16 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self) -> Result<Value, ParseError> {
+        if self.depth >= MAX_VALUE_DEPTH {
+            return Err(self.err("value nesting too deep"));
+        }
+        self.depth += 1;
+        let result = self.value_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn value_inner(&mut self) -> Result<Value, ParseError> {
         match self
             .peek()
             .ok_or_else(|| self.err("unexpected end of input"))?
@@ -379,5 +400,17 @@ mod tests {
         }
         assert!(parse_action_instance("Bad(1").is_err());
         assert!(parse_action_instance("A(1) junk").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 100k unclosed sequence openers: without the depth bound this
+        // recursion aborts the process instead of returning an error.
+        let deep = "<<".repeat(100_000);
+        let err = parse_value(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Moderate nesting stays fine.
+        let ok = format!("{}1{}", "<<".repeat(50), ">>".repeat(50));
+        assert!(parse_value(&ok).is_ok());
     }
 }
