@@ -1,0 +1,194 @@
+//! Parallel checker throughput: states/sec by worker count.
+//!
+//! Explores the asynchronous Raft bench model with 1, 2, 4, and
+//! all-core workers, asserts every run's DOT export is byte-identical
+//! to the sequential baseline, and writes the numbers (states/sec,
+//! peak-RSS proxy, speedup over one worker, DOT round-trip time) to
+//! `BENCH_checker.json` at the repository root.
+//!
+//! `BENCH_SMOKE=1` switches to a small model and two worker counts so
+//! CI can exercise the whole harness in seconds; the full model is a
+//! scaled-up Xraft configuration with > 100k distinct states.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mocket_bench::xraft_model;
+use mocket_checker::{read_dot, to_dot, CheckResult, ModelChecker};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket_tla::Spec;
+
+/// The full-mode model: Xraft's asynchronous Raft with a third
+/// server. The unconstrained space runs to millions of states, so
+/// full mode explores it under a distinct-state cap (well past the
+/// 100k mark) — the truncation point is deterministic, so the
+/// byte-identity assertion holds exactly as on exhausted spaces.
+fn full_model() -> RaftSpecConfig {
+    let mut cfg = RaftSpecConfig::xraft(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.client_request_limit = 1;
+    cfg.max_in_flight = 2;
+    cfg
+}
+
+/// Distinct-state cap for full mode.
+const FULL_MODE_MAX_STATES: usize = 200_000;
+
+/// Peak resident set size in kilobytes (`VmHWM` from
+/// `/proc/self/status`); 0 where the proc filesystem is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Run {
+    workers: usize,
+    secs: f64,
+    states_per_sec: f64,
+    speedup: f64,
+}
+
+fn explore(spec: &Arc<dyn Spec>, workers: usize, max_states: usize) -> (CheckResult, f64) {
+    let start = Instant::now();
+    let r = ModelChecker::new(spec.clone())
+        .workers(workers)
+        .max_states(max_states)
+        .run();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (name, cfg) = if smoke {
+        ("Xraft-smoke", xraft_model())
+    } else {
+        ("Xraft-large", full_model())
+    };
+    let spec: Arc<dyn Spec> = Arc::new(RaftSpec::new(cfg));
+    let mut counts: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
+    if !smoke && cores > 4 && !counts.contains(&cores) {
+        counts.push(cores);
+    }
+
+    let max_states = if smoke {
+        usize::MAX
+    } else {
+        FULL_MODE_MAX_STATES
+    };
+
+    println!("=== Parallel checker throughput ({name}) ===");
+    let (baseline, base_secs) = explore(&spec, 1, max_states);
+    assert!(baseline.ok(), "bench model must satisfy its invariants");
+    let states = baseline.stats.distinct_states;
+    let edges = baseline.stats.edges;
+    if !smoke {
+        assert!(
+            states >= 100_000,
+            "full bench model must exceed 100k states, got {states}"
+        );
+    }
+    let base_dot = to_dot(&baseline.graph);
+    println!(
+        "model: {states} distinct states, {edges} edges, depth {}",
+        baseline.stats.depth
+    );
+    println!(
+        "{:>8} {:>10} {:>14} {:>9}",
+        "workers", "time", "states/sec", "speedup"
+    );
+
+    let mut runs = Vec::new();
+    for &w in &counts {
+        let (secs, result) = if w == 1 {
+            (base_secs, None)
+        } else {
+            let (r, secs) = explore(&spec, w, max_states);
+            (secs, Some(r))
+        };
+        if let Some(r) = &result {
+            assert_eq!(r.stats.distinct_states, states, "workers={w} state count");
+            assert_eq!(r.stats.edges, edges, "workers={w} edge count");
+            assert_eq!(
+                to_dot(&r.graph),
+                base_dot,
+                "workers={w} DOT must be byte-identical to sequential"
+            );
+        }
+        let rate = states as f64 / secs;
+        let speedup = base_secs / secs;
+        println!("{w:>8} {secs:>9.2}s {rate:>14.0} {speedup:>8.2}x");
+        runs.push(Run {
+            workers: w,
+            secs,
+            states_per_sec: rate,
+            speedup,
+        });
+    }
+
+    // DOT round-trip on the explored graph: streaming export to a
+    // byte buffer, then streaming import back.
+    let export_start = Instant::now();
+    let mut dot_buf = Vec::with_capacity(base_dot.len());
+    mocket_checker::write_dot(&baseline.graph, &mut dot_buf).expect("DOT export");
+    let export_secs = export_start.elapsed().as_secs_f64();
+    let import_start = Instant::now();
+    let reread = read_dot(dot_buf.as_slice()).expect("DOT import");
+    let import_secs = import_start.elapsed().as_secs_f64();
+    assert_eq!(reread.state_count(), states, "round-trip state count");
+    assert_eq!(reread.edge_count(), edges, "round-trip edge count");
+    println!(
+        "DOT round-trip: {} bytes, export {export_secs:.3}s, import {import_secs:.3}s",
+        dot_buf.len()
+    );
+
+    let rss_kb = peak_rss_kb();
+    println!("peak RSS: {:.1} MiB", rss_kb as f64 / 1024.0);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"checker_parallel\",");
+    let _ = writeln!(json, "  \"model\": \"{name}\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"distinct_states\": {states},");
+    let _ = writeln!(json, "  \"edges\": {edges},");
+    let _ = writeln!(json, "  \"peak_rss_kb\": {rss_kb},");
+    let _ = writeln!(
+        json,
+        "  \"dot_bytes\": {}, \"dot_export_secs\": {export_secs:.4}, \"dot_import_secs\": {import_secs:.4},",
+        dot_buf.len()
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"secs\": {:.4}, \"states_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            r.workers,
+            r.secs,
+            r.states_per_sec,
+            r.speedup,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    // Walk up from the bench crate to the workspace root so the
+    // artifact lands beside the other BENCH_*.json files.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = root.join("BENCH_checker.json");
+    std::fs::write(&out, &json).expect("write BENCH_checker.json");
+    println!("wrote {}", out.display());
+}

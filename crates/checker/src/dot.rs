@@ -2,98 +2,141 @@
 //!
 //! TLC can dump the state space it verified as a GraphViz DOT file,
 //! and Mocket's test-case generator consumes exactly that file
-//! (§4.2). We reproduce both sides of the boundary: [`to_dot`] writes
-//! a graph, [`from_dot`] parses one back. Node labels carry the full
-//! state in TLA+ conjunction syntax; edge labels carry the action
-//! instance.
+//! (§4.2). We reproduce both sides of the boundary: [`write_dot`]
+//! streams a graph to any writer and [`read_dot`] parses one back
+//! from any buffered reader; [`to_dot`] / [`from_dot`] are the
+//! in-memory conveniences on top. Node labels carry the full state in
+//! TLA+ conjunction syntax; edge labels carry the action instance.
+//!
+//! The streaming pair is the hot path for large graphs: output goes
+//! through one `BufWriter` with a single reusable label buffer (no
+//! per-node or per-edge `String` allocation), and the escaper copies
+//! unescaped spans in bulk instead of byte-at-a-time. Import reads
+//! line by line through one reusable line buffer, so neither
+//! direction ever holds the whole file in memory.
 
 use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use mocket_tla::{parse_action_instance, parse_state, ParseError};
 
 use crate::graph::{NodeId, StateGraph};
 
-/// Serializes a graph as GraphViz DOT.
-pub fn to_dot(graph: &StateGraph) -> String {
-    let mut out = String::new();
-    out.push_str("digraph StateSpace {\n");
-    out.push_str("  nodesep = 0.35;\n");
+/// Streams a graph as GraphViz DOT to `w`.
+///
+/// Output is byte-identical to [`to_dot`]. The writer is wrapped in a
+/// [`io::BufWriter`] internally; callers pass the raw sink.
+pub fn write_dot<W: Write>(graph: &StateGraph, w: W) -> io::Result<()> {
+    let mut w = io::BufWriter::new(w);
+    // One label buffer reused for every node and edge: states and
+    // actions format into it, then the escaper streams it out.
+    let mut label = String::new();
+    w.write_all(b"digraph StateSpace {\n")?;
+    w.write_all(b"  nodesep = 0.35;\n")?;
     for (id, state) in graph.states() {
-        let initial = graph.initial_states().contains(&id);
-        let _ = writeln!(
-            out,
-            "  s{} [label=\"{}\"{}];",
-            id.0,
-            escape(&state.to_string()),
-            if initial {
-                ", style=bold, initial=true"
-            } else {
-                ""
-            },
-        );
+        label.clear();
+        let _ = write!(label, "{state}");
+        write!(w, "  s{} [label=\"", id.0)?;
+        write_escaped(&mut w, &label)?;
+        if graph.initial_states().contains(&id) {
+            w.write_all(b"\", style=bold, initial=true];\n")?;
+        } else {
+            w.write_all(b"\"];\n")?;
+        }
     }
     for edge in graph.edges() {
-        let _ = writeln!(
-            out,
-            "  s{} -> s{} [label=\"{}\"];",
-            edge.from.0,
-            edge.to.0,
-            escape(&edge.action.to_string()),
-        );
+        label.clear();
+        let _ = write!(label, "{}", edge.action);
+        write!(w, "  s{} -> s{} [label=\"", edge.from.0, edge.to.0)?;
+        write_escaped(&mut w, &label)?;
+        w.write_all(b"\"];\n")?;
     }
-    out.push_str("}\n");
-    out
+    w.write_all(b"}\n")?;
+    w.flush()
 }
 
-/// Parses a DOT file produced by [`to_dot`] back into a graph.
+/// Serializes a graph as a GraphViz DOT string.
+pub fn to_dot(graph: &StateGraph) -> String {
+    let mut buf = Vec::new();
+    write_dot(graph, &mut buf).expect("writing DOT to memory cannot fail");
+    String::from_utf8(buf).expect("DOT output is UTF-8")
+}
+
+/// Streams a DOT file produced by [`write_dot`] back into a graph.
 ///
 /// Node ids are remapped densely in order of appearance, preserving
-/// initial-state marks and edge order.
-pub fn from_dot(input: &str) -> Result<StateGraph, DotError> {
+/// initial-state marks and edge order. The returned graph is
+/// [`StateGraph::finish`]ed: compacted, with its CSR adjacency built.
+pub fn read_dot<R: BufRead>(mut r: R) -> Result<StateGraph, DotError> {
     let mut graph = StateGraph::new();
     // DOT node name ("s12") -> graph NodeId.
     let mut names: std::collections::HashMap<String, NodeId> = std::collections::HashMap::new();
+    let mut raw = String::new();
 
-    for (lineno, raw) in input.lines().enumerate() {
-        let line = raw.trim().trim_end_matches(';');
-        if line.is_empty()
-            || line.starts_with("digraph")
-            || line.starts_with('}')
-            || line.starts_with("//")
-            || !line.contains('[')
-        {
-            continue;
+    let mut lineno = 0usize;
+    loop {
+        raw.clear();
+        if r.read_line(&mut raw)? == 0 {
+            break;
         }
-        let (head, attrs) = split_attrs(line).ok_or_else(|| DotError::syntax(lineno, line))?;
-        if let Some((from, to)) = head.split_once("->") {
-            // Edge line.
-            let from = from.trim();
-            let to = to.trim();
-            let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
-            let action = parse_action_instance(&label).map_err(|e| DotError::parse(lineno, e))?;
-            let f = *names
-                .get(from)
-                .ok_or_else(|| DotError::unknown_node(lineno, from))?;
-            let t = *names
-                .get(to)
-                .ok_or_else(|| DotError::unknown_node(lineno, to))?;
-            graph.add_edge(f, action, t);
-        } else {
-            // Node line.
-            let name = head.trim().to_string();
-            if name == "nodesep" {
-                continue;
-            }
-            let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
-            let state = parse_state(&label).map_err(|e| DotError::parse(lineno, e))?;
-            let (id, _) = graph.insert_state(state);
-            if attrs.contains("initial=true") {
-                graph.mark_initial(id);
-            }
-            names.insert(name, id);
-        }
+        parse_line(&raw, lineno, &mut graph, &mut names)?;
+        lineno += 1;
     }
+    graph.finish();
     Ok(graph)
+}
+
+/// Parses a DOT string produced by [`to_dot`] back into a graph.
+pub fn from_dot(input: &str) -> Result<StateGraph, DotError> {
+    read_dot(input.as_bytes())
+}
+
+/// Processes one DOT line: node declaration, edge, or ignorable noise.
+fn parse_line(
+    raw: &str,
+    lineno: usize,
+    graph: &mut StateGraph,
+    names: &mut std::collections::HashMap<String, NodeId>,
+) -> Result<(), DotError> {
+    let line = raw.trim().trim_end_matches(';');
+    if line.is_empty()
+        || line.starts_with("digraph")
+        || line.starts_with('}')
+        || line.starts_with("//")
+        || !line.contains('[')
+    {
+        return Ok(());
+    }
+    let (head, attrs) = split_attrs(line).ok_or_else(|| DotError::syntax(lineno, line))?;
+    if let Some((from, to)) = head.split_once("->") {
+        // Edge line.
+        let from = from.trim();
+        let to = to.trim();
+        let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
+        let action = parse_action_instance(&label).map_err(|e| DotError::parse(lineno, e))?;
+        let f = *names
+            .get(from)
+            .ok_or_else(|| DotError::unknown_node(lineno, from))?;
+        let t = *names
+            .get(to)
+            .ok_or_else(|| DotError::unknown_node(lineno, to))?;
+        graph.add_edge(f, action, t);
+    } else {
+        // Node line.
+        let name = head.trim().to_string();
+        if name == "nodesep" {
+            return Ok(());
+        }
+        let label = attr_label(attrs).ok_or_else(|| DotError::syntax(lineno, line))?;
+        let state = parse_state(&label).map_err(|e| DotError::parse(lineno, e))?;
+        let (id, _) = graph.insert_state(state);
+        if attrs.contains("initial=true") {
+            graph.mark_initial(id);
+        }
+        names.insert(name, id);
+    }
+    Ok(())
 }
 
 /// Splits `head [attrs]` into `(head, attrs)`.
@@ -122,8 +165,19 @@ fn attr_label(attrs: &str) -> Option<String> {
     None
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Streams `s` with `\` and `"` escaped, copying the clean spans in
+/// bulk rather than allocating an escaped copy.
+fn write_escaped<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\\' || b == b'"' {
+            w.write_all(&bytes[start..i])?;
+            w.write_all(&[b'\\', b])?;
+            start = i + 1;
+        }
+    }
+    w.write_all(&bytes[start..])
 }
 
 /// Errors from DOT parsing.
@@ -150,6 +204,8 @@ pub enum DotError {
         /// The undeclared node name.
         name: String,
     },
+    /// The underlying reader failed.
+    Io(Arc<io::Error>),
 }
 
 impl DotError {
@@ -172,6 +228,12 @@ impl DotError {
     }
 }
 
+impl From<io::Error> for DotError {
+    fn from(e: io::Error) -> Self {
+        DotError::Io(Arc::new(e))
+    }
+}
+
 impl std::fmt::Display for DotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -188,11 +250,19 @@ impl std::fmt::Display for DotError {
                     line + 1
                 )
             }
+            DotError::Io(e) => write!(f, "DOT I/O error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DotError {}
+impl std::error::Error for DotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DotError::Io(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -239,6 +309,25 @@ mod tests {
         );
         let actions: Vec<String> = g2.edges().iter().map(|e| e.action.to_string()).collect();
         assert_eq!(actions, ["Request(1)", "Respond"]);
+    }
+
+    #[test]
+    fn streaming_writer_matches_to_dot() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_dot(&g));
+    }
+
+    #[test]
+    fn read_dot_streams_from_reader() {
+        let g = sample_graph();
+        let dot = to_dot(&g);
+        let g2 = read_dot(io::BufReader::new(dot.as_bytes())).unwrap();
+        assert_eq!(g2.state_count(), g.state_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        // Import finishes the graph: re-export is identical.
+        assert_eq!(to_dot(&g2), dot);
     }
 
     #[test]

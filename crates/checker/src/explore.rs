@@ -5,6 +5,11 @@
 //! fingerprint, until the space is exhausted, a bound is hit, or an
 //! invariant is violated. The product is the [`StateGraph`] that
 //! drives Mocket's test-case generation.
+//!
+//! Exploration runs on [`ModelChecker::workers`] threads by default
+//! (like TLC's parallel fingerprint-sharded checker); the parallel
+//! engine in [`crate::parallel`] guarantees output byte-identical to
+//! the sequential checker for any worker count.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -12,8 +17,19 @@ use std::time::{Duration, Instant};
 
 use mocket_tla::{successors_with, Spec, State};
 
-use crate::graph::{NodeId, StateGraph};
+use crate::graph::{EdgeId, NodeId, StateGraph};
 use crate::invariant::{Invariant, Violation};
+
+/// What one exploration worker did (diagnostic; the distribution is
+/// scheduling-dependent and not part of the determinism guarantee).
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Frontier states this worker expanded.
+    pub nodes_expanded: usize,
+    /// Successor states this worker generated (including revisits and
+    /// expansions discarded by a bound hit during the merge).
+    pub states_generated: usize,
+}
 
 /// Exploration statistics, mirroring TLC's progress report.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +46,10 @@ pub struct CheckStats {
     pub elapsed: Duration,
     /// Whether exploration stopped at a bound rather than a fixpoint.
     pub truncated: bool,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Per-worker expansion counts (length = `workers`).
+    pub per_worker: Vec<WorkerStats>,
 }
 
 /// Outcome of a model-checking run.
@@ -52,15 +72,17 @@ impl CheckResult {
 
 /// A configurable explicit-state model checker.
 pub struct ModelChecker {
-    spec: Arc<dyn Spec>,
-    invariants: Vec<Invariant>,
-    constraint: Option<Arc<dyn Fn(&State) -> bool + Send + Sync>>,
-    max_states: usize,
-    max_depth: usize,
+    pub(crate) spec: Arc<dyn Spec>,
+    pub(crate) invariants: Vec<Invariant>,
+    pub(crate) constraint: Option<Arc<dyn Fn(&State) -> bool + Send + Sync>>,
+    pub(crate) max_states: usize,
+    pub(crate) max_depth: usize,
+    pub(crate) workers: usize,
 }
 
 impl ModelChecker {
-    /// Creates a checker for `spec` with no invariants and no bounds.
+    /// Creates a checker for `spec` with no invariants, no bounds, and
+    /// one worker per available core.
     pub fn new(spec: Arc<dyn Spec>) -> Self {
         ModelChecker {
             spec,
@@ -68,6 +90,7 @@ impl ModelChecker {
             constraint: None,
             max_states: usize::MAX,
             max_depth: usize::MAX,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 
@@ -99,14 +122,31 @@ impl ModelChecker {
         self
     }
 
+    /// Sets the number of exploration threads. `1` runs the exact
+    /// sequential code path; any other count produces byte-identical
+    /// graphs, DOT exports and statistics (wall-clock and per-worker
+    /// breakdowns aside). `0` is clamped to `1`.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
     /// Runs the exploration to fixpoint (or bound / violation).
     pub fn run(self) -> CheckResult {
+        if self.workers <= 1 {
+            self.run_sequential()
+        } else {
+            crate::parallel::run(self)
+        }
+    }
+
+    fn run_sequential(self) -> CheckResult {
         let start = Instant::now();
         let mut graph = StateGraph::new();
         let mut stats = CheckStats::default();
         // Parent links for counterexample reconstruction: for each
-        // node, the (parent, action-edge) that first discovered it.
-        let mut parent: Vec<Option<(NodeId, usize)>> = Vec::new();
+        // node, the (parent, edge) that first discovered it.
+        let mut parent: Vec<Option<(NodeId, EdgeId)>> = Vec::new();
         let mut depth: Vec<usize> = Vec::new();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         let mut violation = None;
@@ -114,23 +154,15 @@ impl ModelChecker {
         // whole exploration.
         let actions = self.spec.actions();
 
-        let note_new = |parent_vec: &mut Vec<Option<(NodeId, usize)>>,
-                        depth_vec: &mut Vec<usize>,
-                        id: NodeId,
-                        from: Option<(NodeId, usize)>,
-                        d: usize| {
-            debug_assert_eq!(parent_vec.len(), id.0);
-            parent_vec.push(from);
-            depth_vec.push(d);
-        };
-
         'outer: {
             for init in self.spec.init_states() {
                 stats.states_generated += 1;
                 let (id, new) = graph.insert_state(init);
                 graph.mark_initial(id);
                 if new {
-                    note_new(&mut parent, &mut depth, id, None, 0);
+                    debug_assert_eq!(parent.len(), id.0);
+                    parent.push(None);
+                    depth.push(0);
                     if let Some(v) = self.check_invariants(&graph, id, &parent) {
                         violation = Some(v);
                         break 'outer;
@@ -157,16 +189,11 @@ impl ModelChecker {
                 for (action, next) in succ {
                     stats.states_generated += 1;
                     let (id, new) = graph.insert_state(next);
-                    graph.add_edge(node, action, id);
+                    let eid = graph.add_edge(node, action, id);
                     if new {
-                        let d = depth[node.0] + 1;
-                        note_new(
-                            &mut parent,
-                            &mut depth,
-                            id,
-                            Some((node, graph.out_edges(node).len() - 1)),
-                            d,
-                        );
+                        debug_assert_eq!(parent.len(), id.0);
+                        parent.push(Some((node, eid)));
+                        depth.push(depth[node.0] + 1);
                         if let Some(v) = self.check_invariants(&graph, id, &parent) {
                             violation = Some(v);
                             break 'outer;
@@ -177,10 +204,16 @@ impl ModelChecker {
             }
         }
 
+        graph.finish();
         stats.distinct_states = graph.state_count();
         stats.edges = graph.edge_count();
         stats.depth = depth.iter().copied().max().unwrap_or(0);
         stats.elapsed = start.elapsed();
+        stats.workers = 1;
+        stats.per_worker = vec![WorkerStats {
+            nodes_expanded: stats.distinct_states,
+            states_generated: stats.states_generated,
+        }];
         CheckResult {
             graph,
             stats,
@@ -188,11 +221,11 @@ impl ModelChecker {
         }
     }
 
-    fn check_invariants(
+    pub(crate) fn check_invariants(
         &self,
         graph: &StateGraph,
         id: NodeId,
-        parent: &[Option<(NodeId, usize)>],
+        parent: &[Option<(NodeId, EdgeId)>],
     ) -> Option<Violation> {
         let state = graph.state(id);
         for inv in &self.invariants {
@@ -213,14 +246,13 @@ impl ModelChecker {
 fn reconstruct_trace(
     graph: &StateGraph,
     id: NodeId,
-    parent: &[Option<(NodeId, usize)>],
+    parent: &[Option<(NodeId, EdgeId)>],
 ) -> Vec<(Option<mocket_tla::ActionInstance>, State)> {
     let mut rev = Vec::new();
     let mut cur = id;
     loop {
         match parent[cur.0] {
-            Some((p, edge_idx)) => {
-                let eid = graph.out_edges(p)[edge_idx];
+            Some((p, eid)) => {
                 rev.push((
                     Some(graph.edge(eid).action.clone()),
                     graph.state(cur).clone(),
@@ -243,8 +275,8 @@ mod tests {
     use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
 
     /// `n` counts 0..=limit with `Inc`; `Reset` returns to 0.
-    struct Clock {
-        limit: i64,
+    pub(crate) struct Clock {
+        pub(crate) limit: i64,
     }
 
     impl Spec for Clock {

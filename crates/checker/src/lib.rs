@@ -10,10 +10,11 @@ pub mod dot;
 pub mod explore;
 pub mod graph;
 pub mod invariant;
+pub(crate) mod parallel;
 pub mod simulate;
 
-pub use dot::{from_dot, to_dot, DotError};
-pub use explore::{CheckResult, CheckStats, ModelChecker};
+pub use dot::{from_dot, read_dot, to_dot, write_dot, DotError};
+pub use explore::{CheckResult, CheckStats, ModelChecker, WorkerStats};
 pub use graph::{Edge, EdgeId, NodeId, StateGraph};
 pub use invariant::{Invariant, Violation};
 pub use simulate::{simulate, SimulateConfig, SimulateResult, SimulateStats};

@@ -1,17 +1,20 @@
 //! 64-bit state fingerprinting.
 //!
 //! TLC deduplicates its state space with 64-bit fingerprints rather
-//! than storing full states. We use FNV-1a over a canonical value
-//! encoding: collision-free in practice at the state-space sizes this
-//! repository explores (≤ a few million states), deterministic across
-//! runs and platforms, and allocation-free.
+//! than storing full states. We mix 8-byte words with an FNV-style
+//! xor-multiply round plus a rotation (so high input bits diffuse
+//! too), over a canonical value encoding: collision-free in practice
+//! at the state-space sizes this repository explores (≤ a few million
+//! states), deterministic across runs and platforms, and
+//! allocation-free. Word-wise mixing is ~8× fewer multiply rounds
+//! than the previous byte-at-a-time FNV-1a on the same input.
 
 use crate::value::Value;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-/// Incremental FNV-1a fingerprinter over canonical value encodings.
+/// Incremental word-wise fingerprinter over canonical value encodings.
 #[derive(Debug, Clone)]
 pub struct Fingerprinter {
     hash: u64,
@@ -23,26 +26,36 @@ impl Fingerprinter {
         Fingerprinter { hash: FNV_OFFSET }
     }
 
-    /// Mixes a single byte.
+    /// Mixes a single byte (kind tags, booleans).
     #[inline]
     pub fn write_u8(&mut self, b: u8) {
         self.hash ^= u64::from(b);
         self.hash = self.hash.wrapping_mul(FNV_PRIME);
     }
 
-    /// Mixes a little-endian u64.
+    /// Mixes a full 64-bit word in one round. The multiply only
+    /// diffuses upward, so a rotation follows to feed high bits back
+    /// into the low half before the next round; `to_le_bytes`-based
+    /// callers stay stable across platforms.
     #[inline]
     pub fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.write_u8(b);
-        }
+        self.hash = (self.hash ^ v).wrapping_mul(FNV_PRIME).rotate_left(29);
     }
 
-    /// Mixes a length-prefixed string.
+    /// Mixes a length-prefixed string, 8 bytes at a time (the tail is
+    /// zero-padded; the length prefix disambiguates it).
     pub fn write_str(&mut self, s: &str) {
         self.write_u64(s.len() as u64);
-        for b in s.as_bytes() {
-            self.write_u8(*b);
+        let bytes = s.as_bytes();
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.write_u64(u64::from_le_bytes(buf));
         }
     }
 
@@ -166,6 +179,17 @@ mod tests {
         let a = fingerprint_value(&Value::Int(1));
         let b = fingerprint_value(&Value::Int(2));
         assert!((a ^ b).count_ones() > 8, "poor spread: {a:x} vs {b:x}");
+    }
+
+    #[test]
+    fn golden_values_are_stable() {
+        // Pinned outputs of the word-wise mixer: any change to the
+        // fingerprint function must update these deliberately, since
+        // fingerprints index persisted state graphs.
+        assert_eq!(fingerprint_value(&Value::Nil), 0x25fc_6dd3_6ce0_4b20);
+        assert_eq!(fingerprint_value(&Value::Int(42)), 0xd428_e955_8ecb_f87c);
+        assert_eq!(fingerprint_value(&Value::str("Leader")), 0xef8a_6a09_2e2d_9b10);
+        assert_eq!(fingerprint_value(&vseq![1, 2, 3]), 0x0de1_521c_c159_f2e3);
     }
 
     #[test]

@@ -4,17 +4,52 @@
 //! exactly like one node of TLC's state-space graph (Figure 2 of the
 //! paper). States are fingerprinted for deduplication during
 //! exploration and pretty-printed in TLA+ conjunction syntax.
+//!
+//! Storage is structurally shared: variable names are interned
+//! (`Arc<str>`) and values are `Arc`-backed, so the primed assignment
+//! [`State::with`] copies only the variable map — every unchanged
+//! value is shared with the predecessor state. The fingerprint is
+//! computed once per state and cached, so exploration probes stop
+//! re-hashing.
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::fingerprint::Fingerprinter;
 use crate::value::Value;
 
+/// Returns the canonical shared allocation for a variable name.
+///
+/// Specifications use a small fixed vocabulary of variable names, so
+/// every state's keys alias the same handful of allocations; the pool
+/// is only consulted when a name is bound for the first time (rebinding
+/// through [`State::set`] / [`State::with`] reuses the existing key).
+fn intern(name: &str) -> Arc<str> {
+    static POOL: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    let pool = POOL.get_or_init(Default::default);
+    let mut guard = match pool.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(existing) = guard.get(name) {
+        return existing.clone();
+    }
+    let fresh: Arc<str> = Arc::from(name);
+    guard.insert(fresh.clone());
+    fresh
+}
+
 /// A mapping from variable names to values.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct State {
-    vars: BTreeMap<String, Value>,
+    vars: BTreeMap<Arc<str>, Arc<Value>>,
+    /// Cached fingerprint; cleared on mutation, cloned along with the
+    /// state so successors inherit nothing but dedup probes pay the
+    /// hash at most once per state.
+    fp: OnceLock<u64>,
 }
 
 impl State {
@@ -22,6 +57,7 @@ impl State {
     pub fn new() -> Self {
         State {
             vars: BTreeMap::new(),
+            fp: OnceLock::new(),
         }
     }
 
@@ -32,30 +68,45 @@ impl State {
         S: Into<String>,
     {
         State {
-            vars: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            vars: pairs
+                .into_iter()
+                .map(|(k, v)| (intern(&k.into()), Arc::new(v)))
+                .collect(),
+            fp: OnceLock::new(),
         }
     }
 
     /// The value of variable `name`, if bound.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.vars.get(name)
+        self.vars.get(name).map(|v| v.as_ref())
     }
 
     /// The value of variable `name`; panics if unbound (spec-internal
     /// use where the variable set is fixed).
     pub fn expect(&self, name: &str) -> &Value {
-        self.vars
-            .get(name)
+        self.get(name)
             .unwrap_or_else(|| panic!("state has no variable {name:?}"))
     }
 
     /// Binds `name` to `value`, returning the previous binding.
     pub fn set(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
-        self.vars.insert(name.into(), value)
+        let name = name.into();
+        self.fp = OnceLock::new();
+        // Rebinding an existing variable reuses its key allocation and
+        // skips the intern pool entirely — the hot path for primed
+        // assignments during successor generation.
+        let key = match self.vars.get_key_value(name.as_str()) {
+            Some((k, _)) => k.clone(),
+            None => intern(&name),
+        };
+        self.vars
+            .insert(key, Arc::new(value))
+            .map(Arc::unwrap_or_clone)
     }
 
     /// Returns a copy of this state with `name` rebound — the primed
-    /// assignment `name' = value`.
+    /// assignment `name' = value`. Only the variable map is copied;
+    /// all unchanged values are shared with `self`.
     pub fn with(&self, name: impl Into<String>, value: Value) -> State {
         let mut s = self.clone();
         s.set(name, value);
@@ -74,12 +125,12 @@ impl State {
 
     /// Iterates over `(variable, value)` pairs in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+        self.vars.iter().map(|(k, v)| (k.as_ref(), v.as_ref()))
     }
 
     /// The variable names in order.
     pub fn variable_names(&self) -> impl Iterator<Item = &str> {
-        self.vars.keys().map(|k| k.as_str())
+        self.vars.keys().map(|k| k.as_ref())
     }
 
     /// A stable 64-bit fingerprint of the full variable assignment.
@@ -87,13 +138,16 @@ impl State {
     /// Two states have equal fingerprints iff they are (modulo a
     /// vanishing collision probability) the same assignment; TLC uses
     /// the same technique to deduplicate states during exploration.
+    /// Computed on first call and cached for the state's lifetime.
     pub fn fingerprint(&self) -> u64 {
-        let mut fp = Fingerprinter::new();
-        for (k, v) in &self.vars {
-            fp.write_str(k);
-            fp.write_value(v);
-        }
-        fp.finish()
+        *self.fp.get_or_init(|| {
+            let mut fp = Fingerprinter::new();
+            for (k, v) in &self.vars {
+                fp.write_str(k);
+                fp.write_value(v);
+            }
+            fp.finish()
+        })
     }
 
     /// The variables on which `self` and `other` differ, with both
@@ -104,13 +158,13 @@ impl State {
             match other.vars.get(k) {
                 Some(w) if w == v => {}
                 Some(w) => out.push(StateDiff {
-                    variable: k,
-                    left: Some(v),
-                    right: Some(w),
+                    variable: k.as_ref(),
+                    left: Some(v.as_ref()),
+                    right: Some(w.as_ref()),
                 }),
                 None => out.push(StateDiff {
-                    variable: k,
-                    left: Some(v),
+                    variable: k.as_ref(),
+                    left: Some(v.as_ref()),
                     right: None,
                 }),
             }
@@ -118,9 +172,9 @@ impl State {
         for (k, w) in &other.vars {
             if !self.vars.contains_key(k) {
                 out.push(StateDiff {
-                    variable: k,
+                    variable: k.as_ref(),
                     left: None,
-                    right: Some(w),
+                    right: Some(w.as_ref()),
                 });
             }
         }
@@ -128,11 +182,12 @@ impl State {
     }
 
     /// Projects the state onto the given variables, dropping the rest.
+    /// The kept values are shared, not cloned.
     pub fn project<'a, I: IntoIterator<Item = &'a str>>(&self, keep: I) -> State {
         let mut s = State::new();
         for name in keep {
-            if let Some(v) = self.get(name) {
-                s.set(name, v.clone());
+            if let Some((k, v)) = self.vars.get_key_value(name) {
+                s.vars.insert(k.clone(), v.clone());
             }
         }
         s
@@ -142,6 +197,36 @@ impl State {
 impl Default for State {
     fn default() -> Self {
         State::new()
+    }
+}
+
+// Equality, ordering and hashing consider only the variable
+// assignment, never the fingerprint cache. `Arc`'s implementations
+// delegate to the pointee (with a pointer-equality fast path), so
+// shared values compare cheaply.
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars
+    }
+}
+
+impl Eq for State {}
+
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.vars.cmp(&other.vars)
+    }
+}
+
+impl Hash for State {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.vars.hash(state);
     }
 }
 
@@ -222,6 +307,38 @@ mod tests {
         let a = State::from_pairs([("x", Value::Int(1)), ("y", Value::Int(2))]);
         let b = State::from_pairs([("y", Value::Int(2)), ("x", Value::Int(1))]);
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_cache_invalidated_on_set() {
+        let mut s = sample();
+        let before = s.fingerprint();
+        s.set("msg", Value::Int(9));
+        assert_ne!(before, s.fingerprint());
+        // And a clone carries the cache but stays equal-by-value.
+        let c = s.clone();
+        assert_eq!(c.fingerprint(), s.fingerprint());
+    }
+
+    #[test]
+    fn successors_share_unchanged_values() {
+        let s = sample();
+        let s2 = s.with("msg", Value::Int(1));
+        let cache1 = s.get("cache").unwrap() as *const Value;
+        let cache2 = s2.get("cache").unwrap() as *const Value;
+        assert_eq!(cache1, cache2, "unchanged values must be shared");
+        let msg1 = s.get("msg").unwrap() as *const Value;
+        let msg2 = s2.get("msg").unwrap() as *const Value;
+        assert_ne!(msg1, msg2, "the rebound value must be fresh");
+    }
+
+    #[test]
+    fn variable_names_are_interned() {
+        let a = State::from_pairs([("quorum", Value::Int(1))]);
+        let b = State::from_pairs([("quorum", Value::Int(2))]);
+        let ka = a.variable_names().next().unwrap() as *const str;
+        let kb = b.variable_names().next().unwrap() as *const str;
+        assert_eq!(ka, kb, "identical names must share one allocation");
     }
 
     #[test]
