@@ -66,7 +66,7 @@ fn measure(
     let mut sample_passed = 0usize;
     let step = (reduced.paths.len() / SAMPLE).max(1);
     for path in reduced.paths.iter().step_by(step).take(SAMPLE) {
-        let tc = TestCase::from_edge_path(&graph, path);
+        let tc = TestCase::from_edge_path(&graph, path).expect("traversal paths are non-empty");
         let final_node = graph.edge(*path.last().unwrap()).to;
         let final_enabled: Vec<_> = graph.enabled_at(final_node).into_iter().cloned().collect();
         let mut sut = make_sut();

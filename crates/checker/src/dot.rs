@@ -156,6 +156,7 @@ fn attr_label(attrs: &str) -> Option<String> {
         match c {
             '\\' => match chars.next()? {
                 'n' => out.push('\n'),
+                'r' => out.push('\r'),
                 other => out.push(other),
             },
             '"' => return Some(out),
@@ -165,17 +166,25 @@ fn attr_label(attrs: &str) -> Option<String> {
     None
 }
 
-/// Streams `s` with `\` and `"` escaped, copying the clean spans in
-/// bulk rather than allocating an escaped copy.
+/// Streams `s` with `\`, `"`, newline, and carriage return escaped,
+/// copying the clean spans in bulk rather than allocating an escaped
+/// copy. Raw line breaks must never reach the output: the DOT format
+/// here is line-oriented, so an unescaped `\n` or `\r` inside a label
+/// would split the statement and corrupt the file for [`read_dot`].
 fn write_escaped<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
     let bytes = s.as_bytes();
     let mut start = 0;
     for (i, &b) in bytes.iter().enumerate() {
-        if b == b'\\' || b == b'"' {
-            w.write_all(&bytes[start..i])?;
-            w.write_all(&[b'\\', b])?;
-            start = i + 1;
-        }
+        let esc: &[u8] = match b {
+            b'\\' => b"\\\\",
+            b'"' => b"\\\"",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            _ => continue,
+        };
+        w.write_all(&bytes[start..i])?;
+        w.write_all(esc)?;
+        start = i + 1;
     }
     w.write_all(&bytes[start..])
 }
@@ -343,6 +352,52 @@ mod tests {
     fn bad_label_is_reported() {
         let bad = "digraph X {\n  s0 [label=\"not a state\"];\n}\n";
         assert!(matches!(from_dot(bad), Err(DotError::Label { .. })));
+    }
+
+    #[test]
+    fn hostile_labels_roundtrip() {
+        // Property-style sweep over label contents that historically
+        // corrupted the DOT round trip: raw line breaks split the
+        // line-oriented format, and backslash sequences collided with
+        // the reader's escape handling.
+        let hostiles = [
+            "back\\slash",
+            "trailing\\",
+            "line\nbreak",
+            "cr\rreturn",
+            "crlf\r\npair",
+            "\\n literal backslash-n",
+            "\\r literal backslash-r",
+            "\n\r\\\\\n",
+        ];
+        for hostile in hostiles {
+            let mut g = StateGraph::new();
+            let (a, _) = g.insert_state(State::from_pairs([("v", Value::str(hostile))]));
+            let (b, _) = g.insert_state(State::from_pairs([("v", Value::str("plain"))]));
+            g.mark_initial(a);
+            g.add_edge(a, ActionInstance::new("Act", vec![Value::str(hostile)]), b);
+            let dot = to_dot(&g);
+            // No raw line breaks may survive inside the emitted DOT
+            // beyond the one statement terminator per line.
+            for line in dot.lines() {
+                assert!(!line.contains('\r'), "raw CR leaked into DOT: {line:?}");
+            }
+            let g2 = from_dot(&dot).unwrap_or_else(|e| {
+                panic!("round trip failed for hostile label {hostile:?}: {e}")
+            });
+            assert_eq!(g2.state_count(), g.state_count(), "label {hostile:?}");
+            assert_eq!(
+                g2.state(g2.initial_states()[0]),
+                g.state(g.initial_states()[0]),
+                "state corrupted for label {hostile:?}"
+            );
+            assert_eq!(
+                g2.edges()[0].action, g.edges()[0].action,
+                "action corrupted for label {hostile:?}"
+            );
+            // Re-export must be byte-identical: escaping is canonical.
+            assert_eq!(to_dot(&g2), dot, "re-export differs for {hostile:?}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mocket_obs::Obs;
 use mocket_tla::{successors_with, Spec, State};
 
 use crate::graph::{EdgeId, NodeId, StateGraph};
@@ -78,6 +79,7 @@ pub struct ModelChecker {
     pub(crate) max_states: usize,
     pub(crate) max_depth: usize,
     pub(crate) workers: usize,
+    pub(crate) obs: Obs,
 }
 
 impl ModelChecker {
@@ -91,7 +93,17 @@ impl ModelChecker {
             max_states: usize::MAX,
             max_depth: usize::MAX,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle. Wave progress events
+    /// (`check.wave`) and `checker.*` metrics flow through it; the
+    /// event stream is byte-identical for any worker count, because
+    /// events are emitted only at canonical wave boundaries.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Adds an invariant to check on every state.
@@ -153,6 +165,14 @@ impl ModelChecker {
         // Build the action list once; closures are reused across the
         // whole exploration.
         let actions = self.spec.actions();
+        // Wave accounting for observability: wave d = the BFS frontier
+        // at depth d. A `check.wave` event fires when a wave finishes
+        // expanding — the same canonical points where the parallel
+        // engine emits after its merge, so event streams are
+        // byte-identical for any worker count.
+        let mut wave_sizes: Vec<usize> = Vec::new();
+        let mut cur_wave = 0usize;
+        let mut bound_break = false;
 
         'outer: {
             for init in self.spec.init_states() {
@@ -170,10 +190,20 @@ impl ModelChecker {
                     queue.push_back(id);
                 }
             }
+            if !queue.is_empty() {
+                wave_sizes.push(queue.len());
+            }
 
             while let Some(node) = queue.pop_front() {
+                if depth[node.0] != cur_wave {
+                    // First node of the next wave: the previous wave
+                    // is fully expanded.
+                    wave_event(&self.obs, cur_wave, wave_sizes[cur_wave], &stats, &graph);
+                    cur_wave = depth[node.0];
+                }
                 if graph.state_count() >= self.max_states {
                     stats.truncated = true;
+                    bound_break = true;
                     break;
                 }
                 if depth[node.0] >= self.max_depth {
@@ -198,9 +228,17 @@ impl ModelChecker {
                             violation = Some(v);
                             break 'outer;
                         }
+                        let d = depth[id.0];
+                        if wave_sizes.len() <= d {
+                            wave_sizes.resize(d + 1, 0);
+                        }
+                        wave_sizes[d] += 1;
                         queue.push_back(id);
                     }
                 }
+            }
+            if !bound_break && cur_wave < wave_sizes.len() {
+                wave_event(&self.obs, cur_wave, wave_sizes[cur_wave], &stats, &graph);
             }
         }
 
@@ -214,6 +252,7 @@ impl ModelChecker {
             nodes_expanded: stats.distinct_states,
             states_generated: stats.states_generated,
         }];
+        finish_obs(&self.obs, &stats, violation.is_some());
         CheckResult {
             graph,
             stats,
@@ -239,6 +278,62 @@ impl ModelChecker {
         }
         None
     }
+}
+
+/// Emits the canonical end-of-wave progress event. Called by both
+/// engines at the same logical points, with the same payloads.
+pub(crate) fn wave_event(
+    obs: &Obs,
+    wave: usize,
+    frontier: usize,
+    stats: &CheckStats,
+    graph: &StateGraph,
+) {
+    obs.event(
+        "check.wave",
+        wave as u64,
+        vec![
+            ("frontier", frontier.into()),
+            ("generated", stats.states_generated.into()),
+            ("distinct", graph.state_count().into()),
+            ("edges", graph.edge_count().into()),
+        ],
+    );
+    obs.metrics().add("checker.waves", 1);
+}
+
+/// Records the end-of-run event and final checker metrics. Worker
+/// count and wall-clock go to metrics only, so the event stream stays
+/// identical across worker counts.
+pub(crate) fn finish_obs(obs: &Obs, stats: &CheckStats, violated: bool) {
+    obs.event(
+        "check.done",
+        stats.depth as u64,
+        vec![
+            ("states", stats.distinct_states.into()),
+            ("edges", stats.edges.into()),
+            ("generated", stats.states_generated.into()),
+            ("truncated", stats.truncated.into()),
+            ("violation", violated.into()),
+        ],
+    );
+    let m = obs.metrics();
+    m.add("checker.states_generated", stats.states_generated as u64);
+    m.add("checker.distinct_states", stats.distinct_states as u64);
+    m.add("checker.edges", stats.edges as u64);
+    m.set_gauge("checker.depth", stats.depth as f64);
+    m.set_gauge("checker.workers", stats.workers as f64);
+    m.observe(
+        "timing.checker.elapsed_seconds",
+        stats.elapsed.as_secs_f64(),
+    );
+    if stats.elapsed.as_secs_f64() > 0.0 {
+        m.observe(
+            "timing.checker.states_per_sec",
+            stats.states_generated as f64 / stats.elapsed.as_secs_f64(),
+        );
+    }
+    obs.flush();
 }
 
 /// Walks parent links back to an initial state and returns the

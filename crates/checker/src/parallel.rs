@@ -47,7 +47,7 @@ use std::time::Instant;
 use mocket_tla::{successors_with, ActionDef, ActionInstance, State};
 use parking_lot::Mutex;
 
-use crate::explore::{CheckResult, CheckStats, ModelChecker, WorkerStats};
+use crate::explore::{finish_obs, wave_event, CheckResult, CheckStats, ModelChecker, WorkerStats};
 use crate::graph::{EdgeId, NodeId, StateGraph};
 
 /// A frontier narrower than `workers * SEQ_WAVE_FACTOR` is expanded
@@ -92,6 +92,7 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
     let mut depth: Vec<usize> = Vec::new();
     let mut violation = None;
     let mut frontier: Vec<NodeId> = Vec::new();
+    let mut wave = 0usize;
 
     'outer: {
         // Initial states are processed exactly like the sequential
@@ -158,6 +159,8 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
                     }
                 }
             }
+            wave_event(&checker.obs, wave, frontier.len(), &stats, &graph);
+            wave += 1;
             frontier = next_frontier;
         }
     }
@@ -169,6 +172,7 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
     stats.elapsed = start.elapsed();
     stats.workers = workers;
     stats.per_worker = per_worker;
+    finish_obs(&checker.obs, &stats, violation.is_some());
     CheckResult {
         graph,
         stats,
@@ -235,20 +239,35 @@ fn expand_wave(
     let expand_ref = &expand_one;
 
     let mut wave_tallies = vec![WorkerStats::default(); workers];
+    let obs = &checker.obs;
     std::thread::scope(|scope| {
         for tally in &mut wave_tallies {
-            scope.spawn(move || loop {
-                let ci = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                if ci >= n_chunks {
-                    break;
+            scope.spawn(move || {
+                let started = Instant::now();
+                loop {
+                    let ci = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if ci >= n_chunks {
+                        break;
+                    }
+                    let lo = ci * chunk;
+                    let hi = (lo + chunk).min(frontier.len());
+                    let outs: Vec<NodeOut> = frontier[lo..hi]
+                        .iter()
+                        .map(|&n| expand_ref(n, tally))
+                        .collect();
+                    *slots_ref[ci].lock() = outs;
                 }
-                let lo = ci * chunk;
-                let hi = (lo + chunk).min(frontier.len());
-                let outs: Vec<NodeOut> = frontier[lo..hi]
-                    .iter()
-                    .map(|&n| expand_ref(n, tally))
-                    .collect();
-                *slots_ref[ci].lock() = outs;
+                // Per-worker wave throughput. Timing metrics are
+                // wall-clock territory (commutative histogram merge,
+                // excluded from deterministic comparisons); worker
+                // threads never record events.
+                let secs = started.elapsed().as_secs_f64();
+                if secs > 0.0 && tally.states_generated > 0 {
+                    obs.metrics().observe(
+                        "timing.checker.worker_wave_states_per_sec",
+                        tally.states_generated as f64 / secs,
+                    );
+                }
             });
         }
     });
@@ -411,6 +430,34 @@ mod tests {
         }
         // And the partially explored graphs agree too.
         assert_eq!(to_dot(&seq.graph), to_dot(&par.graph));
+    }
+
+    #[test]
+    fn event_stream_is_identical_across_worker_counts() {
+        use mocket_obs::Obs;
+        let run = |workers: usize, max_states: usize| {
+            let (obs, rec) = Obs::in_memory();
+            ModelChecker::new(Arc::new(Grid { limit: 12 }))
+                .workers(workers)
+                .max_states(max_states)
+                .obs(obs.clone())
+                .run();
+            rec.to_jsonl()
+        };
+        // Full exploration and a mid-wave bound hit must both produce
+        // byte-identical wave/done events for every worker count.
+        for max_states in [usize::MAX, 60] {
+            let base = run(1, max_states);
+            assert!(base.contains("check.wave"));
+            assert!(base.contains("check.done"));
+            for workers in [2, 4] {
+                assert_eq!(
+                    run(workers, max_states),
+                    base,
+                    "workers={workers} max_states={max_states}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -377,10 +377,18 @@ impl ReplayArtifact {
 
     /// Writes the artifact into `dir` (created if needed); returns the
     /// path written.
+    ///
+    /// The write is idempotent and crash-safe: content goes to a
+    /// temporary file first and is renamed into place, so a re-run
+    /// that writes the same case again (e.g. after a journal
+    /// truncation forced a replay) can never leave a torn artifact,
+    /// and an interrupted write never clobbers an intact one.
     pub fn write_to(&self, dir: &Path) -> Result<PathBuf, ArtifactError> {
         fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
-        fs::write(&path, self.serialize())?;
+        let tmp = dir.join(format!("{}.tmp", self.file_name()));
+        fs::write(&tmp, self.serialize())?;
+        fs::rename(&tmp, &path)?;
         Ok(path)
     }
 
@@ -530,6 +538,9 @@ pub struct CampaignJournal {
     path: PathBuf,
     completed: BTreeMap<String, JournalEntry>,
     issues: Vec<JournalIssue>,
+    /// The loaded file ended in a partial line; the next append must
+    /// start on a fresh line or it would merge with the partial one.
+    needs_newline: bool,
 }
 
 impl CampaignJournal {
@@ -545,11 +556,30 @@ impl CampaignJournal {
         let path = dir.join(Self::FILE_NAME);
         let mut completed = BTreeMap::new();
         let mut issues = Vec::new();
+        let mut truncated = false;
         match fs::read_to_string(&path) {
             Ok(text) => {
+                // Every complete append ends in '\n'. A final line
+                // without one was interrupted mid-write; it must not
+                // be trusted even if it happens to parse (truncating
+                // `outcome=failed Missing action` at `Missing` still
+                // parses, with the wrong kind). Report it and let the
+                // case re-run — artifact writes are idempotent.
+                truncated = !text.is_empty() && !text.ends_with('\n');
+                let line_count = text.lines().count();
                 for (i, line) in text.lines().enumerate() {
                     let line = line.trim();
                     if line.is_empty() {
+                        continue;
+                    }
+                    if truncated && i + 1 == line_count {
+                        issues.push(JournalIssue {
+                            line: i + 1,
+                            message: format!(
+                                "truncated final line (interrupted append), \
+                                 case will be re-run: {line:?}"
+                            ),
+                        });
                         continue;
                     }
                     match parse_journal_line(line) {
@@ -570,6 +600,7 @@ impl CampaignJournal {
             path,
             completed,
             issues,
+            needs_newline: truncated,
         })
     }
 
@@ -600,6 +631,10 @@ impl CampaignJournal {
             .create(true)
             .append(true)
             .open(&self.path)?;
+        if self.needs_newline {
+            file.write_all(b"\n")?;
+            self.needs_newline = false;
+        }
         file.write_all(render_journal_line(&entry).as_bytes())?;
         file.flush()?;
         self.completed.insert(entry.hash.clone(), entry);
@@ -760,6 +795,79 @@ mod tests {
         assert!(j.completed("aaaa").is_some());
         assert!(j.completed("dddd").is_some());
         assert_eq!(j.issues().len(), 4, "{:?}", j.issues());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_final_journal_line_is_reported_and_not_trusted() {
+        // The dangerous shape: an interrupted append that still
+        // parses. "outcome=failed Missing action" cut at "Missing"
+        // yields a well-formed entry with the wrong kind; trusting it
+        // would both mislabel the bug and skip the re-run.
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-journal-truncated-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join(CampaignJournal::FILE_NAME),
+            "case: aaaa attempts=1 outcome=passed\n\
+             case: bbbb attempts=2 outcome=failed Missing",
+        )
+        .unwrap();
+        let j = CampaignJournal::open(&dir).unwrap();
+        assert!(j.completed("aaaa").is_some(), "intact lines still load");
+        assert!(
+            j.completed("bbbb").is_none(),
+            "a partial trailing line must not count as completed"
+        );
+        assert_eq!(j.issues().len(), 1);
+        assert!(
+            j.issues()[0].message.contains("truncated final line"),
+            "issue must identify the truncation: {}",
+            j.issues()[0]
+        );
+        assert_eq!(j.issues()[0].line, 2);
+        // Recording after a truncated tail must start on a fresh line
+        // (appending straight on would merge with the partial line):
+        // the re-run's entry has to load on the next resume.
+        let mut j = j;
+        j.record(JournalEntry {
+            hash: "bbbb".into(),
+            attempts: 1,
+            outcome: CaseOutcome::Failed {
+                kind: "Missing action".into(),
+            },
+        })
+        .unwrap();
+        let resumed = CampaignJournal::open(&dir).unwrap();
+        assert_eq!(
+            resumed.completed("bbbb").unwrap().outcome,
+            CaseOutcome::Failed {
+                kind: "Missing action".into()
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_writes_are_idempotent_and_leave_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-artifact-idempotent-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let a = artifact();
+        let p1 = a.write_to(&dir).unwrap();
+        let p2 = a.write_to(&dir).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(ReplayArtifact::load(&p1).unwrap(), a);
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, [a.file_name()], "no temp files may remain");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -60,6 +60,32 @@ pub struct Minimized {
     pub rejected: usize,
 }
 
+impl Minimized {
+    /// Records the run into the observability layer: a
+    /// `minimize.done` event (logical timestamp = the original case
+    /// length) plus `minimize.*` counters.
+    pub fn record_obs(&self, obs: &mocket_obs::Obs, original_len: usize) {
+        obs.event(
+            "minimize.done",
+            original_len as u64,
+            vec![
+                ("from_len", original_len.into()),
+                ("to_len", self.case.len().into()),
+                ("oracle_runs", self.oracle_runs.into()),
+                ("rejected", self.rejected.into()),
+            ],
+        );
+        let m = obs.metrics();
+        m.add("minimize.runs", 1);
+        m.add("minimize.oracle_runs", self.oracle_runs as u64);
+        m.add("minimize.rejected", self.rejected as u64);
+        m.add(
+            "minimize.steps_removed",
+            original_len.saturating_sub(self.case.len()) as u64,
+        );
+    }
+}
+
 /// Shrinks `case` with graph-validated delta debugging.
 ///
 /// `failing_step` is the 0-based index of the step whose execution or

@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mocket_obs::{Obs, RunSummary};
 use mocket_tla::{ActionInstance, Spec, State};
 
 use mocket_checker::{ModelChecker, StateGraph};
@@ -18,7 +19,7 @@ use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::minimize::{minimize_case, MinimizeConfig};
 use crate::por::partial_order_reduction;
 use crate::report::{BugClass, BugReport, Determinism, Inconsistency};
-use crate::runner::{run_test_case, RunConfig, TestOutcome};
+use crate::runner::{run_test_case_observed, RunConfig, TestOutcome};
 use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
 use crate::traversal::{edge_coverage_paths, TraversalConfig};
@@ -158,6 +159,15 @@ pub struct PipelineConfig {
     pub retry: RetryPolicy,
     /// Failure triage: confirm, shrink, persist, resume.
     pub triage: TriageConfig,
+    /// Observability handle. Defaults to disabled (events are
+    /// dropped); metrics still accumulate either way, so the run
+    /// summary is always complete. Use [`Obs::jsonl_in`] to stream
+    /// `events.jsonl` into a campaign directory.
+    pub obs: Obs,
+    /// Render human-readable progress lines to stderr (the CLI's
+    /// `--progress`). Independent of `obs`: progress is for watching,
+    /// events are for machines.
+    pub progress: bool,
 }
 
 impl Default for PipelineConfig {
@@ -173,6 +183,8 @@ impl Default for PipelineConfig {
             run: RunConfig::default(),
             retry: RetryPolicy::default(),
             triage: TriageConfig::default(),
+            obs: Obs::disabled(),
+            progress: false,
         }
     }
 }
@@ -238,6 +250,9 @@ pub struct PipelineResult {
     /// failed appends, failed artifact writes. Surfaced, never
     /// aborting the campaign.
     pub journal_issues: Vec<String>,
+    /// The end-of-run summary (also written as `run-summary.json` when
+    /// an obs or campaign directory is configured).
+    pub summary: RunSummary,
 }
 
 /// The Mocket pipeline for one specification + mapping + target.
@@ -277,8 +292,14 @@ impl Pipeline {
         let start = Instant::now();
         let result = ModelChecker::new(self.spec.clone())
             .max_states(self.config.max_states)
+            .obs(self.config.obs.clone())
             .run();
-        (result.graph, start.elapsed().as_secs_f64())
+        let seconds = start.elapsed().as_secs_f64();
+        self.config
+            .obs
+            .metrics()
+            .observe("timing.stage.check_seconds", seconds);
+        (result.graph, seconds)
     }
 
     /// Stage ③ (path form): selected edge paths plus
@@ -309,11 +330,22 @@ impl Pipeline {
         let ec_count = ec.paths.len();
         let reduced_count = reduced.paths.len();
         let chosen = if self.config.por { reduced } else { ec };
+        // Coverage gauges are set from the *chosen* traversal — the one
+        // the summary's `coverage` field must match exactly. Gauges,
+        // not counters: re-running generate_paths must not accumulate.
+        let m = self.config.obs.metrics();
+        m.set_gauge("coverage.edges_visited", chosen.edges_visited as f64);
+        m.set_gauge("coverage.edge_targets", chosen.edge_targets as f64);
+        m.set_gauge("coverage.fraction", chosen.edge_coverage());
+        m.set_gauge("pipeline.paths_ec", ec_count as f64);
+        m.set_gauge("pipeline.paths_ec_por", reduced_count as f64);
+        m.set_gauge("pipeline.por_excluded_edges", por_excluded as f64);
         // Filter on cheap action-name views; cases are materialized
         // later, one at a time.
         let mut selected: Vec<Vec<mocket_checker::EdgeId>> = chosen
             .paths
             .into_iter()
+            .filter(|p| !p.is_empty())
             .filter(|p| match &self.config.case_filter {
                 None => true,
                 Some(filter) => {
@@ -338,7 +370,7 @@ impl Pipeline {
         let (paths, ec, ecpor, excl) = self.generate_paths(graph);
         let cases = paths
             .iter()
-            .map(|p| TestCase::from_edge_path(graph, p))
+            .filter_map(|p| TestCase::from_edge_path(graph, p))
             .collect();
         (cases, ec, ecpor, excl)
     }
@@ -357,9 +389,55 @@ impl Pipeline {
     where
         F: FnMut() -> Box<dyn SystemUnderTest>,
     {
+        let obs = self.config.obs.clone();
+        let run_start = Instant::now();
+        obs.event(
+            "run.start",
+            0,
+            vec![
+                ("spec", self.spec.name().into()),
+                ("max_states", self.config.max_states.into()),
+                ("por", self.config.por.into()),
+            ],
+        );
+        self.progress(format_args!(
+            "spec {}: model checking (max {} states)",
+            self.spec.name(),
+            self.config.max_states
+        ));
+
         let (graph, check_seconds) = self.check();
         let (paths, paths_ec, paths_ec_por, por_excluded) = self.generate_paths(&graph);
         let cases_selected = paths.len();
+
+        let m = obs.metrics();
+        obs.event(
+            "generate.done",
+            0,
+            vec![
+                ("states", graph.state_count().into()),
+                ("edges", graph.edge_count().into()),
+                ("cases_selected", cases_selected.into()),
+                ("paths_ec", paths_ec.into()),
+                ("paths_ec_por", paths_ec_por.into()),
+                ("por_excluded", por_excluded.into()),
+                (
+                    "coverage_visited",
+                    (m.gauge("coverage.edges_visited").unwrap_or(0.0) as u64).into(),
+                ),
+                (
+                    "coverage_targets",
+                    (m.gauge("coverage.edge_targets").unwrap_or(0.0) as u64).into(),
+                ),
+            ],
+        );
+        self.progress(format_args!(
+            "{} states, {} edges; {} cases selected (edge coverage {:.1}%)",
+            graph.state_count(),
+            graph.edge_count(),
+            cases_selected,
+            m.gauge("coverage.fraction").unwrap_or(0.0) * 100.0
+        ));
 
         let mut reports = Vec::new();
         let mut quarantined = Vec::new();
@@ -387,10 +465,15 @@ impl Pipeline {
             None => None,
         };
 
-        'cases: for path in &paths {
-            // Materialize one case at a time.
-            let tc = TestCase::from_edge_path(&graph, path);
-            let final_node = graph.edge(*path.last().expect("non-empty path")).to;
+        'cases: for (case_idx, path) in paths.iter().enumerate() {
+            // Materialize one case at a time. An empty path carries no
+            // actions to schedule (a fully-excluded initial node can
+            // produce one upstream); skip it instead of panicking.
+            let (Some(tc), Some(&last_edge)) = (TestCase::from_edge_path(&graph, path), path.last())
+            else {
+                continue 'cases;
+            };
+            let final_node = graph.edge(last_edge).to;
             let final_enabled: Vec<ActionInstance> =
                 graph.enabled_at(final_node).into_iter().cloned().collect();
 
@@ -405,8 +488,23 @@ impl Pipeline {
                 if entry.outcome == CaseOutcome::Passed {
                     passed += 1;
                 }
+                obs.event(
+                    "case.verdict",
+                    case_idx as u64,
+                    vec![
+                        ("case", case_idx.into()),
+                        ("outcome", "skipped_journal".into()),
+                    ],
+                );
+                obs.metrics().add("pipeline.cases_skipped_journal", 1);
                 continue;
             }
+
+            obs.event(
+                "case.start",
+                case_idx as u64,
+                vec![("case", case_idx.into()), ("len", tc.len().into())],
+            );
 
             let max_attempts = self.config.retry.attempts.max(1);
             let mut attempts: Vec<AttemptRecord> = Vec::new();
@@ -419,19 +517,36 @@ impl Pipeline {
                     std::thread::sleep(self.config.retry.backoff * 2u32.pow(exp));
                 }
                 let mut sut = make_sut();
-                match run_test_case(
+                match run_test_case_observed(
                     sut.as_mut(),
                     &tc,
                     &self.registry,
                     &final_enabled,
                     &self.config.run,
+                    &obs,
                 ) {
                     Ok((outcome, stats)) => {
                         verdict_reached = true;
                         cases_run += 1;
+                        obs.metrics().add("pipeline.cases_run", 1);
                         match outcome {
                             TestOutcome::Passed => {
                                 passed += 1;
+                                obs.event(
+                                    "case.verdict",
+                                    case_idx as u64,
+                                    vec![
+                                        ("case", case_idx.into()),
+                                        ("outcome", "passed".into()),
+                                        ("attempt", attempt.into()),
+                                    ],
+                                );
+                                obs.metrics().add("pipeline.cases_passed", 1);
+                                self.progress(format_args!(
+                                    "case {}/{}: passed",
+                                    case_idx + 1,
+                                    cases_selected
+                                ));
                                 if let Some(j) = journal.as_mut() {
                                     if let Err(e) = j.record(JournalEntry {
                                         hash: hash.clone(),
@@ -453,6 +568,7 @@ impl Pipeline {
                                     Inconsistency::NodeDeath { .. }
                                 ) && stats.actions_executed == 0;
                                 if premature_death && attempt < max_attempts {
+                                    obs.metrics().add("pipeline.premature_deaths", 1);
                                     attempts.push(AttemptRecord {
                                         error: format!(
                                             "{}",
@@ -466,6 +582,24 @@ impl Pipeline {
                                     cases_run -= 1;
                                     continue;
                                 }
+                                obs.event(
+                                    "case.verdict",
+                                    case_idx as u64,
+                                    vec![
+                                        ("case", case_idx.into()),
+                                        ("outcome", "failed".into()),
+                                        ("attempt", attempt.into()),
+                                        ("kind", inconsistency.kind().into()),
+                                        ("step", stats.actions_executed.into()),
+                                    ],
+                                );
+                                obs.metrics().add("pipeline.cases_failed", 1);
+                                self.progress(format_args!(
+                                    "case {}/{}: FAILED ({})",
+                                    case_idx + 1,
+                                    cases_selected,
+                                    inconsistency.kind()
+                                ));
                                 // Failure triage: confirm & classify,
                                 // then shrink deterministic failures.
                                 let (determinism, minimized) = self.triage_failure(
@@ -507,7 +641,10 @@ impl Pipeline {
                                         repro,
                                     );
                                     match artifact.write_to(dir) {
-                                        Ok(path) => artifacts.push(path),
+                                        Ok(path) => {
+                                            obs.metrics().add("pipeline.artifacts_written", 1);
+                                            artifacts.push(path)
+                                        }
                                         Err(e) => journal_issues
                                             .push(format!("artifact write failed: {e}")),
                                     }
@@ -553,6 +690,22 @@ impl Pipeline {
                 }
             }
             if !verdict_reached {
+                obs.event(
+                    "case.verdict",
+                    case_idx as u64,
+                    vec![
+                        ("case", case_idx.into()),
+                        ("outcome", "quarantined".into()),
+                        ("attempt", attempts.len().into()),
+                    ],
+                );
+                obs.metrics().add("pipeline.cases_quarantined", 1);
+                self.progress(format_args!(
+                    "case {}/{}: quarantined after {} attempts",
+                    case_idx + 1,
+                    cases_selected,
+                    attempts.len()
+                ));
                 quarantined.push(QuarantinedCase {
                     test_case: tc,
                     attempts: std::mem::take(&mut attempts),
@@ -571,6 +724,83 @@ impl Pipeline {
             check_seconds,
         };
 
+        obs.event(
+            "run.done",
+            cases_selected as u64,
+            vec![
+                ("cases_run", cases_run.into()),
+                ("passed", passed.into()),
+                ("failed", reports.len().into()),
+                ("quarantined", quarantined.len().into()),
+                ("skipped_journal", skipped_from_journal.into()),
+            ],
+        );
+        self.progress(format_args!(
+            "done: {} run, {} passed, {} failed, {} quarantined",
+            cases_run,
+            passed,
+            reports.len(),
+            quarantined.len()
+        ));
+
+        let m = obs.metrics();
+        m.observe("timing.stage.test_seconds", effort.test_seconds);
+        m.observe(
+            "timing.stage.total_seconds",
+            run_start.elapsed().as_secs_f64(),
+        );
+
+        let mut summary = RunSummary {
+            spec: self.spec.name().to_string(),
+            fault_plan: self.config.triage.fault_plan.clone(),
+            states: graph.state_count() as u64,
+            edges: graph.edge_count() as u64,
+            coverage_edges_visited: m.gauge("coverage.edges_visited").unwrap_or(0.0) as u64,
+            coverage_edge_targets: m.gauge("coverage.edge_targets").unwrap_or(0.0) as u64,
+            coverage: m.gauge("coverage.fraction").unwrap_or(0.0),
+            por_excluded_edges: por_excluded as u64,
+            cases_selected: cases_selected as u64,
+            cases_run: cases_run as u64,
+            cases_passed: passed as u64,
+            cases_failed: reports.len() as u64,
+            cases_quarantined: quarantined.len() as u64,
+            cases_skipped_from_journal: skipped_from_journal as u64,
+            journal_issues: journal_issues.len() as u64,
+            wall_check_seconds: check_seconds,
+            wall_test_seconds: effort.test_seconds,
+            wall_total_seconds: run_start.elapsed().as_secs_f64(),
+            ..RunSummary::default()
+        };
+        for report in &reports {
+            *summary
+                .bugs_by_kind
+                .entry(report.inconsistency.kind().to_string())
+                .or_insert(0) += 1;
+            let verdict = match report.determinism {
+                Determinism::Deterministic { .. } => "deterministic",
+                Determinism::Flaky { .. } => "flaky",
+                Determinism::Unconfirmed => "unconfirmed",
+            };
+            *summary
+                .bugs_by_determinism
+                .entry(verdict.to_string())
+                .or_insert(0) += 1;
+        }
+        summary.metrics = m.snapshot();
+
+        // The summary lands next to events.jsonl when obs streams to a
+        // directory, otherwise next to the replay artifacts.
+        let summary_dir = obs
+            .dir()
+            .map(|d| d.to_path_buf())
+            .or_else(|| self.config.triage.campaign_dir.clone());
+        if let Some(dir) = summary_dir {
+            if let Err(e) = summary.write_to(&dir) {
+                journal_issues.push(format!("run summary write failed: {e}"));
+            }
+        }
+        obs.flush();
+
         PipelineResult {
             graph,
             cases_selected,
@@ -581,6 +811,14 @@ impl Pipeline {
             skipped_from_journal,
             artifacts,
             journal_issues,
+            summary,
+        }
+    }
+
+    /// Emits one `--progress` line when enabled.
+    fn progress(&self, line: std::fmt::Arguments<'_>) {
+        if self.config.progress {
+            eprintln!("[mocket] {line}");
         }
     }
 
@@ -613,10 +851,19 @@ impl Pipeline {
         // One re-run = one fresh deployment driven through the same
         // schedule; a harness error during triage counts as "did not
         // reproduce" rather than aborting the campaign.
+        let obs = &self.config.obs;
         let mut rerun = |case: &TestCase, enabled: &[ActionInstance]| -> bool {
+            obs.metrics().add("pipeline.triage_reruns", 1);
             let mut sut = make_sut();
             matches!(
-                run_test_case(sut.as_mut(), case, &self.registry, enabled, &self.config.run),
+                run_test_case_observed(
+                    sut.as_mut(),
+                    case,
+                    &self.registry,
+                    enabled,
+                    &self.config.run,
+                    obs
+                ),
                 Ok((TestOutcome::Failed(inc), _)) if inc.kind() == kind
             )
         };
@@ -657,6 +904,7 @@ impl Pipeline {
                     graph.enabled_at(last).into_iter().cloned().collect();
                 rerun(candidate, &enabled)
             });
+            out.record_obs(obs, tc.len());
             (out.case.len() < tc.len()).then_some(out.case)
         } else {
             None

@@ -78,7 +78,9 @@ pub fn partial_order_reduction(graph: &StateGraph) -> PorResult {
                     .copied()
                     .find(|&c| graph.edge(c).action == edge1.action);
                 if let (Some(c1), Some(c2)) = (cont1, cont2) {
-                    if graph.edge(c1).to == graph.edge(c2).to {
+                    if graph.edge(c1).to == graph.edge(c2).to
+                        && is_genuine_diamond(node, edge1.to, edge2.to, graph.edge(c1).to)
+                    {
                         // Commutative: keep the order starting with
                         // the smaller action instance.
                         let (keep_first, keep_cont, drop_first, drop_cont) =
@@ -109,6 +111,22 @@ pub fn partial_order_reduction(graph: &StateGraph) -> PorResult {
         diamonds,
         excluded_edges,
     }
+}
+
+/// A genuine commutative diamond reorders the *same two events*: the
+/// source and the two intermediates are distinct, and neither closing
+/// edge is a self-loop.
+///
+/// Self-loops fake the closing condition: with `s1 -b-> s1`, the pair
+/// `s0 -a-> s1` / `s0 -b-> s2 -a-> s1` matches on final state without
+/// reordering the same two events, and dropping the "redundant" order
+/// would exclude the only coverage path through `s2`. The same holds
+/// when a first edge loops on the source or both intermediates
+/// coincide. A target equal to the *source* is fine, though: that is a
+/// real commuting cycle (e.g. `Inc`/`Dec` around a counter) where both
+/// orders schedule the same pair of actions.
+fn is_genuine_diamond(source: NodeId, mid1: NodeId, mid2: NodeId, target: NodeId) -> bool {
+    mid1 != mid2 && mid1 != source && mid2 != source && target != mid1 && target != mid2
 }
 
 #[cfg(test)]
@@ -194,6 +212,32 @@ mod tests {
             assert!(!r.excluded_edges.contains(&d.kept.0));
             assert!(!r.excluded_edges.contains(&d.kept.1));
         }
+    }
+
+    #[test]
+    fn self_loop_pseudo_diamond_is_rejected() {
+        // Counterexample: 0 -a-> 1, 0 -b-> 2, 1 -b-> 1 (self-loop),
+        // 2 -a-> 1. Both "orders" end in state 1, but the self-loop is
+        // b applied *at state 1*, not a reordering of the b that moves
+        // 0 to 2. Treating this as a diamond dropped 0 -b-> 2 and
+        // 2 -a-> 1 — the only coverage path through state 2.
+        let mut g = StateGraph::new();
+        let n: Vec<_> = (0..3).map(|i| g.insert_state(st(i)).0).collect();
+        g.mark_initial(n[0]);
+        g.add_edge(n[0], ActionInstance::nullary("a"), n[1]);
+        let to_two = g.add_edge(n[0], ActionInstance::nullary("b"), n[2]);
+        g.add_edge(n[1], ActionInstance::nullary("b"), n[1]);
+        let from_two = g.add_edge(n[2], ActionInstance::nullary("a"), n[1]);
+        let r = partial_order_reduction(&g);
+        assert!(r.diamonds.is_empty(), "self-loop shape is not a diamond");
+        assert!(r.excluded_edges.is_empty());
+        // Edge coverage must still reach state 2 after reduction.
+        let config =
+            crate::traversal::TraversalConfig::default().with_excluded_edges(r.excluded_edges);
+        let t = crate::traversal::edge_coverage_paths(&g, &config);
+        let covered: HashSet<EdgeId> = t.paths.iter().flatten().copied().collect();
+        assert!(covered.contains(&to_two), "path into state 2 lost");
+        assert!(covered.contains(&from_two), "path out of state 2 lost");
     }
 
     #[test]

@@ -10,13 +10,16 @@
 
 use std::time::{Duration, Instant};
 
+use mocket_obs::Obs;
 use mocket_tla::{ActionClass, ActionInstance, State};
 
 use crate::mapping::{MappingRegistry, VarTarget};
 use crate::msgpool::{MessagePools, PoolError};
 use crate::report::{Inconsistency, VariableDivergence};
-use crate::scheduler::{find_match, offered_actions, translate_offers, unexpected_offers};
-use crate::statecheck::check_state;
+use crate::scheduler::{
+    find_match, offered_actions, translate_offers_observed, unexpected_offers_observed,
+};
+use crate::statecheck::check_state_observed;
 use crate::sut::{ExecReport, SutError, SystemUnderTest};
 use crate::testcase::TestCase;
 
@@ -127,10 +130,33 @@ pub fn run_test_case(
     final_enabled: &[ActionInstance],
     config: &RunConfig,
 ) -> Result<(TestOutcome, RunStats), SutError> {
+    run_test_case_observed(
+        sut,
+        test_case,
+        registry,
+        final_enabled,
+        config,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_test_case`] with observability: scheduler release latency
+/// (`timing.runner.release_latency_ms`), offer-poll and action
+/// counters (`runner.*`), and state-check/scheduler metrics. Only
+/// metrics are recorded here — per-step events would dominate the
+/// event stream; the pipeline owns per-case events.
+pub fn run_test_case_observed(
+    sut: &mut dyn SystemUnderTest,
+    test_case: &TestCase,
+    registry: &MappingRegistry,
+    final_enabled: &[ActionInstance],
+    config: &RunConfig,
+    obs: &Obs,
+) -> Result<(TestOutcome, RunStats), SutError> {
     let start = Instant::now();
     let mut stats = RunStats::default();
     sut.deploy()?;
-    let result = drive(sut, test_case, registry, final_enabled, config, &mut stats);
+    let result = drive(sut, test_case, registry, final_enabled, config, &mut stats, obs);
     sut.teardown();
     stats.seconds = start.elapsed().as_secs_f64();
     result.map(|outcome| (outcome, stats))
@@ -172,6 +198,7 @@ fn classify_sut_error(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive(
     sut: &mut dyn SystemUnderTest,
     test_case: &TestCase,
@@ -179,6 +206,7 @@ fn drive(
     final_enabled: &[ActionInstance],
     config: &RunConfig,
     stats: &mut RunStats,
+    obs: &Obs,
 ) -> Result<TestOutcome, SutError> {
     let mut pools = pools_from_registry(registry);
 
@@ -203,7 +231,7 @@ fn drive(
         let init_action = ActionInstance::nullary("<Init>");
         let snapshot = try_sut!(sut.snapshot(), 0, &init_action, init_start);
         stats.checks += 1;
-        let divergences = check_state(&test_case.initial, &snapshot, &pools, registry);
+        let divergences = check_state_observed(&test_case.initial, &snapshot, &pools, registry, obs);
         if !divergences.is_empty() {
             return Ok(TestOutcome::Failed(Inconsistency::InconsistentState {
                 step: 0,
@@ -225,6 +253,7 @@ fn drive(
                 // Triggered by the testbed itself (§4.1.2): scripts
                 // for crash/restart/user requests, overriding switches
                 // for drop/duplicate.
+                obs.metrics().add("runner.external_triggers", 1);
                 try_sut!(sut.execute_external(&step.action), i, &step.action, step_start)
             }
             _ => {
@@ -235,9 +264,11 @@ fn drive(
                 let mut last_offers = Vec::new();
                 let mut backoff = config.poll_backoff;
                 loop {
-                    let offers = translate_offers(
+                    obs.metrics().add("runner.offer_polls", 1);
+                    let offers = translate_offers_observed(
                         registry,
                         try_sut!(sut.offers(), i, &step.action, step_start),
+                        obs,
                     );
                     if let Some(hit) = find_match(&step.action, &offers) {
                         matched = Some(hit.raw.clone());
@@ -251,8 +282,19 @@ fn drive(
                     backoff = (backoff * 2).min(config.poll_backoff_max);
                 }
                 match matched {
-                    Some(offer) => try_sut!(sut.execute(&offer), i, &step.action, step_start),
+                    Some(offer) => {
+                        // Scheduler release latency: time from step
+                        // start until the blocked action was matched
+                        // and released for execution.
+                        obs.metrics().observe(
+                            "timing.runner.release_latency_ms",
+                            step_start.elapsed().as_secs_f64() * 1e3,
+                        );
+                        obs.metrics().add("runner.actions_released", 1);
+                        try_sut!(sut.execute(&offer), i, &step.action, step_start)
+                    }
                     None => {
+                        obs.metrics().add("runner.missing_actions", 1);
                         return Ok(TestOutcome::Failed(Inconsistency::MissingAction {
                             step: i,
                             action: step.action.clone(),
@@ -278,7 +320,7 @@ fn drive(
         // Check the verified post-state.
         let snapshot = try_sut!(sut.snapshot(), i, &step.action, step_start);
         stats.checks += 1;
-        let divergences = check_state(&step.expected, &snapshot, &pools, registry);
+        let divergences = check_state_observed(&step.expected, &snapshot, &pools, registry, obs);
         if !divergences.is_empty() {
             return Ok(TestOutcome::Failed(Inconsistency::InconsistentState {
                 step: i,
@@ -304,7 +346,7 @@ fn drive(
     // enable in the final state are unexpected actions.
     let final_start = Instant::now();
     let final_action = ActionInstance::nullary("<Final>");
-    let offers = translate_offers(
+    let offers = translate_offers_observed(
         registry,
         try_sut!(
             sut.offers(),
@@ -312,8 +354,9 @@ fn drive(
             &final_action,
             final_start
         ),
+        obs,
     );
-    let unexpected = unexpected_offers(registry, &offers, final_enabled);
+    let unexpected = unexpected_offers_observed(registry, &offers, final_enabled, obs);
     if !unexpected.is_empty() {
         return Ok(TestOutcome::Failed(Inconsistency::UnexpectedAction {
             actions: unexpected,
@@ -516,6 +559,31 @@ mod tests {
         assert_eq!(stats.actions_executed, 3);
         assert_eq!(stats.checks, 4, "initial + one per action");
         assert!(!sut.deployed, "teardown must run");
+    }
+
+    #[test]
+    fn observed_run_records_scheduler_and_statecheck_metrics() {
+        let mut sut = FakeSut::new(10);
+        let obs = Obs::disabled();
+        let (outcome, stats) = run_test_case_observed(
+            &mut sut,
+            &inc_case(3),
+            &registry(),
+            &[ActionInstance::nullary("Inc")],
+            &RunConfig::fast(),
+            &obs,
+        )
+        .unwrap();
+        assert!(outcome.passed(), "{outcome:?}");
+        let m = obs.metrics();
+        assert_eq!(m.counter("runner.actions_released"), 3);
+        assert!(m.counter("runner.offer_polls") >= 3);
+        assert_eq!(m.counter("statecheck.checks"), stats.checks as u64);
+        assert_eq!(m.counter("statecheck.divergences"), 0);
+        let latency = m
+            .histogram("timing.runner.release_latency_ms")
+            .expect("release latency recorded");
+        assert_eq!(latency.count, 3);
     }
 
     #[test]

@@ -46,10 +46,13 @@ impl TestCase {
     /// Builds a test case from a node path in a state-space graph.
     ///
     /// `path` lists edge ids in traversal order; the path must be
-    /// connected and start at an initial state of the graph.
-    pub fn from_edge_path(graph: &StateGraph, path: &[mocket_checker::EdgeId]) -> Self {
-        assert!(!path.is_empty(), "empty edge path");
-        let first = graph.edge(path[0]);
+    /// connected and start at an initial state of the graph. An empty
+    /// path yields `None` — a traversal can legitimately produce no
+    /// walkable edges (e.g. an initial state whose every out-edge was
+    /// excluded by partial-order reduction), and that must skip the
+    /// case, not panic the campaign.
+    pub fn from_edge_path(graph: &StateGraph, path: &[mocket_checker::EdgeId]) -> Option<Self> {
+        let first = graph.edge(*path.first()?);
         let initial = graph.state(first.from).clone();
         let mut steps = Vec::with_capacity(path.len());
         let mut cur = first.from;
@@ -62,7 +65,7 @@ impl TestCase {
             });
             cur = e.to;
         }
-        TestCase { initial, steps }
+        Some(TestCase { initial, steps })
     }
 
     /// Number of actions.
@@ -291,7 +294,10 @@ mod tests {
         g.mark_initial(a);
         let e1 = g.add_edge(a, ActionInstance::nullary("Inc"), b);
         let e2 = g.add_edge(b, ActionInstance::nullary("Inc"), c);
-        let tc = TestCase::from_edge_path(&g, &[e1, e2]);
+        // An empty edge path is a skip, not a panic: a fully-excluded
+        // initial node leaves the traversal nothing to walk.
+        assert_eq!(TestCase::from_edge_path(&g, &[]), None);
+        let tc = TestCase::from_edge_path(&g, &[e1, e2]).unwrap();
         assert_eq!(tc.initial, st(0));
         assert_eq!(tc.len(), 2);
         let nodes = tc.validate_against(&g).unwrap();

@@ -102,7 +102,7 @@ fn test_cases_from_paths_validate_and_roundtrip() {
         let g = arb_graph(&mut Rng::new(seed.wrapping_mul(17)));
         let r = edge_coverage_paths(&g, &TraversalConfig::default());
         for p in r.paths.iter().take(10) {
-            let tc = TestCase::from_edge_path(&g, p);
+            let tc = TestCase::from_edge_path(&g, p).expect("traversal paths are non-empty");
             assert!(tc.validate_against(&g).is_ok(), "seed {seed}");
             let back = TestCase::deserialize(&tc.serialize()).unwrap();
             assert_eq!(back, tc, "seed {seed}");

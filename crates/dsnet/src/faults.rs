@@ -314,6 +314,9 @@ pub struct FaultPlan {
     trace: Vec<TraceEntry>,
     /// Pair → global send count at which the cut heals.
     partitions: BTreeMap<(NodeId, NodeId), u64>,
+    /// Trace entries already folded into metrics (see
+    /// [`record_metrics`](Self::record_metrics)).
+    recorded: usize,
 }
 
 fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -339,6 +342,7 @@ impl FaultPlan {
             seq: 0,
             trace: Vec::new(),
             partitions: BTreeMap::new(),
+            recorded: 0,
         }
     }
 
@@ -463,6 +467,29 @@ impl FaultPlan {
         self.seq += 1;
         (decision, partition)
     }
+
+    /// Folds every decision not yet recorded into `dsnet.fault.*`
+    /// counters, one per [`FaultDecision`] kind, plus
+    /// `dsnet.fault.partitions` for raised cuts. A cursor makes the
+    /// call idempotent over already-recorded entries, so campaigns can
+    /// invoke it at any control point (typically once per test case)
+    /// and the counters accumulate exactly once per decision.
+    pub fn record_metrics(&mut self, metrics: &mocket_obs::MetricsRegistry) {
+        for e in &self.trace[self.recorded..] {
+            let name = match e.decision {
+                FaultDecision::Deliver => "dsnet.fault.deliver",
+                FaultDecision::Drop => "dsnet.fault.drop",
+                FaultDecision::Duplicate => "dsnet.fault.duplicate",
+                FaultDecision::Delay { .. } => "dsnet.fault.delay",
+                FaultDecision::Reorder => "dsnet.fault.reorder",
+            };
+            metrics.add(name, 1);
+            if e.partition.is_some() {
+                metrics.add("dsnet.fault.partitions", 1);
+            }
+        }
+        self.recorded = self.trace.len();
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +613,43 @@ mod tests {
         assert!(ladder[0].is_quiescent(), "weakest candidate first");
         assert!(!ladder.contains(&cfg), "self is never a weakening");
         assert!(FaultPlanConfig::quiescent().weakenings().is_empty());
+    }
+
+    #[test]
+    fn record_metrics_counts_each_decision_once() {
+        let metrics = mocket_obs::MetricsRegistry::default();
+        let mut p = FaultPlan::with_config(3, FaultPlanConfig::aggressive());
+        drive(&mut p, 500);
+        p.record_metrics(&metrics);
+        let total: u64 = [
+            "dsnet.fault.deliver",
+            "dsnet.fault.drop",
+            "dsnet.fault.duplicate",
+            "dsnet.fault.delay",
+            "dsnet.fault.reorder",
+        ]
+        .iter()
+        .map(|n| metrics.counter(n))
+        .sum();
+        assert_eq!(total, 500, "every decision tallied exactly once");
+        assert!(metrics.counter("dsnet.fault.drop") > 0);
+        // Idempotent over already-recorded entries; later decisions
+        // still accumulate.
+        p.record_metrics(&metrics);
+        let again: u64 = metrics.counter("dsnet.fault.deliver")
+            + metrics.counter("dsnet.fault.drop")
+            + metrics.counter("dsnet.fault.duplicate")
+            + metrics.counter("dsnet.fault.delay")
+            + metrics.counter("dsnet.fault.reorder");
+        assert_eq!(again, 500);
+        drive(&mut p, 10);
+        p.record_metrics(&metrics);
+        let grown: u64 = metrics.counter("dsnet.fault.deliver")
+            + metrics.counter("dsnet.fault.drop")
+            + metrics.counter("dsnet.fault.duplicate")
+            + metrics.counter("dsnet.fault.delay")
+            + metrics.counter("dsnet.fault.reorder");
+        assert_eq!(grown, 510);
     }
 
     #[test]

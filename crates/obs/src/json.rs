@@ -1,0 +1,58 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The observability layer writes JSON but must not pull in a serde
+//! stack, so the tiny subset needed (escaped strings, numbers, flat
+//! objects) lives here. Floats use Rust's shortest-roundtrip `Display`,
+//! which is deterministic across platforms.
+
+/// Appends `s` to `out` as a quoted JSON string with full escaping.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float so the output is valid JSON (`NaN`/`inf` have no
+/// JSON spelling; they become `null`).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_hostile_strings() {
+        let mut out = String::new();
+        push_escaped(&mut out, "a\"b\\c\nd\re\tf\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_json_safe() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1.5 null null");
+    }
+}

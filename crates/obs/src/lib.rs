@@ -1,0 +1,46 @@
+//! Campaign observability for Mocket.
+//!
+//! Three layers, all dependency-free:
+//!
+//! - **Events** ([`Event`], [`Recorder`], [`Obs`]): structured,
+//!   append-only trace of what a campaign did — model-checking waves,
+//!   pipeline stages, per-case verdicts. Sinks are pluggable; the
+//!   standard one writes one JSON object per line to `events.jsonl`
+//!   inside the campaign directory.
+//! - **Metrics** ([`MetricsRegistry`]): named counters, gauges and
+//!   histograms updated from anywhere (worker threads included —
+//!   updates are commutative, so thread interleaving cannot change the
+//!   final values).
+//! - **Summary** ([`RunSummary`]): a single `run-summary.json` written
+//!   next to the replay artifacts at the end of a run: coverage, bug
+//!   counts by kind and determinism, effort counters, and wall-clock
+//!   timings.
+//!
+//! # Determinism contract
+//!
+//! Mocket's replay guarantees are byte-exact, and observability must
+//! not weaken them. The rules:
+//!
+//! - Events carry **logical timestamps** (wave numbers, step counters,
+//!   case indices) — never wall-clock time.
+//! - Events are recorded only from sequential control points (the
+//!   pipeline thread, the checker's merge loop). Worker threads touch
+//!   metrics only.
+//! - Wall-clock time is confined to metric names under the
+//!   [`TIMING_PREFIX`] and to `RunSummary` keys prefixed `wall_`.
+//!   Everything else in `events.jsonl` and `run-summary.json` is
+//!   byte-identical across same-seed runs; see
+//!   [`strip_wall_clock`](summary::strip_wall_clock) for comparing
+//!   summaries.
+
+mod event;
+mod json;
+mod metrics;
+pub mod summary;
+
+pub use event::{
+    Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Obs, Recorder, Span,
+    EVENTS_FILE_NAME,
+};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, TIMING_PREFIX};
+pub use summary::{strip_wall_clock, RunSummary, RUN_SUMMARY_FILE_NAME};

@@ -176,6 +176,7 @@ pub struct Cluster {
     deaths: BTreeMap<NodeId, String>,
     reply_timeout: Duration,
     disk_wiper: Option<DiskWiper>,
+    metrics: Option<Arc<mocket_obs::MetricsRegistry>>,
 }
 
 impl Cluster {
@@ -189,6 +190,22 @@ impl Cluster {
             deaths: BTreeMap::new(),
             reply_timeout: Duration::from_secs(5),
             disk_wiper: None,
+            metrics: None,
+        }
+    }
+
+    /// Installs a metrics registry; the cluster then counts lifecycle
+    /// events under `cluster.*` (starts, crashes, restarts, deaths,
+    /// disk wipes). All updates are commutative counters, so sharing
+    /// the campaign's registry is safe.
+    pub fn with_metrics(mut self, metrics: Arc<mocket_obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn tally(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.add(name, 1);
         }
     }
 
@@ -217,6 +234,7 @@ impl Cluster {
     pub fn wipe_disk(&mut self, id: NodeId) -> bool {
         match &self.disk_wiper {
             Some(wiper) => {
+                self.tally("cluster.disk_wipes");
                 wiper(id);
                 true
             }
@@ -232,6 +250,7 @@ impl Cluster {
     }
 
     fn spawn(&mut self, id: NodeId) {
+        self.tally("cluster.starts");
         let app = (self.factory)(id);
         let registry = app.registry();
         let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
@@ -303,6 +322,7 @@ impl Cluster {
     /// from the harness-side registry handle, records the cause, and
     /// abandons the thread without joining (it may be hung forever).
     fn bury(&mut self, id: NodeId, reason: String) {
+        self.tally("cluster.deaths");
         if let Some(handle) = self.nodes.remove(&id) {
             self.last_snapshot.insert(id, handle.registry.snapshot());
         }
@@ -391,6 +411,7 @@ impl Cluster {
     /// the specification keeps modeling a crashed node's variables.
     pub fn crash(&mut self, id: NodeId) {
         if let Some(mut handle) = self.nodes.remove(&id) {
+            self.tally("cluster.crashes");
             self.last_snapshot.insert(id, handle.registry.snapshot());
             // Best-effort kill; a hung node won't read it, and a
             // blocking send here would hang the harness with it.
@@ -415,6 +436,7 @@ impl Cluster {
 
     /// Restarts `id`: kill plus a fresh incarnation from the factory.
     pub fn restart(&mut self, id: NodeId) {
+        self.tally("cluster.restarts");
         self.crash(id);
         self.spawn(id);
     }
@@ -648,6 +670,24 @@ mod tests {
         let deaths = c.take_deaths();
         assert!(deaths[&1].contains("boom"));
         assert!(c.take_deaths().is_empty(), "deaths drain");
+    }
+
+    #[test]
+    fn lifecycle_metrics_count_starts_crashes_and_deaths() {
+        let metrics = Arc::new(mocket_obs::MetricsRegistry::default());
+        let mut c = Cluster::new(Box::new(PanicApp::boxed))
+            .with_reply_timeout(Duration::from_secs(2))
+            .with_metrics(metrics.clone());
+        c.start(&[1, 2]);
+        let _ = c.execute(1, &ActionInstance::nullary("boom"));
+        c.restart(1);
+        c.crash(2);
+        assert_eq!(metrics.counter("cluster.starts"), 3, "2 start + 1 restart");
+        assert_eq!(metrics.counter("cluster.restarts"), 1);
+        assert_eq!(metrics.counter("cluster.deaths"), 1, "the panic");
+        // The panicked node was already gone when restart() crashed
+        // it, so only node 2's crash registers.
+        assert_eq!(metrics.counter("cluster.crashes"), 1);
     }
 
     #[test]

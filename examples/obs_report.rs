@@ -1,0 +1,88 @@
+//! Campaign observability end-to-end: run a small conformance
+//! campaign with `events.jsonl` streaming and print a digest from the
+//! run summary.
+//!
+//! Two full runs with the same configuration are executed; the
+//! example asserts the determinism contract the obs layer guarantees:
+//!
+//! 1. `events.jsonl` is byte-identical across runs (events carry
+//!    logical timestamps — BFS waves, case indices — never
+//!    wall-clock), and
+//! 2. `run-summary.json` is identical after `strip_wall_clock`
+//!    (everything nondeterministic sits under `wall_`-prefixed keys).
+//!
+//! Run with: `cargo run --release --example obs_report`
+//!
+//! Exits non-zero if any of it fails to hold (CI uses this as the
+//! observability smoke test).
+
+use std::sync::Arc;
+
+use mocket::core::{Pipeline, PipelineConfig, RunConfig};
+use mocket::obs::{strip_wall_clock, Obs, EVENTS_FILE_NAME, RUN_SUMMARY_FILE_NAME};
+use mocket::raft_async::{make_sut, mapping, XraftBugs};
+use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
+
+fn run_once(dir: &std::path::Path) -> (String, String) {
+    let spec_cfg = RaftSpecConfig {
+        dup_limit: 0,
+        restart_limit: 0,
+        ..RaftSpecConfig::xraft(vec![1, 2])
+    };
+    let servers: Vec<u64> = spec_cfg.servers.iter().map(|&i| i as u64).collect();
+
+    let mut pc = PipelineConfig::default();
+    pc.max_path_len = 40;
+    pc.max_test_cases = 4;
+    pc.stop_at_first_bug = false;
+    pc.run = RunConfig::fast();
+    pc.progress = true;
+    pc.obs = Obs::jsonl_in(dir).expect("open obs dir");
+
+    let pipeline = Pipeline::new(Arc::new(RaftSpec::new(spec_cfg)), mapping(), pc)
+        .expect("mapping validates");
+    let result = pipeline.run(|| Box::new(make_sut(servers.clone(), XraftBugs::none())));
+    assert!(
+        result.reports.is_empty() && result.quarantined.is_empty(),
+        "clean target must conform"
+    );
+
+    let events = std::fs::read_to_string(dir.join(EVENTS_FILE_NAME)).expect("events.jsonl");
+    let summary =
+        std::fs::read_to_string(dir.join(RUN_SUMMARY_FILE_NAME)).expect("run-summary.json");
+    (events, summary)
+}
+
+fn main() {
+    let base = std::env::temp_dir().join("mocket-obs-example");
+    let dir_a = base.join("run-a");
+    let dir_b = base.join("run-b");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let (events_a, summary_a) = run_once(&dir_a);
+    let (events_b, summary_b) = run_once(&dir_b);
+
+    assert_eq!(events_a, events_b, "events.jsonl must be byte-identical");
+    assert_eq!(
+        strip_wall_clock(&summary_a),
+        strip_wall_clock(&summary_b),
+        "summaries must agree modulo wall-clock"
+    );
+
+    println!("\n--- events.jsonl ({} events) ---", events_a.lines().count());
+    for line in events_a.lines().take(6) {
+        println!("{line}");
+    }
+    println!("...");
+
+    println!("\n--- run-summary.json (deterministic keys) ---");
+    for line in strip_wall_clock(&summary_a)
+        .lines()
+        .filter(|l| !l.contains("\"metric."))
+    {
+        println!("{line}");
+    }
+
+    println!("\nartifacts in {}", dir_a.display());
+    println!("OK: two runs agreed byte-for-byte (modulo wall_ keys)");
+}

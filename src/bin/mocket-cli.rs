@@ -3,7 +3,7 @@
 //! ```text
 //! mocket-cli check <spec> [--max-states N] [--dot FILE]
 //! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
-//! mocket-cli test <target> [--bug NAME] [--all] [--limit N]
+//! mocket-cli test <target> [--bug NAME] [--all] [--limit N] [--progress] [--obs-dir DIR]
 //! mocket-cli simulate <target> [--steps N] [--seed S]
 //! mocket-cli list
 //! ```
@@ -27,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
-         mocket-cli test <target> [--bug NAME] [--limit N]\n  \
+         mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
     );
@@ -240,7 +240,9 @@ fn cmd_generate(args: &Args) {
     let limit = args.flag_usize("limit", 50);
     let mut out = String::new();
     for path in traversal.paths.iter().take(limit) {
-        let tc = mocket::core::TestCase::from_edge_path(&result.graph, path);
+        let Some(tc) = mocket::core::TestCase::from_edge_path(&result.graph, path) else {
+            continue;
+        };
         out.push_str(&tc.serialize());
         out.push('\n');
     }
@@ -273,6 +275,16 @@ fn cmd_test(args: &Args) {
     pc.max_path_len = 60;
     pc.max_test_cases = args.flag_usize("limit", 0);
     pc.run = RunConfig::fast();
+    pc.progress = args.flag_bool("progress");
+    if let Some(dir) = args.flags.get("obs-dir") {
+        match mocket::obs::Obs::jsonl_in(std::path::Path::new(dir)) {
+            Ok(obs) => pc.obs = obs,
+            Err(e) => {
+                eprintln!("cannot open obs dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let pipeline = Pipeline::new(target.spec, target.registry, pc).unwrap_or_else(|issues| {
         eprintln!("mapping issues:");
         for issue in issues {
@@ -303,6 +315,9 @@ fn cmd_test(args: &Args) {
     match result.reports.first() {
         Some(report) => println!("\n{report}"),
         None => println!("no inconsistencies: the implementation conforms"),
+    }
+    if let Some(dir) = args.flags.get("obs-dir") {
+        println!("observability artifacts in {dir}/ (events.jsonl, run-summary.json)");
     }
 }
 

@@ -9,6 +9,7 @@
 pub use mocket_checker as checker;
 pub use mocket_core as core;
 pub use mocket_dsnet as dsnet;
+pub use mocket_obs as obs;
 pub use mocket_raft_async as raft_async;
 pub use mocket_raft_sync as raft_sync;
 pub use mocket_runtime as runtime;

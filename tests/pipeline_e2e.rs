@@ -48,7 +48,7 @@ fn dot_boundary_then_controlled_testing() {
     let run_cfg = RunConfig::fast();
     let mut ran = 0;
     for path in traversal.paths.iter().take(40) {
-        let tc = TestCase::from_edge_path(&graph, path);
+        let tc = TestCase::from_edge_path(&graph, path).expect("traversal paths are non-empty");
         let text = tc.serialize();
         let tc = TestCase::deserialize(&text).expect("test-case round-trip");
         let nodes = tc.validate_against(&graph).expect("case is a graph path");
