@@ -3,8 +3,9 @@
 //! Explores the asynchronous Raft bench model with 1, 2, 4, and
 //! all-core workers, asserts every run's DOT export is byte-identical
 //! to the sequential baseline, and writes the numbers (states/sec,
-//! peak-RSS proxy, speedup over one worker, DOT round-trip time) to
-//! `BENCH_checker.json` at the repository root.
+//! peak-RSS proxy, speedup over one worker, DOT round-trip time,
+//! insight-layer costs: coverage-overlay render and divergence
+//! explainer) to `BENCH_checker.json` at the repository root.
 //!
 //! `BENCH_SMOKE=1` switches to a small model and two worker counts so
 //! CI can exercise the whole harness in seconds; the full model is a
@@ -15,7 +16,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mocket_bench::xraft_model;
-use mocket_checker::{read_dot, to_dot, CheckResult, ModelChecker};
+use mocket_checker::{
+    read_dot, to_dot, to_dot_overlay, uncovered_frontier, CheckResult, ModelChecker,
+};
+use mocket_core::{explain_failure, ExplainConfig, Inconsistency, TestCase, VariableDivergence};
+use mocket_obs::CoverageMap;
 use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
 use mocket_tla::Spec;
 
@@ -150,6 +155,81 @@ fn main() {
         dot_buf.len()
     );
 
+    // Insight layer: one verified path through the graph provides the
+    // hit counts for the coverage overlay and the executed prefix for
+    // the divergence explainer.
+    let mut node = baseline.graph.initial_states()[0];
+    let mut path = Vec::new();
+    for _ in 0..20 {
+        let Some(&eid) = baseline.graph.out_edges(node).first() else {
+            break;
+        };
+        path.push(eid);
+        node = baseline.graph.edge(eid).to;
+    }
+    let mut coverage = CoverageMap::new(edges);
+    coverage.record_case(
+        path.iter().map(|e| e.0),
+        path.iter()
+            .map(|&e| baseline.graph.edge(e).action.name.as_str()),
+    );
+    let overlay_start = Instant::now();
+    let overlay = to_dot_overlay(&baseline.graph, coverage.edge_hits());
+    let overlay_secs = overlay_start.elapsed().as_secs_f64();
+    let frontier = uncovered_frontier(&baseline.graph, coverage.edge_hits());
+    println!(
+        "coverage overlay: {} bytes, render {overlay_secs:.3}s, {} frontier edges",
+        overlay.len(),
+        frontier.len()
+    );
+
+    // Divergence explainer: a synthetic inconsistent-state failure at
+    // the end of the path, diverging one mapped variable towards its
+    // initial-state value, so the bounded nearest-state search does
+    // real work.
+    let case = TestCase::from_edge_path(&baseline.graph, &path).expect("path is a case");
+    let registry = mocket_raft_async::mapping();
+    let step = path.len() - 1;
+    let edge = baseline.graph.edge(path[step]);
+    let center = baseline.graph.state(edge.to);
+    let initial = baseline.graph.state(baseline.graph.initial_states()[0]);
+    let var = registry
+        .variables()
+        .iter()
+        .find(|v| v.target.is_some() && center.get(&v.spec_name).is_some())
+        .expect("mapped variable present in the state");
+    let inconsistency = Inconsistency::InconsistentState {
+        step,
+        action: edge.action.clone(),
+        divergences: vec![VariableDivergence {
+            variable: var.spec_name.clone(),
+            expected: center.expect(&var.spec_name).clone(),
+            actual: Some(initial.expect(&var.spec_name).clone()),
+        }],
+    };
+    let explain_cfg = ExplainConfig::default();
+    let iters = if smoke { 50 } else { 200 };
+    let explain_start = Instant::now();
+    let mut explained = 0usize;
+    for _ in 0..iters {
+        if explain_failure(
+            &baseline.graph,
+            &registry,
+            &case,
+            &inconsistency,
+            case.len(),
+            &explain_cfg,
+        )
+        .is_some()
+        {
+            explained += 1;
+        }
+    }
+    let explain_secs = explain_start.elapsed().as_secs_f64();
+    assert_eq!(explained, iters, "every iteration must explain the failure");
+    let explain_mean_us = explain_secs / iters as f64 * 1e6;
+    println!("explainer: {iters} iterations, mean {explain_mean_us:.1}us");
+
     let rss_kb = peak_rss_kb();
     println!("peak RSS: {:.1} MiB", rss_kb as f64 / 1024.0);
 
@@ -166,6 +246,16 @@ fn main() {
         json,
         "  \"dot_bytes\": {}, \"dot_export_secs\": {export_secs:.4}, \"dot_import_secs\": {import_secs:.4},",
         dot_buf.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"overlay_bytes\": {}, \"overlay_render_secs\": {overlay_secs:.4}, \"frontier_edges\": {},",
+        overlay.len(),
+        frontier.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"explain_iters\": {iters}, \"explain_mean_us\": {explain_mean_us:.1},"
     );
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {

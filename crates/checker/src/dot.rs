@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use mocket_tla::{parse_action_instance, parse_state, ParseError};
 
-use crate::graph::{NodeId, StateGraph};
+use crate::graph::{EdgeId, NodeId, StateGraph};
 
 /// Streams a graph as GraphViz DOT to `w`.
 ///
@@ -60,6 +60,122 @@ pub fn write_dot<W: Write>(graph: &StateGraph, w: W) -> io::Result<()> {
 pub fn to_dot(graph: &StateGraph) -> String {
     let mut buf = Vec::new();
     write_dot(graph, &mut buf).expect("writing DOT to memory cannot fail");
+    String::from_utf8(buf).expect("DOT output is UTF-8")
+}
+
+/// The GitHub-contribution-style green ramp used by the coverage
+/// overlay, bucketed by hit count; 0 hits renders grey.
+fn hit_color(hits: u64) -> &'static str {
+    match hits {
+        0 => "#d9d9d9",
+        1 => "#c6e48b",
+        2..=3 => "#7bc96f",
+        4..=7 => "#239a3b",
+        _ => "#196127",
+    }
+}
+
+/// Edges on the *uncovered frontier*: never executed by any test case
+/// (`hits[e] == 0`) but enabled at a visited state — their source node
+/// is an initial state or the target of an executed edge. These are
+/// the edges a campaign could have scheduled next but didn't; a fully
+/// covered campaign has none. `hits` is indexed by edge id (shorter
+/// slices read as zero).
+pub fn uncovered_frontier(graph: &StateGraph, hits: &[u64]) -> Vec<EdgeId> {
+    let hit = |e: usize| hits.get(e).copied().unwrap_or(0);
+    let mut visited = vec![false; graph.state_count()];
+    for &n in graph.initial_states() {
+        visited[n.0] = true;
+    }
+    for (i, edge) in graph.edges().iter().enumerate() {
+        if hit(i) > 0 {
+            visited[edge.from.0] = true;
+            visited[edge.to.0] = true;
+        }
+    }
+    graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(i, edge)| hit(*i) == 0 && visited[edge.from.0])
+        .map(|(i, _)| EdgeId(i))
+        .collect()
+}
+
+/// Streams the graph as a coverage-annotated DOT file: nodes are
+/// filled by visit count (sum of executed incoming edges), edges are
+/// colored by hit count with frontier edges dashed, and a `//`-comment
+/// header lists the covered/frontier tallies plus every frontier edge.
+/// The output stays parseable by [`read_dot`] (comments are skipped,
+/// extra attributes ignored) and is a pure function of `graph` and
+/// `hits`, hence byte-identical across repeat runs and worker counts.
+pub fn write_dot_overlay<W: Write>(graph: &StateGraph, hits: &[u64], w: W) -> io::Result<()> {
+    let hit = |e: usize| hits.get(e).copied().unwrap_or(0);
+    let frontier = uncovered_frontier(graph, hits);
+    let covered = (0..graph.edge_count()).filter(|&e| hit(e) > 0).count();
+    let mut visits = vec![0u64; graph.state_count()];
+    for (i, edge) in graph.edges().iter().enumerate() {
+        visits[edge.to.0] += hit(i);
+    }
+
+    let mut w = io::BufWriter::new(w);
+    let mut label = String::new();
+    w.write_all(b"digraph StateSpace {\n")?;
+    writeln!(
+        w,
+        "  // coverage overlay: {covered}/{} edges covered, {} frontier",
+        graph.edge_count(),
+        frontier.len()
+    )?;
+    for &eid in &frontier {
+        let edge = graph.edge(eid);
+        label.clear();
+        let _ = write!(label, "{}", edge.action);
+        write!(w, "  // frontier: e{} s{} -> s{} [", eid.0, edge.from.0, edge.to.0)?;
+        write_escaped(&mut w, &label)?;
+        w.write_all(b"]\n")?;
+    }
+    w.write_all(b"  nodesep = 0.35;\n")?;
+    for (id, state) in graph.states() {
+        label.clear();
+        let _ = write!(label, "{state}");
+        write!(w, "  s{} [label=\"", id.0)?;
+        write_escaped(&mut w, &label)?;
+        let style = if graph.initial_states().contains(&id) {
+            "\", style=\"bold,filled\", initial=true"
+        } else {
+            "\", style=filled"
+        };
+        writeln!(
+            w,
+            "{style}, fillcolor=\"{}\", visits={}];",
+            hit_color(visits[id.0]),
+            visits[id.0]
+        )?;
+    }
+    let mut frontier_flag = vec![false; graph.edge_count()];
+    for &eid in &frontier {
+        frontier_flag[eid.0] = true;
+    }
+    for (i, edge) in graph.edges().iter().enumerate() {
+        label.clear();
+        let _ = write!(label, "{}", edge.action);
+        write!(w, "  s{} -> s{} [label=\"", edge.from.0, edge.to.0)?;
+        write_escaped(&mut w, &label)?;
+        write!(w, "\", color=\"{}\", hits={}", hit_color(hit(i)), hit(i))?;
+        if frontier_flag[i] {
+            w.write_all(b", style=dashed")?;
+        }
+        w.write_all(b"];\n")?;
+    }
+    w.write_all(b"}\n")?;
+    w.flush()
+}
+
+/// Serializes the coverage-annotated graph as a DOT string.
+pub fn to_dot_overlay(graph: &StateGraph, hits: &[u64]) -> String {
+    let mut buf = Vec::new();
+    write_dot_overlay(graph, hits, &mut buf).expect("writing DOT to memory cannot fail");
     String::from_utf8(buf).expect("DOT output is UTF-8")
 }
 
@@ -398,6 +514,66 @@ mod tests {
             // Re-export must be byte-identical: escaping is canonical.
             assert_eq!(to_dot(&g2), dot, "re-export differs for {hostile:?}");
         }
+    }
+
+    /// a --Inc--> b --Inc--> c, plus a --Alt--> c and c --Back--> a.
+    fn chain_graph() -> StateGraph {
+        let mut g = StateGraph::new();
+        let st = |n: i64| State::from_pairs([("x", Value::Int(n))]);
+        let (a, _) = g.insert_state(st(0));
+        let (b, _) = g.insert_state(st(1));
+        let (c, _) = g.insert_state(st(2));
+        g.mark_initial(a);
+        g.add_edge(a, ActionInstance::nullary("Inc"), b); // e0
+        g.add_edge(b, ActionInstance::nullary("Inc"), c); // e1
+        g.add_edge(a, ActionInstance::nullary("Alt"), c); // e2
+        g.add_edge(c, ActionInstance::nullary("Back"), a); // e3
+        g
+    }
+
+    #[test]
+    fn frontier_is_enabled_but_never_scheduled() {
+        let g = chain_graph();
+        // Only e0 executed: b is visited, so e1 (from b) and e2 (from
+        // the initial a) are frontier; e3 (from unvisited c) is not.
+        let frontier = uncovered_frontier(&g, &[1, 0, 0, 0]);
+        assert_eq!(frontier, vec![EdgeId(1), EdgeId(2)]);
+        // Everything executed: no frontier.
+        assert!(uncovered_frontier(&g, &[1, 2, 1, 1]).is_empty());
+        // Nothing executed: only edges out of the initial state.
+        assert_eq!(uncovered_frontier(&g, &[0, 0, 0, 0]), vec![EdgeId(0), EdgeId(2)]);
+    }
+
+    #[test]
+    fn overlay_lists_frontier_and_colors_by_hits() {
+        let g = chain_graph();
+        let dot = to_dot_overlay(&g, &[5, 0, 0, 0]);
+        assert!(dot.contains("// coverage overlay: 1/4 edges covered, 2 frontier"));
+        assert!(dot.contains("// frontier: e1 s1 -> s2 [Inc]"));
+        assert!(dot.contains("// frontier: e2 s0 -> s2 [Alt]"));
+        // Hit edge gets a green bucket, frontier edges dash.
+        assert!(dot.contains("color=\"#239a3b\", hits=5"));
+        assert!(dot.contains("hits=0, style=dashed"));
+        // Node visited 5 times is filled dark; unvisited stays grey.
+        assert!(dot.contains("visits=5]"));
+        assert!(dot.contains("fillcolor=\"#d9d9d9\", visits=0]"));
+        // Short hit slices read as zero instead of panicking.
+        assert!(to_dot_overlay(&g, &[1]).contains("1/4 edges covered"));
+    }
+
+    #[test]
+    fn overlay_is_deterministic_and_reimportable() {
+        let g = chain_graph();
+        let hits = [2, 1, 0, 0];
+        let dot = to_dot_overlay(&g, &hits);
+        assert_eq!(dot, to_dot_overlay(&g, &hits), "pure function of inputs");
+        // read_dot skips the comment header and ignores the extra
+        // attributes: the underlying graph round-trips.
+        let g2 = from_dot(&dot).unwrap();
+        assert_eq!(g2.state_count(), g.state_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.initial_states().len(), 1);
+        assert_eq!(to_dot(&g2), to_dot(&g));
     }
 
     #[test]

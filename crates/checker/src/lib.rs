@@ -13,7 +13,10 @@ pub mod invariant;
 pub(crate) mod parallel;
 pub mod simulate;
 
-pub use dot::{from_dot, read_dot, to_dot, write_dot, DotError};
+pub use dot::{
+    from_dot, read_dot, to_dot, to_dot_overlay, uncovered_frontier, write_dot, write_dot_overlay,
+    DotError,
+};
 pub use explore::{CheckResult, CheckStats, ModelChecker, WorkerStats};
 pub use graph::{Edge, EdgeId, NodeId, StateGraph};
 pub use invariant::{Invariant, Violation};

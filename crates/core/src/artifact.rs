@@ -28,6 +28,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use mocket_obs::DivergenceExplanation;
 use mocket_tla::{parse_action_instance, ActionInstance, ParseError};
 
 use crate::mapping::MappingRegistry;
@@ -114,6 +115,10 @@ pub struct ReplayArtifact {
     /// state — needed to re-check for unexpected actions on replay
     /// without the state graph.
     pub final_enabled: Vec<ActionInstance>,
+    /// The divergence explanation computed for the original failure
+    /// (per-variable diff + nearest-verified-state verdict), when the
+    /// explainer covered its inconsistency kind.
+    pub explanation: Option<DivergenceExplanation>,
     /// The reproducer to replay.
     pub test_case: TestCase,
 }
@@ -244,6 +249,7 @@ impl ReplayArtifact {
         run: &RunConfig,
         original_len: usize,
         final_enabled: Vec<ActionInstance>,
+        explanation: Option<DivergenceExplanation>,
         test_case: TestCase,
     ) -> Self {
         ReplayArtifact {
@@ -257,6 +263,7 @@ impl ReplayArtifact {
             run: run.clone(),
             original_len,
             final_enabled,
+            explanation,
             test_case,
         }
     }
@@ -282,6 +289,14 @@ impl ReplayArtifact {
         for a in &self.final_enabled {
             out.push_str(&format!("final: {a}\n"));
         }
+        if let Some(e) = &self.explanation {
+            // Tab-separated explanation lines; tabs inside the value
+            // survive the key/value split because only leading and
+            // trailing whitespace is trimmed on load.
+            for line in e.serialize() {
+                out.push_str(&format!("explain: {line}\n"));
+            }
+        }
         out.push_str(&self.test_case.serialize());
         out
     }
@@ -301,6 +316,7 @@ impl ReplayArtifact {
         let mut run = None;
         let mut original_len = None;
         let mut final_enabled = Vec::new();
+        let mut explain_lines: Vec<String> = Vec::new();
         let mut case_lines = String::new();
 
         for line in input.lines() {
@@ -333,6 +349,7 @@ impl ReplayArtifact {
                         })?)
                 }
                 "final" => final_enabled.push(parse_action_instance(value)?),
+                "explain" => explain_lines.push(value.to_string()),
                 "init" | "step" => {
                     case_lines.push_str(trimmed);
                     case_lines.push('\n');
@@ -354,6 +371,18 @@ impl ReplayArtifact {
             });
         }
         let test_case = TestCase::deserialize(&case_lines)?;
+        let explanation = if explain_lines.is_empty() {
+            None
+        } else {
+            Some(
+                DivergenceExplanation::parse(&explain_lines).map_err(|message| {
+                    ArtifactError::BadValue {
+                        key: "explain".into(),
+                        message,
+                    }
+                })?,
+            )
+        };
         Ok(ReplayArtifact {
             spec: spec.ok_or(ArtifactError::MissingField("spec"))?,
             spec_config: spec_config.unwrap_or_default(),
@@ -365,6 +394,7 @@ impl ReplayArtifact {
             run: run.ok_or(ArtifactError::MissingField("run"))?,
             original_len: original_len.unwrap_or(0),
             final_enabled,
+            explanation,
             test_case,
         })
     }
@@ -667,6 +697,17 @@ mod tests {
             action: ActionInstance::new("Add", vec![Value::Int(5)]),
             offered: vec![ActionInstance::nullary("Inc")],
         };
+        let explanation = DivergenceExplanation {
+            step: 1,
+            action: "Add(5)".into(),
+            prefix: vec!["Inc".into(), "Add(5)".into()],
+            diffs: vec![mocket_obs::VarDiff::new("n", "6", "5")],
+            verdict: mocket_obs::NearestVerdict::Verified {
+                distance: 1,
+                state: "/\\ n = 5".into(),
+                alt_path: vec!["Inc".into()],
+            },
+        };
         ReplayArtifact::from_failure(
             "Counter",
             "limit=2 buggy=true",
@@ -676,6 +717,7 @@ mod tests {
             &RunConfig::fast(),
             5,
             vec![ActionInstance::nullary("Inc")],
+            Some(explanation),
             case(),
         )
     }
@@ -692,12 +734,14 @@ mod tests {
     fn artifact_roundtrip_without_fault_plan() {
         let mut a = artifact();
         a.fault_plan = None;
+        a.explanation = None;
         a.determinism = Determinism::Flaky {
             reproduced: 1,
             reruns: 3,
         };
         let back = ReplayArtifact::deserialize(&a.serialize()).unwrap();
         assert_eq!(back, a);
+        assert!(!a.serialize().contains("explain:"));
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! The divergence explainer (insight layer).
+//!
+//! A bug report tells the developer *that* the implementation left the
+//! verified path; the explainer tells them *where it went instead*.
+//! For an inconsistent state it reconstructs the executed prefix from
+//! the test case, computes a per-variable structured diff
+//! ([`crate::statecheck::value_diff`]) between the verified state and
+//! the observed runtime values, then estimates the runtime state (the
+//! verified state with the diverging variables substituted by their
+//! observed values) and runs a **bounded nearest-spec-state search**
+//! over the state graph: a breadth-first walk over the undirected
+//! graph from the expected state, limited by
+//! [`ExplainConfig::radius`] and [`ExplainConfig::max_nodes`]. If a
+//! verified state matches the estimate on every mapped variable the
+//! verdict is "the implementation is in verified state S', reachable
+//! via <alt path>"; otherwise "no verified state within distance k".
+//! For an unexpected action the search instead looks for a verified
+//! state that *enables* the offending actions.
+//!
+//! Everything here is a pure function of the graph, mapping and
+//! report, so explanations are byte-identical across same-seed runs.
+
+use std::collections::VecDeque;
+
+use mocket_checker::{NodeId, StateGraph};
+use mocket_obs::{sanitize, DivergenceExplanation, NearestVerdict};
+use mocket_tla::{State, Value, VarClass};
+
+use crate::mapping::{MappingRegistry, VarTarget};
+use crate::report::{Inconsistency, VariableDivergence};
+use crate::statecheck::{value_diff, values_match};
+use crate::testcase::TestCase;
+
+/// Bounds for the nearest-verified-state search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplainConfig {
+    /// Maximum undirected graph distance from the expected state.
+    pub radius: u64,
+    /// Hard cap on states examined (the search stops early on dense
+    /// graphs regardless of radius).
+    pub max_nodes: usize,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        ExplainConfig {
+            radius: 3,
+            max_nodes: 512,
+        }
+    }
+}
+
+/// Builds the explanation for a failure, if one applies. Returns
+/// `None` for inconsistency kinds the explainer does not cover
+/// (missing actions, crashes, watchdog timeouts) or when the test
+/// case does not validate against the graph (so no verified path to
+/// reason about).
+pub fn explain_failure(
+    graph: &StateGraph,
+    registry: &MappingRegistry,
+    case: &TestCase,
+    inconsistency: &Inconsistency,
+    actions_executed: usize,
+    cfg: &ExplainConfig,
+) -> Option<DivergenceExplanation> {
+    let nodes = case.validate_against(graph).ok()?;
+    match inconsistency {
+        Inconsistency::InconsistentState {
+            step,
+            action,
+            divergences,
+        } => {
+            let center = *nodes.get(step + 1)?;
+            let prefix = case.steps[..=*step]
+                .iter()
+                .map(|s| sanitize(&s.action.to_string()))
+                .collect();
+            let mut diffs = Vec::new();
+            for d in divergences {
+                diffs.extend(value_diff(&d.variable, &d.expected, d.actual.as_ref()));
+            }
+            let estimate = runtime_estimate(graph.state(center), divergences);
+            let verdict = nearest_search(graph, center, cfg, |node| {
+                state_matches_estimate(registry, graph.state(node), &estimate)
+            });
+            Some(DivergenceExplanation {
+                step: *step as u64,
+                action: sanitize(&action.to_string()),
+                prefix,
+                diffs,
+                verdict,
+            })
+        }
+        Inconsistency::UnexpectedAction { actions } => {
+            let center = *nodes.get(actions_executed)?;
+            let prefix = case.steps[..actions_executed.min(case.steps.len())]
+                .iter()
+                .map(|s| sanitize(&s.action.to_string()))
+                .collect();
+            let label = actions
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let verdict = nearest_search(graph, center, cfg, |node| {
+                let enabled = graph.enabled_at(node);
+                actions.iter().all(|a| enabled.contains(&a))
+            });
+            Some(DivergenceExplanation {
+                step: actions_executed as u64,
+                action: sanitize(&format!("unexpected {label}")),
+                prefix,
+                diffs: Vec::new(),
+                verdict,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The estimated runtime state in the spec domain: the verified state
+/// with each diverging variable replaced by its observed value.
+/// Variables whose runtime value could not be collected map to `None`
+/// (unknown — they constrain nothing in the search).
+struct RuntimeEstimate<'a> {
+    base: &'a State,
+    overrides: Vec<(&'a str, Option<&'a Value>)>,
+}
+
+fn runtime_estimate<'a>(
+    base: &'a State,
+    divergences: &'a [VariableDivergence],
+) -> RuntimeEstimate<'a> {
+    RuntimeEstimate {
+        base,
+        overrides: divergences
+            .iter()
+            .map(|d| (d.variable.as_str(), d.actual.as_ref()))
+            .collect(),
+    }
+}
+
+impl RuntimeEstimate<'_> {
+    /// The estimated value of `var`: `Some(None)` means "observed but
+    /// untranslatable/uncollected" (treated as unknown), `None` means
+    /// "not diverged — use the base state".
+    fn value_of(&self, var: &str) -> Option<Option<&Value>> {
+        self.overrides
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, v)| *v)
+            .map(Some)
+            .unwrap_or(None)
+    }
+}
+
+/// Whether `candidate` (a verified state) matches the runtime estimate
+/// on every *mapped* variable. Unmapped (counter/auxiliary) variables
+/// are skipped exactly as the state checker skips them, and unknown
+/// runtime values constrain nothing.
+fn state_matches_estimate(
+    registry: &MappingRegistry,
+    candidate: &State,
+    estimate: &RuntimeEstimate<'_>,
+) -> bool {
+    for vm in registry.variables() {
+        let mapped = matches!(
+            (&vm.class, &vm.target),
+            (VarClass::StateRelated, Some(VarTarget::ClassField { .. }))
+                | (VarClass::StateRelated, Some(VarTarget::MethodVariable { .. }))
+                | (VarClass::MessageRelated, Some(VarTarget::MessagePool { .. }))
+        );
+        if !mapped {
+            continue;
+        }
+        let Some(candidate_value) = candidate.get(&vm.spec_name) else {
+            continue;
+        };
+        match estimate.value_of(&vm.spec_name) {
+            Some(Some(observed)) => {
+                if !values_match(candidate_value, observed, vm.compare) {
+                    return false;
+                }
+            }
+            Some(None) => {} // unknown at runtime: no constraint
+            None => {
+                let Some(base_value) = estimate.base.get(&vm.spec_name) else {
+                    continue;
+                };
+                if candidate_value != base_value {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Bounded BFS over the *undirected* graph from `center`, reporting
+/// the nearest node satisfying `matches` (BFS order is deterministic,
+/// so ties break identically across runs) or `NoneWithin` when the
+/// radius/node budget is exhausted.
+fn nearest_search(
+    graph: &StateGraph,
+    center: NodeId,
+    cfg: &ExplainConfig,
+    matches: impl Fn(NodeId) -> bool,
+) -> NearestVerdict {
+    // Undirected adjacency, built in edge order so neighbor order —
+    // and therefore BFS tie-breaking — is deterministic.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); graph.state_count()];
+    for edge in graph.edges() {
+        adj[edge.from.0].push(edge.to);
+        adj[edge.to.0].push(edge.from);
+    }
+
+    let mut dist: Vec<Option<u64>> = vec![None; graph.state_count()];
+    let mut queue = VecDeque::new();
+    dist[center.0] = Some(0);
+    queue.push_back(center);
+    let mut searched: u64 = 0;
+
+    while let Some(node) = queue.pop_front() {
+        let d = dist[node.0].unwrap();
+        searched += 1;
+        if matches(node) {
+            return NearestVerdict::Verified {
+                distance: d,
+                state: sanitize(&graph.state(node).to_string()),
+                alt_path: shortest_action_path(graph, node),
+            };
+        }
+        if searched as usize >= cfg.max_nodes {
+            break;
+        }
+        if d < cfg.radius {
+            for &next in &adj[node.0] {
+                if dist[next.0].is_none() {
+                    dist[next.0] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    NearestVerdict::NoneWithin {
+        radius: cfg.radius,
+        searched,
+    }
+}
+
+/// Action names of a shortest verified path from an initial state to
+/// `target` (forward BFS over the directed graph; empty when `target`
+/// is itself initial). Falls back to empty if `target` is unreachable
+/// — impossible for states produced by the checker, but the graph may
+/// have been imported from elsewhere.
+fn shortest_action_path(graph: &StateGraph, target: NodeId) -> Vec<String> {
+    let mut parent: Vec<Option<(NodeId, usize)>> = vec![None; graph.state_count()];
+    let mut seen = vec![false; graph.state_count()];
+    let mut queue = VecDeque::new();
+    for &root in graph.initial_states() {
+        if !seen[root.0] {
+            seen[root.0] = true;
+            queue.push_back(root);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        if node == target {
+            let mut actions = Vec::new();
+            let mut cur = node;
+            while let Some((prev, eid)) = parent[cur.0] {
+                actions.push(sanitize(&graph.edges()[eid].action.to_string()));
+                cur = prev;
+            }
+            actions.reverse();
+            return actions;
+        }
+        for &eid in graph.out_edges(node) {
+            let to = graph.edge(eid).to;
+            if !seen[to.0] {
+                seen[to.0] = true;
+                parent[to.0] = Some((node, eid.0));
+                queue.push_back(to);
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingRegistry;
+    use mocket_tla::ActionInstance;
+
+    fn st(x: i64) -> State {
+        State::from_pairs([("x", Value::Int(x)), ("aux", Value::str("noise"))])
+    }
+
+    /// 0 -Inc-> 1 -Inc-> 2 -Inc-> 3, plus 1 -Dec-> 0.
+    fn graph() -> StateGraph {
+        let mut g = StateGraph::new();
+        let n: Vec<_> = (0..4).map(|i| g.insert_state(st(i)).0).collect();
+        g.mark_initial(n[0]);
+        g.add_edge(n[0], ActionInstance::nullary("Inc"), n[1]);
+        g.add_edge(n[1], ActionInstance::nullary("Inc"), n[2]);
+        g.add_edge(n[2], ActionInstance::nullary("Inc"), n[3]);
+        g.add_edge(n[1], ActionInstance::nullary("Dec"), n[0]);
+        g
+    }
+
+    fn registry() -> MappingRegistry {
+        let mut r = MappingRegistry::new();
+        r.map_class_field("x", "x_impl");
+        r
+    }
+
+    fn case(graph: &StateGraph, len: usize) -> TestCase {
+        let path: Vec<_> = (0..len).map(mocket_checker::EdgeId).collect();
+        TestCase::from_edge_path(graph, &path).unwrap()
+    }
+
+    #[test]
+    fn inconsistent_state_finds_nearest_verified_state() {
+        let g = graph();
+        let tc = case(&g, 2); // 0 -> 1 -> 2; check after step 1 expects x=2
+        let inc = Inconsistency::InconsistentState {
+            step: 1,
+            action: ActionInstance::nullary("Inc"),
+            divergences: vec![VariableDivergence {
+                variable: "x".into(),
+                expected: Value::Int(2),
+                actual: Some(Value::Int(1)), // implementation lagged one step
+            }],
+        };
+        let e = explain_failure(&g, &registry(), &tc, &inc, 2, &ExplainConfig::default())
+            .expect("explainable");
+        assert_eq!(e.step, 1);
+        assert_eq!(e.prefix, vec!["Inc".to_string(), "Inc".to_string()]);
+        assert_eq!(e.diffs.len(), 1);
+        assert_eq!(e.diffs[0].to_string(), "x: expected 2, got 1");
+        match &e.verdict {
+            NearestVerdict::Verified {
+                distance,
+                state,
+                alt_path,
+            } => {
+                assert_eq!(*distance, 1);
+                assert!(state.contains("x = 1"), "state: {state}");
+                assert_eq!(alt_path, &vec!["Inc".to_string()]);
+            }
+            other => panic!("expected Verified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_match_within_radius_reports_bound() {
+        let g = graph();
+        let tc = case(&g, 1); // 0 -> 1
+        let inc = Inconsistency::InconsistentState {
+            step: 0,
+            action: ActionInstance::nullary("Inc"),
+            divergences: vec![VariableDivergence {
+                variable: "x".into(),
+                expected: Value::Int(1),
+                actual: Some(Value::Int(99)), // matches no verified state
+            }],
+        };
+        let cfg = ExplainConfig {
+            radius: 2,
+            max_nodes: 512,
+        };
+        let e = explain_failure(&g, &registry(), &tc, &inc, 1, &cfg).expect("explainable");
+        match e.verdict {
+            NearestVerdict::NoneWithin { radius, searched } => {
+                assert_eq!(radius, 2);
+                assert!(searched >= 3, "searched {searched}");
+            }
+            other => panic!("expected NoneWithin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_action_searches_for_enabling_state() {
+        let g = graph();
+        let tc = case(&g, 2); // executed up to node 2
+        let inc = Inconsistency::UnexpectedAction {
+            actions: vec![ActionInstance::nullary("Dec")],
+        };
+        let e = explain_failure(&g, &registry(), &tc, &inc, 2, &ExplainConfig::default())
+            .expect("explainable");
+        assert_eq!(e.action, "unexpected Dec");
+        assert!(e.diffs.is_empty());
+        // Dec is enabled only at node 1, one step back from node 2.
+        match &e.verdict {
+            NearestVerdict::Verified {
+                distance, state, ..
+            } => {
+                assert_eq!(*distance, 1);
+                assert!(state.contains("x = 1"));
+            }
+            other => panic!("expected Verified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncovered_kinds_and_invalid_cases_yield_none() {
+        let g = graph();
+        let tc = case(&g, 1);
+        let missing = Inconsistency::MissingAction {
+            step: 0,
+            action: ActionInstance::nullary("Inc"),
+            offered: vec![],
+        };
+        assert!(
+            explain_failure(&g, &registry(), &tc, &missing, 1, &ExplainConfig::default())
+                .is_none()
+        );
+        // A case that does not validate against the graph.
+        let bogus = TestCase::new(st(9), vec![(ActionInstance::nullary("Inc"), st(10))]);
+        let inc = Inconsistency::InconsistentState {
+            step: 0,
+            action: ActionInstance::nullary("Inc"),
+            divergences: vec![],
+        };
+        assert!(
+            explain_failure(&g, &registry(), &bogus, &inc, 1, &ExplainConfig::default())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn max_nodes_caps_the_search() {
+        let g = graph();
+        let tc = case(&g, 1);
+        let inc = Inconsistency::InconsistentState {
+            step: 0,
+            action: ActionInstance::nullary("Inc"),
+            divergences: vec![VariableDivergence {
+                variable: "x".into(),
+                expected: Value::Int(1),
+                actual: Some(Value::Int(3)), // a match exists at distance 2
+            }],
+        };
+        let cfg = ExplainConfig {
+            radius: 10,
+            max_nodes: 1, // but the budget stops at the center
+        };
+        let e = explain_failure(&g, &registry(), &tc, &inc, 1, &cfg).expect("explainable");
+        assert!(matches!(
+            e.verdict,
+            NearestVerdict::NoneWithin { searched: 1, .. }
+        ));
+    }
+}

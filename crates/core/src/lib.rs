@@ -18,6 +18,7 @@
 //! The [`pipeline`] module wires all stages together (Figure 3).
 
 pub mod artifact;
+pub mod explain;
 pub mod mapping;
 pub mod minimize;
 pub mod msgpool;
@@ -35,8 +36,9 @@ pub use artifact::{
     replay, ArtifactError, CampaignJournal, CaseOutcome, JournalEntry, JournalIssue,
     ReplayArtifact, ReplayVerdict,
 };
+pub use explain::{explain_failure, ExplainConfig};
 pub use mapping::{
-    ActionBinding, ActionMapping, ConstMap, MappingIssue, MappingRegistry, VarTarget,
+    ActionBinding, ActionMapping, CompareMode, ConstMap, MappingIssue, MappingRegistry, VarTarget,
     VariableMapping,
 };
 pub use minimize::{minimize_case, weaken, MinimizeConfig, Minimized};
@@ -49,7 +51,7 @@ pub use por::{partial_order_reduction, Diamond, PorResult};
 pub use report::{BugClass, BugReport, Determinism, Inconsistency, VariableDivergence};
 pub use runner::{pools_from_registry, run_test_case, RunConfig, RunStats, TestOutcome};
 pub use scheduler::{find_match, translate_offers, unexpected_offers, SpecOffer};
-pub use statecheck::{check_state, state_matches};
+pub use statecheck::{check_state, state_matches, value_diff, values_match};
 pub use sut::{
     int_param, record_int_field, ExecReport, MsgEvent, Offer, Snapshot, SutError, SystemUnderTest,
 };

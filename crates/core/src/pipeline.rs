@@ -5,16 +5,21 @@
 //! traversal with optional partial-order reduction, ④ run controlled
 //! testing against the system under test, collecting bug reports.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mocket_obs::{Obs, RunSummary};
+use mocket_obs::{
+    CampaignHistory, CampaignRecord, CoverageMap, Obs, RunSummary, COVERAGE_FILE_NAME,
+    UNCOVERED_FILE_NAME,
+};
 use mocket_tla::{ActionInstance, Spec, State};
 
-use mocket_checker::{ModelChecker, StateGraph};
+use mocket_checker::{to_dot_overlay, uncovered_frontier, EdgeId, ModelChecker, StateGraph};
 
 use crate::artifact::{CampaignJournal, CaseOutcome, JournalEntry, ReplayArtifact};
+use crate::explain::{explain_failure, ExplainConfig};
 use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::minimize::{minimize_case, MinimizeConfig};
 use crate::por::partial_order_reduction;
@@ -23,6 +28,10 @@ use crate::runner::{run_test_case_observed, RunConfig, TestOutcome};
 use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
 use crate::traversal::{edge_coverage_paths, TraversalConfig};
+
+/// File name of the coverage-annotated DOT overlay inside a campaign
+/// directory.
+pub const COVERAGE_DOT_FILE_NAME: &str = "coverage.dot";
 
 /// Per-case retry policy for transient harness failures.
 ///
@@ -159,6 +168,16 @@ pub struct PipelineConfig {
     pub retry: RetryPolicy,
     /// Failure triage: confirm, shrink, persist, resume.
     pub triage: TriageConfig,
+    /// Divergence-explainer bounds: every inconsistent-state and
+    /// unexpected-action report carries a per-variable diff and a
+    /// nearest-verified-state verdict computed within these bounds.
+    pub explain: ExplainConfig,
+    /// Edge indices the traversal should cover first — typically fed
+    /// from the previous run's uncovered-edge listing
+    /// (`uncovered-edges.txt`, parsed by
+    /// [`mocket_obs::parse_uncovered_listing`]). Out-of-range indices
+    /// are ignored; empty leaves the traversal untouched.
+    pub priority_edges: Vec<usize>,
     /// Observability handle. Defaults to disabled (events are
     /// dropped); metrics still accumulate either way, so the run
     /// summary is always complete. Use [`Obs::jsonl_in`] to stream
@@ -183,6 +202,8 @@ impl Default for PipelineConfig {
             run: RunConfig::default(),
             retry: RetryPolicy::default(),
             triage: TriageConfig::default(),
+            explain: ExplainConfig::default(),
+            priority_edges: Vec::new(),
             obs: Obs::disabled(),
             progress: false,
         }
@@ -253,6 +274,22 @@ pub struct PipelineResult {
     /// The end-of-run summary (also written as `run-summary.json` when
     /// an obs or campaign directory is configured).
     pub summary: RunSummary,
+    /// Per-edge/per-action hit counts over the campaign (also written
+    /// as `coverage.json`, `coverage.dot` and `uncovered-edges.txt`
+    /// when an obs or campaign directory is configured).
+    pub coverage: CoverageMap,
+    /// Enabled-but-never-scheduled edges: the uncovered frontier the
+    /// next campaign should prioritize.
+    pub frontier: Vec<EdgeId>,
+}
+
+/// Folds one disposed case (run, journal-skipped or quarantined) into
+/// the campaign coverage map.
+fn record_case_coverage(coverage: &mut CoverageMap, graph: &StateGraph, path: &[EdgeId]) {
+    coverage.record_case(
+        path.iter().map(|e| e.0),
+        path.iter().map(|&e| graph.edge(e).action.name.as_str()),
+    );
 }
 
 /// The Mocket pipeline for one specification + mapping + target.
@@ -310,8 +347,18 @@ impl Pipeline {
         &self,
         graph: &StateGraph,
     ) -> (Vec<Vec<mocket_checker::EdgeId>>, usize, usize, usize) {
+        // Uncovered edges from a previous campaign steer this one's
+        // walk order (stale out-of-range indices are dropped).
+        let priority: std::collections::HashSet<EdgeId> = self
+            .config
+            .priority_edges
+            .iter()
+            .filter(|&&e| e < graph.edge_count())
+            .map(|&e| EdgeId(e))
+            .collect();
+
         // Plain edge coverage (for the Table 3 comparison).
-        let mut plain = TraversalConfig::default();
+        let mut plain = TraversalConfig::default().with_priority_edges(priority.clone());
         plain.max_path_len = self.config.max_path_len;
         if let Some(end) = self.config.end_state.clone() {
             plain = plain.with_end_state(move |s| end(s));
@@ -320,7 +367,9 @@ impl Pipeline {
 
         let por = partial_order_reduction(graph);
         let por_excluded = por.excluded_edges.len();
-        let mut reduced_cfg = TraversalConfig::default().with_excluded_edges(por.excluded_edges);
+        let mut reduced_cfg = TraversalConfig::default()
+            .with_excluded_edges(por.excluded_edges)
+            .with_priority_edges(priority);
         reduced_cfg.max_path_len = self.config.max_path_len;
         if let Some(end) = self.config.end_state.clone() {
             reduced_cfg = reduced_cfg.with_end_state(move |s| end(s));
@@ -447,6 +496,10 @@ impl Pipeline {
         let mut skipped_from_journal = 0usize;
         let mut artifacts: Vec<PathBuf> = Vec::new();
         let mut journal_issues: Vec<String> = Vec::new();
+        // Per-edge/per-action hit counts over every case the campaign
+        // disposed of (run, journal-skipped or quarantined) — the
+        // overlay and the uncovered-edge listing come from this.
+        let mut coverage = CoverageMap::new(graph.edge_count());
 
         // Resume: load the campaign journal (if a campaign directory
         // is configured) and fold previously completed cases back into
@@ -485,6 +538,7 @@ impl Pipeline {
                 // a fresh try on resume.)
                 skipped_from_journal += 1;
                 cases_run += 1;
+                record_case_coverage(&mut coverage, &graph, path);
                 if entry.outcome == CaseOutcome::Passed {
                     passed += 1;
                 }
@@ -517,14 +571,29 @@ impl Pipeline {
                     std::thread::sleep(self.config.retry.backoff * 2u32.pow(exp));
                 }
                 let mut sut = make_sut();
-                match run_test_case_observed(
-                    sut.as_mut(),
-                    &tc,
-                    &self.registry,
-                    &final_enabled,
-                    &self.config.run,
-                    &obs,
-                ) {
+                // A panicking SUT (or checker) must not take the
+                // buffered observability events down with it: drain the
+                // recorder before letting the unwind continue, so the
+                // triage evidence — including this case's `case.start`
+                // — reaches events.jsonl.
+                let attempt_outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_test_case_observed(
+                        sut.as_mut(),
+                        &tc,
+                        &self.registry,
+                        &final_enabled,
+                        &self.config.run,
+                        &obs,
+                    )
+                }));
+                let attempt_outcome = match attempt_outcome {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        obs.flush();
+                        resume_unwind(payload);
+                    }
+                };
+                match attempt_outcome {
                     Ok((outcome, stats)) => {
                         verdict_reached = true;
                         cases_run += 1;
@@ -532,6 +601,7 @@ impl Pipeline {
                         match outcome {
                             TestOutcome::Passed => {
                                 passed += 1;
+                                record_case_coverage(&mut coverage, &graph, path);
                                 obs.event(
                                     "case.verdict",
                                     case_idx as u64,
@@ -594,12 +664,23 @@ impl Pipeline {
                                     ],
                                 );
                                 obs.metrics().add("pipeline.cases_failed", 1);
+                                record_case_coverage(&mut coverage, &graph, path);
                                 self.progress(format_args!(
                                     "case {}/{}: FAILED ({})",
                                     case_idx + 1,
                                     cases_selected,
                                     inconsistency.kind()
                                 ));
+                                // Insight layer: where did the
+                                // implementation actually go?
+                                let explanation = explain_failure(
+                                    &graph,
+                                    &self.registry,
+                                    &tc,
+                                    &inconsistency,
+                                    stats.actions_executed,
+                                    &self.config.explain,
+                                );
                                 // Failure triage: confirm & classify,
                                 // then shrink deterministic failures.
                                 let (determinism, minimized) = self.triage_failure(
@@ -638,6 +719,7 @@ impl Pipeline {
                                         &self.config.run,
                                         tc.len(),
                                         repro_enabled,
+                                        explanation.clone(),
                                         repro,
                                     );
                                     match artifact.write_to(dir) {
@@ -669,6 +751,7 @@ impl Pipeline {
                                     attempt,
                                     determinism,
                                     minimized,
+                                    explanation,
                                     class: BugClass::Unclassified,
                                 });
                                 if self.config.stop_at_first_bug {
@@ -690,6 +773,7 @@ impl Pipeline {
                 }
             }
             if !verdict_reached {
+                record_case_coverage(&mut coverage, &graph, path);
                 obs.event(
                     "case.verdict",
                     case_idx as u64,
@@ -788,15 +872,74 @@ impl Pipeline {
         }
         summary.metrics = m.snapshot();
 
-        // The summary lands next to events.jsonl when obs streams to a
-        // directory, otherwise next to the replay artifacts.
-        let summary_dir = obs
+        let frontier = uncovered_frontier(&graph, coverage.edge_hits());
+        m.set_gauge("coverage.frontier_edges", frontier.len() as f64);
+
+        // The summary and the insight artifacts land next to
+        // events.jsonl when obs streams to a directory, otherwise next
+        // to the replay artifacts.
+        let out_dir = obs
             .dir()
             .map(|d| d.to_path_buf())
             .or_else(|| self.config.triage.campaign_dir.clone());
-        if let Some(dir) = summary_dir {
-            if let Err(e) = summary.write_to(&dir) {
+        if let Some(dir) = &out_dir {
+            if let Err(e) = summary.write_to(dir) {
                 journal_issues.push(format!("run summary write failed: {e}"));
+            }
+            for (name, content) in [
+                (COVERAGE_FILE_NAME, coverage.to_json()),
+                (UNCOVERED_FILE_NAME, coverage.uncovered_listing()),
+                (
+                    COVERAGE_DOT_FILE_NAME,
+                    to_dot_overlay(&graph, coverage.edge_hits()),
+                ),
+            ] {
+                if let Err(e) = std::fs::write(dir.join(name), content) {
+                    journal_issues.push(format!("{name} write failed: {e}"));
+                }
+            }
+            match CampaignHistory::open(dir) {
+                Ok(mut history) => {
+                    journal_issues.extend(history.issues().iter().map(|i| i.to_string()));
+                    let record = CampaignRecord {
+                        seq: history.next_seq(),
+                        spec: summary.spec.clone(),
+                        states: summary.states,
+                        edges: summary.edges,
+                        coverage_edges_visited: summary.coverage_edges_visited,
+                        coverage_edge_targets: summary.coverage_edge_targets,
+                        coverage: summary.coverage,
+                        cases_selected: summary.cases_selected,
+                        cases_run: summary.cases_run,
+                        cases_passed: summary.cases_passed,
+                        cases_failed: summary.cases_failed,
+                        cases_quarantined: summary.cases_quarantined,
+                        cases_skipped_from_journal: summary.cases_skipped_from_journal,
+                        bugs_by_kind: summary.bugs_by_kind.clone(),
+                        bugs_by_determinism: summary.bugs_by_determinism.clone(),
+                        shrink_original_actions: reports
+                            .iter()
+                            .filter(|r| r.minimized.is_some())
+                            .map(|r| r.test_case.len() as u64)
+                            .sum(),
+                        shrink_minimized_actions: reports
+                            .iter()
+                            .filter_map(|r| r.minimized.as_ref())
+                            .map(|min| min.len() as u64)
+                            .sum(),
+                        uncovered_frontier_edges: frontier.len() as u64,
+                        wall_checker_states_per_sec: if check_seconds > 0.0 {
+                            summary.states as f64 / check_seconds
+                        } else {
+                            0.0
+                        },
+                        wall_total_seconds: summary.wall_total_seconds,
+                    };
+                    if let Err(e) = history.append(record) {
+                        journal_issues.push(format!("campaign history append failed: {e}"));
+                    }
+                }
+                Err(e) => journal_issues.push(format!("campaign history unavailable: {e}")),
             }
         }
         obs.flush();
@@ -812,6 +955,8 @@ impl Pipeline {
             artifacts,
             journal_issues,
             summary,
+            coverage,
+            frontier,
         }
     }
 
@@ -1231,6 +1376,139 @@ mod tests {
         let mut sut = CounterSut { n: 0, buggy: true };
         let (verdict, _) = crate::artifact::replay(&artifact, &mut sut, &registry()).unwrap();
         assert!(verdict.reproduced(), "{verdict:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bug_reports_carry_divergence_explanations() {
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: true }));
+        assert_eq!(result.reports.len(), 1);
+        let report = &result.reports[0];
+        let explanation = report
+            .explanation
+            .as_ref()
+            .expect("inconsistent-state report must carry an explanation");
+        assert!(!explanation.diffs.is_empty(), "per-variable diff missing");
+        assert!(explanation.diffs.iter().any(|d| d.path.starts_with('n')));
+        // The buggy counter jumps 1 -> 3 while the spec caps at 2, so
+        // no verified state matches the observed value.
+        let rendered = report.to_string();
+        assert!(rendered.contains("Explanation:"), "{rendered}");
+    }
+
+    #[test]
+    fn campaign_writes_insight_artifacts() {
+        let dir = temp_campaign_dir("insight");
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.triage.campaign_dir = Some(dir.clone());
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: false }));
+        assert!(result.reports.is_empty());
+        // Full campaign, no POR: every edge is covered, the frontier
+        // is empty.
+        assert_eq!(result.coverage.uncovered_edges(), Vec::<usize>::new());
+        assert!(result.frontier.is_empty(), "{:?}", result.frontier);
+
+        let cov = std::fs::read_to_string(dir.join(COVERAGE_FILE_NAME)).unwrap();
+        assert!(cov.contains("\"edges_covered\""));
+        let listing = std::fs::read_to_string(dir.join(UNCOVERED_FILE_NAME)).unwrap();
+        assert_eq!(
+            mocket_obs::parse_uncovered_listing(&listing).unwrap(),
+            Vec::<usize>::new()
+        );
+        let dot = std::fs::read_to_string(dir.join(COVERAGE_DOT_FILE_NAME)).unwrap();
+        assert!(dot.contains("coverage overlay"));
+        // The overlay is a valid importable DOT document.
+        assert!(mocket_checker::from_dot(&dot).is_ok());
+        let history = mocket_obs::CampaignHistory::open(&dir).unwrap();
+        assert_eq!(history.records().len(), 1);
+        assert_eq!(history.records()[0].spec, "Counter");
+        assert_eq!(history.records()[0].uncovered_frontier_edges, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_campaign_reports_frontier_and_feeds_priority() {
+        let dir = temp_campaign_dir("frontier");
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.max_test_cases = 1;
+        cfg.max_path_len = 1;
+        cfg.triage.campaign_dir = Some(dir.clone());
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let result = p.run(|| Box::new(CounterSut { n: 0, buggy: false }));
+        assert!(
+            !result.frontier.is_empty(),
+            "a truncated campaign must expose an uncovered frontier"
+        );
+        // The listing round-trips into the next run's priority set.
+        let listing = std::fs::read_to_string(dir.join(UNCOVERED_FILE_NAME)).unwrap();
+        let priority = mocket_obs::parse_uncovered_listing(&listing).unwrap();
+        assert!(!priority.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.priority_edges = priority.clone();
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let full = p.run(|| Box::new(CounterSut { n: 0, buggy: false }));
+        // With the frontier prioritized and no truncation, the next
+        // campaign covers those edges.
+        for e in priority {
+            assert!(full.coverage.hit(e) > 0, "priority edge {e} still uncovered");
+        }
+    }
+
+    /// Panics in the middle of the first executed action — stands in
+    /// for application code blowing up under the harness.
+    struct PanickingSut;
+
+    impl SystemUnderTest for PanickingSut {
+        fn deploy(&mut self) -> Result<(), SutError> {
+            Ok(())
+        }
+        fn teardown(&mut self) {}
+        fn offers(&mut self) -> Result<Vec<Offer>, SutError> {
+            Ok(vec![Offer {
+                node: 1,
+                action: ActionInstance::nullary("inc"),
+            }])
+        }
+        fn execute(&mut self, _: &Offer) -> Result<ExecReport, SutError> {
+            panic!("application code exploded");
+        }
+        fn execute_external(&mut self, _: &ActionInstance) -> Result<ExecReport, SutError> {
+            unreachable!()
+        }
+        fn snapshot(&mut self) -> Result<Snapshot, SutError> {
+            Ok(Snapshot::from_pairs([("count", Value::Int(0))]))
+        }
+    }
+
+    #[test]
+    fn panicking_case_still_lands_its_buffered_events() {
+        let dir = temp_campaign_dir("panic-flush");
+        let mut cfg = PipelineConfig::default();
+        cfg.por = false;
+        cfg.obs = mocket_obs::Obs::jsonl_in(&dir).unwrap();
+        let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.run(|| Box::new(PanickingSut))
+        }));
+        assert!(outcome.is_err(), "the SUT panic must propagate");
+        // The case.start event was buffered (< 64 events) when the
+        // panic unwound the pipeline; the catch_unwind flush must have
+        // landed it on disk anyway.
+        let events =
+            std::fs::read_to_string(dir.join(mocket_obs::EVENTS_FILE_NAME)).unwrap();
+        assert!(
+            events.contains("\"event\":\"case.start\""),
+            "buffered events lost on unwind: {events}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,6 +9,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use mocket_obs::DivergenceExplanation;
 use mocket_tla::{ActionInstance, Value};
 
 use crate::testcase::TestCase;
@@ -289,6 +290,12 @@ pub struct BugReport {
     pub minimized: Option<TestCase>,
     /// Human classification.
     pub class: BugClass,
+    /// The insight layer's divergence explanation: executed prefix,
+    /// per-variable structured diff, and the nearest-verified-state
+    /// verdict (see [`crate::explain`]). Present for inconsistent
+    /// states and unexpected actions when the case validates against
+    /// the graph.
+    pub explanation: Option<DivergenceExplanation>,
 }
 
 impl fmt::Display for BugReport {
@@ -314,6 +321,10 @@ impl fmt::Display for BugReport {
                 self.test_case.len()
             )?;
             write!(f, "{min}")?;
+        }
+        if let Some(explanation) = &self.explanation {
+            writeln!(f, "Explanation:")?;
+            write!(f, "{explanation}")?;
         }
         Ok(())
     }
@@ -388,11 +399,23 @@ mod tests {
             determinism: Determinism::Deterministic { reruns: 2 },
             minimized: None,
             class: BugClass::Unclassified,
+            explanation: Some(DivergenceExplanation {
+                step: 1,
+                action: "unexpected Inc".into(),
+                prefix: vec!["Inc".into()],
+                diffs: vec![],
+                verdict: mocket_obs::NearestVerdict::NoneWithin {
+                    radius: 3,
+                    searched: 2,
+                },
+            }),
         };
         let text = report.to_string();
         assert!(text.contains("Unexpected action"));
         assert!(text.contains("Inc"));
         assert!(text.contains("deterministic (2/2 re-runs)"));
+        assert!(text.contains("Explanation:"));
+        assert!(text.contains("no verified state within distance 3"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the constant map. Counters and auxiliary variables are skipped:
 //! they have no mapping by design.
 
-use mocket_obs::Obs;
+use mocket_obs::{Obs, VarDiff};
 use mocket_tla::{State, Value, VarClass};
 
 use crate::mapping::{CompareMode, MappingRegistry, VarTarget};
@@ -105,6 +105,88 @@ pub fn values_match(expected: &Value, actual: &Value, mode: CompareMode) -> bool
             (collection, Value::Int(k)) => collection.cardinality() as i64 == *k,
             _ => expected == actual,
         },
+    }
+}
+
+/// Structured per-variable diff for the divergence explainer: instead
+/// of "expected F, got G" on a whole function value, recurses into
+/// functions, records and sets and reports only the leaves that
+/// actually differ, with a path like `votesGranted[1]`. Set deltas are
+/// reported per element (`expected present, got absent`). Equal values
+/// yield nothing.
+pub fn value_diff(variable: &str, expected: &Value, actual: Option<&Value>) -> Vec<VarDiff> {
+    let mut out = Vec::new();
+    match actual {
+        None => out.push(VarDiff::new(
+            variable,
+            &expected.to_string(),
+            VarDiff::MISSING,
+        )),
+        Some(actual) => diff_into(variable, expected, actual, &mut out),
+    }
+    out
+}
+
+fn diff_into(path: &str, expected: &Value, actual: &Value, out: &mut Vec<VarDiff>) {
+    if expected == actual {
+        return;
+    }
+    match (expected, actual) {
+        (Value::Fun(e), Value::Fun(a)) => {
+            for (k, ve) in e {
+                match a.get(k) {
+                    Some(va) => diff_into(&format!("{path}[{k}]"), ve, va, out),
+                    None => out.push(VarDiff::new(
+                        &format!("{path}[{k}]"),
+                        &ve.to_string(),
+                        VarDiff::MISSING,
+                    )),
+                }
+            }
+            for (k, va) in a {
+                if !e.contains_key(k) {
+                    out.push(VarDiff::new(
+                        &format!("{path}[{k}]"),
+                        VarDiff::MISSING,
+                        &va.to_string(),
+                    ));
+                }
+            }
+        }
+        (Value::Record(e), Value::Record(a)) => {
+            for (k, ve) in e {
+                match a.get(k) {
+                    Some(va) => diff_into(&format!("{path}.{k}"), ve, va, out),
+                    None => out.push(VarDiff::new(
+                        &format!("{path}.{k}"),
+                        &ve.to_string(),
+                        VarDiff::MISSING,
+                    )),
+                }
+            }
+            for (k, va) in a {
+                if !e.contains_key(k) {
+                    out.push(VarDiff::new(
+                        &format!("{path}.{k}"),
+                        VarDiff::MISSING,
+                        &va.to_string(),
+                    ));
+                }
+            }
+        }
+        (Value::Set(e), Value::Set(a)) => {
+            for v in e.difference(a) {
+                out.push(VarDiff::new(&format!("{path}[{v}]"), "present", "absent"));
+            }
+            for v in a.difference(e) {
+                out.push(VarDiff::new(&format!("{path}[{v}]"), "absent", "present"));
+            }
+        }
+        _ => out.push(VarDiff::new(
+            path,
+            &expected.to_string(),
+            &actual.to_string(),
+        )),
     }
 }
 
@@ -249,6 +331,51 @@ mod tests {
             d[0].actual,
             Some(Value::fun([(vrec! { mtype => "Req" }, Value::Int(1))]))
         );
+    }
+
+    #[test]
+    fn value_diff_recurses_into_functions_and_sets() {
+        let expected = Value::fun([
+            (Value::Int(1), Value::set([Value::Int(1), Value::Int(2)])),
+            (Value::Int(2), Value::str("Leader")),
+            (Value::Int(3), Value::Int(7)),
+        ]);
+        let actual = Value::fun([
+            (Value::Int(1), Value::set([Value::Int(1), Value::Int(3)])),
+            (Value::Int(2), Value::str("Leader")),
+            (Value::Int(4), Value::Int(9)),
+        ]);
+        let diffs = value_diff("votes", &expected, Some(&actual));
+        let rendered: Vec<String> = diffs.iter().map(|d| d.to_string()).collect();
+        assert_eq!(
+            rendered,
+            [
+                "votes[1][2]: expected present, got absent",
+                "votes[1][3]: expected absent, got present",
+                "votes[3]: expected 7, got <missing>",
+                "votes[4]: expected <missing>, got 9",
+            ]
+        );
+    }
+
+    #[test]
+    fn value_diff_handles_records_leaves_and_uncollected() {
+        let expected = Value::record([("term", Value::Int(2)), ("ok", Value::Bool(true))]);
+        let actual = Value::record([("term", Value::Int(1)), ("ok", Value::Bool(true))]);
+        let diffs = value_diff("hdr", &expected, Some(&actual));
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].to_string(), "hdr.term: expected 2, got 1");
+
+        // Uncollected variable: one whole-variable diff.
+        let diffs = value_diff("x", &Value::Int(3), None);
+        assert_eq!(diffs[0].to_string(), "x: expected 3, got <missing>");
+
+        // Type mismatch stays a leaf diff.
+        let diffs = value_diff("x", &Value::Int(3), Some(&Value::str("three")));
+        assert_eq!(diffs[0].to_string(), "x: expected 3, got \"three\"");
+
+        // Equal values: nothing.
+        assert!(value_diff("x", &Value::Int(3), Some(&Value::Int(3))).is_empty());
     }
 
     #[test]

@@ -12,11 +12,12 @@
 //! threads update metrics only.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
 use crate::json::{push_escaped, push_f64};
@@ -182,6 +183,33 @@ impl JsonlRecorder {
     }
 }
 
+/// Failure to prepare a campaign observability directory: the path
+/// that could not be prepared plus the underlying io error.
+#[derive(Debug)]
+pub struct ObsDirError {
+    /// The directory that was being prepared.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub source: io::Error,
+}
+
+impl fmt::Display for ObsDirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot prepare observability directory {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for ObsDirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 impl Recorder for JsonlRecorder {
     fn record_batch(&self, events: Vec<Event>) {
         let mut inner = self.inner.lock().unwrap();
@@ -200,9 +228,39 @@ impl Recorder for JsonlRecorder {
 }
 
 // Per-thread event buffers, keyed by the owning `Obs` id so two live
-// handles never interleave buffers.
+// handles never interleave buffers. Each buffer holds a weak link to
+// its sink so the thread-exit destructor can drain what is left: a
+// worker that dies (or a pipeline thread unwinding past its explicit
+// `flush()`) must not silently drop up to `BATCH - 1` events.
+struct LocalBuf {
+    id: u64,
+    recorder: Weak<dyn Recorder>,
+    events: Vec<Event>,
+}
+
+#[derive(Default)]
+struct LocalBuffers {
+    bufs: Vec<LocalBuf>,
+}
+
+impl Drop for LocalBuffers {
+    fn drop(&mut self) {
+        for buf in self.bufs.drain(..) {
+            if buf.events.is_empty() {
+                continue;
+            }
+            // A dead sink (all `Obs` handles gone) has no readers left;
+            // only then is dropping the tail acceptable.
+            if let Some(rec) = buf.recorder.upgrade() {
+                rec.record_batch(buf.events);
+                rec.flush();
+            }
+        }
+    }
+}
+
 thread_local! {
-    static LOCAL_BUFFERS: RefCell<Vec<(u64, Vec<Event>)>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_BUFFERS: RefCell<LocalBuffers> = RefCell::new(LocalBuffers::default());
 }
 
 static NEXT_OBS_ID: AtomicU64 = AtomicU64::new(1);
@@ -250,8 +308,13 @@ impl Obs {
 
     /// An enabled handle writing `events.jsonl` under `dir`; the
     /// directory also becomes the default home of `run-summary.json`.
-    pub fn jsonl_in(dir: &Path) -> io::Result<Self> {
-        let rec = JsonlRecorder::create(dir)?;
+    /// The directory (and any missing parents) is created; failure is
+    /// reported as a typed, pathful [`ObsDirError`].
+    pub fn jsonl_in(dir: &Path) -> Result<Self, ObsDirError> {
+        let rec = JsonlRecorder::create(dir).map_err(|source| ObsDirError {
+            path: dir.to_path_buf(),
+            source,
+        })?;
         Ok(Obs {
             id: NEXT_OBS_ID.fetch_add(1, Ordering::Relaxed),
             enabled: true,
@@ -284,16 +347,20 @@ impl Obs {
         }
         let full = LOCAL_BUFFERS.with(|buffers| {
             let mut buffers = buffers.borrow_mut();
-            let buf = match buffers.iter_mut().find(|(id, _)| *id == self.id) {
-                Some((_, buf)) => buf,
+            let buf = match buffers.bufs.iter_mut().position(|b| b.id == self.id) {
+                Some(i) => &mut buffers.bufs[i],
                 None => {
-                    buffers.push((self.id, Vec::with_capacity(BATCH)));
-                    &mut buffers.last_mut().unwrap().1
+                    buffers.bufs.push(LocalBuf {
+                        id: self.id,
+                        recorder: Arc::downgrade(&self.recorder),
+                        events: Vec::with_capacity(BATCH),
+                    });
+                    buffers.bufs.last_mut().unwrap()
                 }
             };
-            buf.push(Event { name, ts, fields });
-            if buf.len() >= BATCH {
-                Some(std::mem::take(buf))
+            buf.events.push(Event { name, ts, fields });
+            if buf.events.len() >= BATCH {
+                Some(std::mem::take(&mut buf.events))
             } else {
                 None
             }
@@ -313,9 +380,10 @@ impl Obs {
         let batch = LOCAL_BUFFERS.with(|buffers| {
             let mut buffers = buffers.borrow_mut();
             buffers
+                .bufs
                 .iter_mut()
-                .find(|(id, _)| *id == self.id)
-                .map(|(_, buf)| std::mem::take(buf))
+                .find(|b| b.id == self.id)
+                .map(|b| std::mem::take(&mut b.events))
         });
         if let Some(batch) = batch {
             if !batch.is_empty() {
@@ -465,6 +533,57 @@ mod tests {
             .histogram("timing.span.stage.check_seconds")
             .expect("span duration recorded");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn thread_exit_drains_buffered_events() {
+        let (obs, rec) = Obs::in_memory();
+        let handle = {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                // Fewer than BATCH events and no flush(): before the
+                // Drop-drain fix these were lost with the thread.
+                for i in 0..5u64 {
+                    obs.event("worker.tick", i, vec![]);
+                }
+            })
+        };
+        handle.join().unwrap();
+        let events = rec.events();
+        assert_eq!(events.len(), 5, "thread exit must drain its buffer");
+        assert!(events.iter().enumerate().all(|(i, e)| e.ts == i as u64));
+    }
+
+    #[test]
+    fn obs_dir_error_is_typed_and_pathful() {
+        let file = std::env::temp_dir().join(format!("mocket-obs-file-{}", std::process::id()));
+        fs::write(&file, b"not a directory").unwrap();
+        // A file where the directory should be: create_dir_all fails.
+        let err = match Obs::jsonl_in(&file) {
+            Ok(_) => panic!("jsonl_in over a file must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.path, file);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cannot prepare observability directory"),
+            "unexpected message: {msg}"
+        );
+        assert!(msg.contains(&file.display().to_string()));
+        assert!(std::error::Error::source(&err).is_some());
+        let _ = fs::remove_file(&file);
+    }
+
+    #[test]
+    fn jsonl_in_creates_missing_parents() {
+        let base = std::env::temp_dir().join(format!("mocket-obs-deep-{}", std::process::id()));
+        let dir = base.join("a").join("b");
+        let _ = fs::remove_dir_all(&base);
+        let obs = Obs::jsonl_in(&dir).unwrap();
+        obs.event("x", 0, vec![]);
+        obs.flush();
+        assert!(dir.join(EVENTS_FILE_NAME).is_file());
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -16,6 +16,22 @@
 //!   counts by kind and determinism, effort counters, and wall-clock
 //!   timings.
 //!
+//! On top sits the **insight layer**, which turns the recorded
+//! telemetry into explanations:
+//!
+//! - **Divergence explanations** ([`DivergenceExplanation`]): where a
+//!   failing case departed from the verified path, the per-variable
+//!   structured diff, and the nearest-verified-state verdict. Computed
+//!   by `mocket-core` (which can see the state graph), carried here as
+//!   a pure-string model so it can ride in replay artifacts.
+//! - **Coverage analytics** ([`CoverageMap`]): per-edge/per-action hit
+//!   counts accumulated over executed cases, plus the uncovered-edge
+//!   listing the traversal generator consumes next run.
+//! - **Cross-run reports** ([`CampaignHistory`], [`render_text`],
+//!   [`render_html`]): an append-only `campaign-history.jsonl` of
+//!   per-run records and deterministic text/HTML trend renderers
+//!   (`mocket-cli report`).
+//!
 //! # Determinism contract
 //!
 //! Mocket's replay guarantees are byte-exact, and observability must
@@ -33,14 +49,26 @@
 //!   [`strip_wall_clock`](summary::strip_wall_clock) for comparing
 //!   summaries.
 
+pub mod coverage;
 mod event;
 mod json;
 mod metrics;
+pub mod report;
 pub mod summary;
+pub mod trace;
 
-pub use event::{
-    Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Obs, Recorder, Span,
-    EVENTS_FILE_NAME,
+pub use coverage::{
+    parse_uncovered_listing, CoverageMap, COVERAGE_FILE_NAME, UNCOVERED_FILE_NAME,
 };
+pub use event::{
+    Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Obs, ObsDirError, Recorder,
+    Span, EVENTS_FILE_NAME,
+};
+pub use json::{parse_flat_object, JsonScalar};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, TIMING_PREFIX};
+pub use report::{
+    render_html, render_text, CampaignHistory, CampaignRecord, HistoryIssue,
+    CAMPAIGN_HISTORY_FILE_NAME,
+};
 pub use summary::{strip_wall_clock, RunSummary, RUN_SUMMARY_FILE_NAME};
+pub use trace::{sanitize, DivergenceExplanation, NearestVerdict, VarDiff};

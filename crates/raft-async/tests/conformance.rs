@@ -6,9 +6,29 @@
 
 use std::sync::Arc;
 
-use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_core::{BugReport, Pipeline, PipelineConfig, RunConfig};
 use mocket_raft_async::{make_sut, mapping, XraftBugs};
 use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+/// Every inconsistent-state report must carry a divergence
+/// explanation: a per-variable diff plus a nearest-verified-state
+/// verdict, both rendered into the report text.
+fn assert_explained(report: &BugReport) {
+    let e = report
+        .explanation
+        .as_ref()
+        .expect("inconsistent-state report must carry an explanation");
+    assert!(
+        !e.diffs.is_empty(),
+        "explanation must diff at least one variable"
+    );
+    let rendered = report.to_string();
+    assert!(rendered.contains("Explanation:"), "not rendered:\n{rendered}");
+    assert!(
+        rendered.contains("verified state"),
+        "nearest-verified-state verdict missing:\n{rendered}"
+    );
+}
 
 fn pipeline(cfg: RaftSpecConfig, por: bool, stop_at_first: bool) -> Pipeline {
     let mut pc = PipelineConfig::default();
@@ -64,6 +84,7 @@ fn duplicate_vote_counting_bug_is_inconsistent_votes_granted() {
     let report = result.reports.first().expect("bug must be detected");
     assert_eq!(report.inconsistency.kind(), "Inconsistent state");
     assert_eq!(report.inconsistency.subject(), "votesGranted");
+    assert_explained(report);
 }
 
 #[test]
@@ -89,6 +110,7 @@ fn voted_for_not_persisted_bug_is_inconsistent_voted_for() {
     let report = result.reports.first().expect("bug must be detected");
     assert_eq!(report.inconsistency.kind(), "Inconsistent state");
     assert_eq!(report.inconsistency.subject(), "votedFor");
+    assert_explained(report);
 }
 
 #[test]

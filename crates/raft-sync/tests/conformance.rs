@@ -3,9 +3,29 @@
 
 use std::sync::Arc;
 
-use mocket_core::{Pipeline, PipelineConfig, RunConfig};
+use mocket_core::{BugReport, Pipeline, PipelineConfig, RunConfig};
 use mocket_raft_sync::{make_sut, make_sut_with_options, mapping, SyncRaftBugs};
 use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+
+/// Every inconsistent-state report must carry a divergence
+/// explanation: a per-variable diff plus a nearest-verified-state
+/// verdict, both rendered into the report text.
+fn assert_explained(report: &BugReport) {
+    let e = report
+        .explanation
+        .as_ref()
+        .expect("inconsistent-state report must carry an explanation");
+    assert!(
+        !e.diffs.is_empty(),
+        "explanation must diff at least one variable"
+    );
+    let rendered = report.to_string();
+    assert!(rendered.contains("Explanation:"), "not rendered:\n{rendered}");
+    assert!(
+        rendered.contains("verified state"),
+        "nearest-verified-state verdict missing:\n{rendered}"
+    );
+}
 
 fn pipeline(
     cfg: RaftSpecConfig,
@@ -108,6 +128,7 @@ fn log_truncation_bug_is_inconsistent_log() {
     let report = result.reports.first().expect("bug must be detected");
     assert_eq!(report.inconsistency.kind(), "Inconsistent state");
     assert_eq!(report.inconsistency.subject(), "log");
+    assert_explained(report);
 }
 
 #[test]
@@ -127,6 +148,7 @@ fn spec_bug_missing_reply_manifests_quickly() {
     let report = result.reports.first().expect("spec bug must surface");
     assert_eq!(report.inconsistency.kind(), "Inconsistent state");
     assert_eq!(report.inconsistency.subject(), "messages");
+    assert_explained(report);
 }
 
 #[test]
@@ -174,4 +196,5 @@ fn official_spec_update_term_is_inconsistent_messages_with_mapping_region() {
     let report = result.reports.first().expect("spec bug must surface");
     assert_eq!(report.inconsistency.kind(), "Inconsistent state");
     assert_eq!(report.inconsistency.subject(), "messages");
+    assert_explained(report);
 }

@@ -74,6 +74,17 @@ fn election_echo_storm_is_unexpected_handle_vote() {
     let report = result.reports.first().expect("bug must be detected");
     assert_eq!(report.inconsistency.kind(), "Unexpected action");
     assert_eq!(report.inconsistency.subject(), "HandleVote");
+    // Unexpected actions have no per-variable diff, but the explainer
+    // still searches for a verified state where the offer is enabled.
+    let e = report
+        .explanation
+        .as_ref()
+        .expect("unexpected-action report must carry an explanation");
+    assert!(e.action.contains("HandleVote"));
+    assert!(
+        report.to_string().contains("verified state"),
+        "nearest-verified-state verdict missing:\n{report}"
+    );
 }
 
 #[test]

@@ -7,9 +7,13 @@
 //!
 //! 1. `events.jsonl` is byte-identical across runs (events carry
 //!    logical timestamps — BFS waves, case indices — never
-//!    wall-clock), and
+//!    wall-clock),
 //! 2. `run-summary.json` is identical after `strip_wall_clock`
-//!    (everything nondeterministic sits under `wall_`-prefixed keys).
+//!    (everything nondeterministic sits under `wall_`-prefixed keys),
+//!    and
+//! 3. the campaign-history trend report renders identically for both
+//!    runs: text after `strip_wall_clock`, HTML byte-for-byte (the
+//!    HTML renderer omits wall-clock data entirely).
 //!
 //! Run with: `cargo run --release --example obs_report`
 //!
@@ -19,7 +23,10 @@
 use std::sync::Arc;
 
 use mocket::core::{Pipeline, PipelineConfig, RunConfig};
-use mocket::obs::{strip_wall_clock, Obs, EVENTS_FILE_NAME, RUN_SUMMARY_FILE_NAME};
+use mocket::obs::{
+    render_html, render_text, strip_wall_clock, CampaignHistory, Obs, EVENTS_FILE_NAME,
+    RUN_SUMMARY_FILE_NAME,
+};
 use mocket::raft_async::{make_sut, mapping, XraftBugs};
 use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
 
@@ -53,6 +60,19 @@ fn run_once(dir: &std::path::Path) -> (String, String) {
     (events, summary)
 }
 
+/// Renders the campaign history in `dir` to `report.txt` and
+/// `report.html` (what `mocket-cli report --obs-dir` produces),
+/// returning both.
+fn render_reports(dir: &std::path::Path) -> (String, String) {
+    let history = CampaignHistory::open(dir).expect("open campaign history");
+    assert!(history.issues().is_empty(), "{:?}", history.issues());
+    let text = render_text(history.records());
+    let html = render_html(history.records());
+    std::fs::write(dir.join("report.txt"), &text).expect("write report.txt");
+    std::fs::write(dir.join("report.html"), &html).expect("write report.html");
+    (text, html)
+}
+
 fn main() {
     let base = std::env::temp_dir().join("mocket-obs-example");
     let dir_a = base.join("run-a");
@@ -69,6 +89,15 @@ fn main() {
         "summaries must agree modulo wall-clock"
     );
 
+    let (text_a, html_a) = render_reports(&dir_a);
+    let (text_b, html_b) = render_reports(&dir_b);
+    assert_eq!(
+        strip_wall_clock(&text_a),
+        strip_wall_clock(&text_b),
+        "text reports must agree modulo the wall-clock appendix"
+    );
+    assert_eq!(html_a, html_b, "HTML reports must be byte-identical");
+
     println!("\n--- events.jsonl ({} events) ---", events_a.lines().count());
     for line in events_a.lines().take(6) {
         println!("{line}");
@@ -82,6 +111,9 @@ fn main() {
     {
         println!("{line}");
     }
+
+    println!("\n--- campaign trend report ---");
+    print!("{text_a}");
 
     println!("\nartifacts in {}", dir_a.display());
     println!("OK: two runs agreed byte-for-byte (modulo wall_ keys)");

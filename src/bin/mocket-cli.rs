@@ -4,6 +4,8 @@
 //! mocket-cli check <spec> [--max-states N] [--dot FILE]
 //! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
 //! mocket-cli test <target> [--bug NAME] [--all] [--limit N] [--progress] [--obs-dir DIR]
+//!                          [--priority-edges FILE]
+//! mocket-cli report --obs-dir DIR [--html] [--out FILE]
 //! mocket-cli simulate <target> [--steps N] [--seed S]
 //! mocket-cli list
 //! ```
@@ -27,7 +29,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
-         mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR]\n  \
+         mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR] \
+         [--priority-edges FILE]\n  \
+         mocket-cli report --obs-dir DIR [--html] [--out FILE]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
     );
@@ -285,6 +289,20 @@ fn cmd_test(args: &Args) {
             }
         }
     }
+    if let Some(path) = args.flags.get("priority-edges") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read priority-edges file {path}: {e}");
+            std::process::exit(1);
+        });
+        pc.priority_edges = mocket::obs::parse_uncovered_listing(&text).unwrap_or_else(|e| {
+            eprintln!("malformed priority-edges file {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "prioritising {} previously-uncovered edge(s) from {path}",
+            pc.priority_edges.len()
+        );
+    }
     let pipeline = Pipeline::new(target.spec, target.registry, pc).unwrap_or_else(|issues| {
         eprintln!("mapping issues:");
         for issue in issues {
@@ -317,7 +335,54 @@ fn cmd_test(args: &Args) {
         None => println!("no inconsistencies: the implementation conforms"),
     }
     if let Some(dir) = args.flags.get("obs-dir") {
-        println!("observability artifacts in {dir}/ (events.jsonl, run-summary.json)");
+        println!(
+            "observability artifacts in {dir}/ (events.jsonl, run-summary.json, \
+             coverage.json, coverage.dot, uncovered-edges.txt, campaign-history.jsonl)"
+        );
+    }
+}
+
+fn cmd_report(args: &Args) {
+    let dir = args
+        .flags
+        .get("obs-dir")
+        .or_else(|| args.flags.get("campaign-dir"))
+        .map(String::as_str)
+        .or_else(|| args.positional.get(1).map(String::as_str))
+        .unwrap_or_else(|| usage());
+    let history = mocket::obs::CampaignHistory::open(std::path::Path::new(dir))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot open campaign history in {dir}: {e}");
+            std::process::exit(1);
+        });
+    for issue in history.issues() {
+        eprintln!("warning: {issue}");
+    }
+    if history.records().is_empty() {
+        eprintln!(
+            "no campaign records in {dir}/{} (run `mocket-cli test <target> --obs-dir {dir}` first)",
+            mocket::obs::CAMPAIGN_HISTORY_FILE_NAME
+        );
+        std::process::exit(1);
+    }
+    let rendered = if args.flag_bool("html") {
+        mocket::obs::render_html(history.records())
+    } else {
+        mocket::obs::render_text(history.records())
+    };
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write report to {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "{} report over {} campaign(s) written to {path}",
+                if args.flag_bool("html") { "HTML" } else { "text" },
+                history.records().len()
+            );
+        }
+        None => print!("{rendered}"),
     }
 }
 
@@ -380,6 +445,7 @@ fn main() {
         Some("check") => cmd_check(&args),
         Some("generate") => cmd_generate(&args),
         Some("test") => cmd_test(&args),
+        Some("report") => cmd_report(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("list") => cmd_list(),
         _ => usage(),
