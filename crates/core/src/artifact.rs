@@ -32,6 +32,7 @@ use mocket_obs::DivergenceExplanation;
 use mocket_tla::{parse_action_instance, ActionInstance, ParseError};
 
 use crate::mapping::MappingRegistry;
+use crate::orchestrator::{DirLock, LockError};
 use crate::report::{Determinism, Inconsistency};
 use crate::runner::{run_test_case, RunConfig, RunStats, TestOutcome};
 use crate::sut::{SutError, SystemUnderTest};
@@ -499,8 +500,27 @@ pub struct JournalEntry {
     pub hash: String,
     /// Attempts spent reaching the verdict.
     pub attempts: usize,
+    /// Determinism classification label for failed cases
+    /// (`deterministic` / `flaky` / `unconfirmed`), recorded so a
+    /// campaign merge can rebuild `bugs_by_determinism` without
+    /// re-running triage. `None` for passed cases and for lines
+    /// written by older builds.
+    pub determinism: Option<String>,
     /// The verdict.
     pub outcome: CaseOutcome,
+}
+
+impl JournalEntry {
+    /// Renders this entry as its single journal line (with trailing
+    /// newline) — the exact bytes [`CampaignJournal::record`] appends.
+    pub fn render_line(&self) -> String {
+        render_journal_line(self)
+    }
+
+    /// Parses one journal line (without trailing newline).
+    pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
+        parse_journal_line(line)
+    }
 }
 
 /// A journal line that could not be parsed (reported, not fatal).
@@ -534,10 +554,20 @@ fn parse_journal_line(line: &str) -> Result<JournalEntry, String> {
         .ok_or_else(|| format!("expected attempts=N, got {attempts_tok:?}"))?
         .parse::<usize>()
         .map_err(|e| format!("bad attempts: {e}"))?;
-    let outcome_tok = parts.next().ok_or("missing outcome=...")?;
-    let outcome_val = outcome_tok
+    let mut tail = parts.next().ok_or("missing outcome=...")?;
+    // Optional determinism token, written before the outcome so the
+    // free-form failure kind can stay at the end of the line.
+    let mut determinism = None;
+    if let Some(after) = tail.strip_prefix("det=") {
+        let (det, rest) = after
+            .split_once(char::is_whitespace)
+            .ok_or("det= token without an outcome")?;
+        determinism = Some(det.to_string());
+        tail = rest.trim_start();
+    }
+    let outcome_val = tail
         .strip_prefix("outcome=")
-        .ok_or_else(|| format!("expected outcome=..., got {outcome_tok:?}"))?;
+        .ok_or_else(|| format!("expected outcome=..., got {tail:?}"))?;
     let outcome = match outcome_val.split_once(' ') {
         None if outcome_val == "passed" => CaseOutcome::Passed,
         Some(("failed", kind)) if !kind.trim().is_empty() => CaseOutcome::Failed {
@@ -548,6 +578,7 @@ fn parse_journal_line(line: &str) -> Result<JournalEntry, String> {
     Ok(JournalEntry {
         hash: hash.to_string(),
         attempts,
+        determinism,
         outcome,
     })
 }
@@ -557,13 +588,110 @@ fn render_journal_line(entry: &JournalEntry) -> String {
         CaseOutcome::Passed => "passed".to_string(),
         CaseOutcome::Failed { kind } => format!("failed {}", one_line(kind)),
     };
+    let det = match &entry.determinism {
+        Some(d) => format!("det={} ", one_line(d)),
+        None => String::new(),
+    };
     format!(
-        "case: {} attempts={} outcome={}\n",
+        "case: {} attempts={} {det}outcome={}\n",
         entry.hash, entry.attempts, outcome
     )
 }
 
+/// Why a [`CampaignJournal`] could not be opened.
+#[derive(Debug)]
+pub enum JournalOpenError {
+    /// Another live process has the campaign directory's journal
+    /// locked — two campaigns pointed at the same directory would
+    /// interleave appends, so the second one fails fast.
+    Locked {
+        /// The lock file.
+        path: PathBuf,
+        /// The live owner.
+        owner_pid: u32,
+    },
+    /// Plain filesystem trouble.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for JournalOpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalOpenError::Locked { path, owner_pid } => write!(
+                f,
+                "campaign directory is locked by live pid {owner_pid} ({})",
+                path.display()
+            ),
+            JournalOpenError::Io(e) => write!(f, "journal io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalOpenError {}
+
+impl From<std::io::Error> for JournalOpenError {
+    fn from(e: std::io::Error) -> Self {
+        JournalOpenError::Io(e)
+    }
+}
+
+impl From<LockError> for JournalOpenError {
+    fn from(e: LockError) -> Self {
+        match e {
+            LockError::Held { path, owner_pid } => JournalOpenError::Locked { path, owner_pid },
+            LockError::Io(e) => JournalOpenError::Io(e),
+        }
+    }
+}
+
+/// Parses a journal file's text: completed entries, issues, and
+/// whether the final line was truncated mid-append.
+fn parse_journal_text(
+    text: &str,
+) -> (BTreeMap<String, JournalEntry>, Vec<JournalIssue>, bool) {
+    let mut completed = BTreeMap::new();
+    let mut issues = Vec::new();
+    // Every complete append ends in '\n'. A final line without one was
+    // interrupted mid-write; it must not be trusted even if it happens
+    // to parse (truncating `outcome=failed Missing action` at
+    // `Missing` still parses, with the wrong kind). Report it and let
+    // the case re-run — artifact writes are idempotent.
+    let truncated = !text.is_empty() && !text.ends_with('\n');
+    let line_count = text.lines().count();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if truncated && i + 1 == line_count {
+            issues.push(JournalIssue {
+                line: i + 1,
+                message: format!(
+                    "truncated final line (interrupted append), \
+                     case will be re-run: {line:?}"
+                ),
+            });
+            continue;
+        }
+        match parse_journal_line(line) {
+            Ok(entry) => {
+                completed.insert(entry.hash.clone(), entry);
+            }
+            Err(message) => issues.push(JournalIssue {
+                line: i + 1,
+                message,
+            }),
+        }
+    }
+    (completed, issues, truncated)
+}
+
 /// The append-only campaign journal.
+///
+/// Opening takes an exclusive, crash-tolerant lock on the campaign
+/// directory (`journal.lock`); it is released when the journal is
+/// dropped. [`CampaignJournal::load_entries`] reads without locking —
+/// for merge/report stages that only observe.
 pub struct CampaignJournal {
     path: PathBuf,
     completed: BTreeMap<String, JournalEntry>,
@@ -571,67 +699,56 @@ pub struct CampaignJournal {
     /// The loaded file ended in a partial line; the next append must
     /// start on a fresh line or it would merge with the partial one.
     needs_newline: bool,
+    /// Held for the journal's lifetime; deletes `journal.lock` on drop.
+    _lock: DirLock,
 }
 
 impl CampaignJournal {
     /// The journal's file name inside a campaign directory.
     pub const FILE_NAME: &'static str = "journal.log";
 
+    /// The lock file guarding a campaign directory's journal.
+    pub const LOCK_FILE_NAME: &'static str = "journal.lock";
+
     /// Opens (or creates) the journal inside campaign directory
     /// `dir`, loading every completed case recorded by previous runs.
     /// Malformed lines — a crash mid-append truncates the last line —
-    /// are collected as [`issues`](Self::issues) and skipped.
-    pub fn open(dir: &Path) -> Result<Self, std::io::Error> {
+    /// are collected as [`issues`](Self::issues) and skipped. Fails
+    /// with [`JournalOpenError::Locked`] while another live process
+    /// has the directory open; a lock left behind by a dead process is
+    /// taken over.
+    pub fn open(dir: &Path) -> Result<Self, JournalOpenError> {
         fs::create_dir_all(dir)?;
+        let lock = DirLock::acquire(dir, Self::LOCK_FILE_NAME)?;
         let path = dir.join(Self::FILE_NAME);
-        let mut completed = BTreeMap::new();
-        let mut issues = Vec::new();
-        let mut truncated = false;
-        match fs::read_to_string(&path) {
-            Ok(text) => {
-                // Every complete append ends in '\n'. A final line
-                // without one was interrupted mid-write; it must not
-                // be trusted even if it happens to parse (truncating
-                // `outcome=failed Missing action` at `Missing` still
-                // parses, with the wrong kind). Report it and let the
-                // case re-run — artifact writes are idempotent.
-                truncated = !text.is_empty() && !text.ends_with('\n');
-                let line_count = text.lines().count();
-                for (i, line) in text.lines().enumerate() {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    if truncated && i + 1 == line_count {
-                        issues.push(JournalIssue {
-                            line: i + 1,
-                            message: format!(
-                                "truncated final line (interrupted append), \
-                                 case will be re-run: {line:?}"
-                            ),
-                        });
-                        continue;
-                    }
-                    match parse_journal_line(line) {
-                        Ok(entry) => {
-                            completed.insert(entry.hash.clone(), entry);
-                        }
-                        Err(message) => issues.push(JournalIssue {
-                            line: i + 1,
-                            message,
-                        }),
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
-        }
+        let (completed, issues, truncated) = match fs::read_to_string(&path) {
+            Ok(text) => parse_journal_text(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+            Err(e) => return Err(e.into()),
+        };
         Ok(CampaignJournal {
             path,
             completed,
             issues,
             needs_newline: truncated,
+            _lock: lock,
         })
+    }
+
+    /// Reads `dir`'s journal without taking the lock: a point-in-time
+    /// view of completed entries plus any malformed-line issues. Used
+    /// by merge and reporting stages, which never append.
+    pub fn load_entries(
+        dir: &Path,
+    ) -> Result<(BTreeMap<String, JournalEntry>, Vec<JournalIssue>), std::io::Error> {
+        match fs::read_to_string(dir.join(Self::FILE_NAME)) {
+            Ok(text) => {
+                let (completed, issues, _) = parse_journal_text(&text);
+                Ok((completed, issues))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Default::default()),
+            Err(e) => Err(e),
+        }
     }
 
     /// The completed entry for `hash`, if a previous run finished it.
@@ -789,12 +906,14 @@ mod tests {
             j.record(JournalEntry {
                 hash: "aaaa".into(),
                 attempts: 1,
+                determinism: None,
                 outcome: CaseOutcome::Passed,
             })
             .unwrap();
             j.record(JournalEntry {
                 hash: "bbbb".into(),
                 attempts: 2,
+                determinism: Some("deterministic".into()),
                 outcome: CaseOutcome::Failed {
                     kind: "Inconsistent state".into(),
                 },
@@ -813,6 +932,37 @@ mod tests {
         );
         assert!(j.completed("cccc").is_none());
         assert!(j.issues().is_empty());
+        assert_eq!(
+            j.completed("bbbb").unwrap().determinism.as_deref(),
+            Some("deterministic")
+        );
+        // The lock-free reader sees the same entries.
+        drop(j);
+        let (entries, issues) = CampaignJournal::load_entries(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(issues.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_open_of_locked_campaign_dir_fails_fast() {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-journal-locked-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let held = CampaignJournal::open(&dir).unwrap();
+        match CampaignJournal::open(&dir) {
+            Err(JournalOpenError::Locked { owner_pid, .. }) => {
+                assert_eq!(owner_pid, std::process::id());
+            }
+            Ok(_) => panic!("second open of a locked campaign dir must fail"),
+            Err(other) => panic!("expected Locked, got {other}"),
+        }
+        // load_entries is lock-free: it works while the lock is held.
+        assert!(CampaignJournal::load_entries(&dir).is_ok());
+        drop(held);
+        assert!(CampaignJournal::open(&dir).is_ok(), "released on drop");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -880,11 +1030,13 @@ mod tests {
         j.record(JournalEntry {
             hash: "bbbb".into(),
             attempts: 1,
+            determinism: None,
             outcome: CaseOutcome::Failed {
                 kind: "Missing action".into(),
             },
         })
         .unwrap();
+        drop(j);
         let resumed = CampaignJournal::open(&dir).unwrap();
         assert_eq!(
             resumed.completed("bbbb").unwrap().outcome,
@@ -921,18 +1073,35 @@ mod tests {
             JournalEntry {
                 hash: "0123456789abcdef".into(),
                 attempts: 1,
+                determinism: None,
                 outcome: CaseOutcome::Passed,
             },
             JournalEntry {
                 hash: "ffff".into(),
                 attempts: 7,
+                determinism: None,
                 outcome: CaseOutcome::Failed {
                     kind: "Watchdog timeout".into(),
                 },
             },
+            JournalEntry {
+                hash: "ffff".into(),
+                attempts: 2,
+                determinism: Some("flaky".into()),
+                outcome: CaseOutcome::Failed {
+                    kind: "Missing action".into(),
+                },
+            },
         ] {
-            let line = render_journal_line(&entry);
-            assert_eq!(parse_journal_line(line.trim()).unwrap(), entry);
+            let line = entry.render_line();
+            assert_eq!(JournalEntry::parse_line(line.trim()).unwrap(), entry);
         }
+        // Lines written by older builds (no det= token) still parse.
+        assert_eq!(
+            JournalEntry::parse_line("case: aaaa attempts=1 outcome=passed")
+                .unwrap()
+                .determinism,
+            None
+        );
     }
 }

@@ -22,6 +22,7 @@ pub mod explain;
 pub mod mapping;
 pub mod minimize;
 pub mod msgpool;
+pub mod orchestrator;
 pub mod pipeline;
 pub mod por;
 pub mod report;
@@ -34,7 +35,7 @@ pub mod traversal;
 
 pub use artifact::{
     replay, ArtifactError, CampaignJournal, CaseOutcome, JournalEntry, JournalIssue,
-    ReplayArtifact, ReplayVerdict,
+    JournalOpenError, ReplayArtifact, ReplayVerdict,
 };
 pub use explain::{explain_failure, ExplainConfig};
 pub use mapping::{
@@ -44,8 +45,8 @@ pub use mapping::{
 pub use minimize::{minimize_case, weaken, MinimizeConfig, Minimized};
 pub use msgpool::{MessagePools, PoolError};
 pub use pipeline::{
-    AttemptRecord, Pipeline, PipelineConfig, PipelineResult, QuarantinedCase, RetryPolicy,
-    TestingEffort, TriageConfig,
+    AttemptRecord, CaseGate, Pipeline, PipelineConfig, PipelineResult, QuarantinedCase,
+    RetryPolicy, TestingEffort, TriageConfig,
 };
 pub use por::{partial_order_reduction, Diamond, PorResult};
 pub use report::{BugClass, BugReport, Determinism, Inconsistency, VariableDivergence};

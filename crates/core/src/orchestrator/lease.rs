@@ -1,0 +1,481 @@
+//! Per-shard lease files: the campaign's file-backed work queue.
+//!
+//! Every shard of the planned case set is guarded by one lease file
+//! under `<campaign-dir>/shards/`. A worker claims a shard by creating
+//! the lease exclusively, then keeps it fresh with a heartbeat thread
+//! (atomic temp+rename rewrite, so readers never see a torn lease and
+//! the mtime doubles as the heartbeat clock). The lease body names the
+//! owner pid and the case currently in flight, which is what lets a
+//! stealer attribute a crash to a specific case.
+//!
+//! Steal protocol: a lease is *stale* when its owner pid is dead or
+//! its mtime is older than the TTL (a hung worker). Stealing is
+//! serialized per shard by a short-lived [`DirLock`]
+//! (`shard-<s>.steal`): the winner re-checks staleness under the lock,
+//! reports the victim's in-flight case exactly once via the caller's
+//! callback, replaces the lease and releases the steal lock. A shard
+//! is retired by an atomic `shard-<s>.done` marker; the lease is
+//! removed afterwards.
+
+use std::fs;
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
+
+use super::lock::{DirLock, LockError};
+use super::procs::pid_alive;
+
+/// Heartbeat cadence and staleness threshold for shard leases.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// How often a live worker rewrites its lease.
+    pub heartbeat: Duration,
+    /// Lease age beyond which a live owner counts as hung and the
+    /// shard becomes stealable. Keep well above `heartbeat`.
+    pub ttl: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            heartbeat: Duration::from_millis(300),
+            ttl: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a lease file records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// Owning worker process.
+    pub pid: u32,
+    /// Owning worker id (slot index under the supervisor).
+    pub worker: usize,
+    /// The case in flight: `(plan index, stable hash)`. `None` between
+    /// cases.
+    pub case: Option<(usize, String)>,
+}
+
+impl LeaseInfo {
+    fn render(&self) -> String {
+        match &self.case {
+            Some((idx, hash)) => {
+                format!(
+                    "pid={} worker={} case={idx} hash={hash}\n",
+                    self.pid, self.worker
+                )
+            }
+            None => format!("pid={} worker={} case=- hash=-\n", self.pid, self.worker),
+        }
+    }
+
+    pub(crate) fn parse(text: &str) -> Option<LeaseInfo> {
+        let mut pid = None;
+        let mut worker = None;
+        let mut case_idx: Option<&str> = None;
+        let mut hash: Option<&str> = None;
+        for token in text.split_whitespace() {
+            let (k, v) = token.split_once('=')?;
+            match k {
+                "pid" => pid = v.parse().ok(),
+                "worker" => worker = v.parse().ok(),
+                "case" => case_idx = Some(v),
+                "hash" => hash = Some(v),
+                _ => {}
+            }
+        }
+        let case = match (case_idx, hash) {
+            (Some("-"), _) | (None, _) => None,
+            (Some(idx), Some(h)) if h != "-" => Some((idx.parse().ok()?, h.to_string())),
+            _ => None,
+        };
+        Some(LeaseInfo {
+            pid: pid?,
+            worker: worker?,
+            case,
+        })
+    }
+}
+
+/// `<campaign-dir>/shards`.
+pub fn shards_dir(campaign_dir: &Path) -> PathBuf {
+    campaign_dir.join("shards")
+}
+
+/// The lease file guarding `shard`.
+pub fn lease_path(campaign_dir: &Path, shard: usize) -> PathBuf {
+    shards_dir(campaign_dir).join(format!("shard-{shard}.lease"))
+}
+
+/// The retirement marker for `shard`.
+pub fn done_path(campaign_dir: &Path, shard: usize) -> PathBuf {
+    shards_dir(campaign_dir).join(format!("shard-{shard}.done"))
+}
+
+/// The per-shard data directory (shard journal + replay artifacts).
+pub fn shard_data_dir(campaign_dir: &Path, shard: usize) -> PathBuf {
+    shards_dir(campaign_dir).join(format!("shard-{shard}"))
+}
+
+fn steal_lock_name(shard: usize) -> String {
+    format!("shard-{shard}.steal")
+}
+
+/// Atomically (temp + rename) writes `info` into `path`, refreshing
+/// the mtime. The temp name carries the pid so two processes can never
+/// collide on it.
+fn write_lease(path: &Path, info: &LeaseInfo) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(info.render().as_bytes())?;
+        f.flush()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads a lease plus its age. `None` when the file is missing or
+/// unreadable (a steal mid-flight).
+fn read_lease(path: &Path) -> Option<(LeaseInfo, Duration)> {
+    let info = LeaseInfo::parse(&fs::read_to_string(path).ok()?)?;
+    let age = fs::metadata(path)
+        .ok()?
+        .modified()
+        .ok()
+        .and_then(|m| SystemTime::now().duration_since(m).ok())
+        .unwrap_or(Duration::ZERO);
+    Some((info, age))
+}
+
+/// Whether the lease is free for the taking.
+fn is_stale(info: &LeaseInfo, age: Duration, cfg: &LeaseConfig) -> bool {
+    !pid_alive(info.pid) || age > cfg.ttl
+}
+
+/// Result of one claim attempt on a shard.
+pub enum ClaimOutcome {
+    /// We own the shard now.
+    Claimed(LeaseHandle),
+    /// Someone else is (apparently) working on it.
+    Busy,
+    /// The shard is already retired.
+    Done,
+}
+
+/// Tries to claim `shard`: fresh claim, or steal of a stale lease.
+/// `on_steal` fires exactly once per successful steal, with the
+/// victim's lease — the hook where the caller records a crash against
+/// the in-flight case.
+pub fn try_claim(
+    campaign_dir: &Path,
+    shard: usize,
+    worker: usize,
+    cfg: &LeaseConfig,
+    on_steal: &mut dyn FnMut(&LeaseInfo),
+) -> io::Result<ClaimOutcome> {
+    let dir = shards_dir(campaign_dir);
+    fs::create_dir_all(&dir)?;
+    if done_path(campaign_dir, shard).exists() {
+        return Ok(ClaimOutcome::Done);
+    }
+    let path = lease_path(campaign_dir, shard);
+    let mine = LeaseInfo {
+        pid: std::process::id(),
+        worker,
+        case: None,
+    };
+    // Fast path: unclaimed shard.
+    match fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            file.write_all(mine.render().as_bytes())?;
+            file.flush()?;
+            return Ok(ClaimOutcome::Claimed(LeaseHandle::start(
+                path,
+                campaign_dir.to_path_buf(),
+                shard,
+                mine,
+                cfg.heartbeat,
+            )));
+        }
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+        Err(e) => return Err(e),
+    }
+    // Slow path: existing lease. Only stale ones are worth a steal
+    // attempt; checking before taking the steal lock keeps the common
+    // busy case lock-free.
+    match read_lease(&path) {
+        Some((info, age)) if is_stale(&info, age, cfg) => {}
+        Some(_) => return Ok(ClaimOutcome::Busy),
+        // Unreadable: a rewrite or steal is in flight right now.
+        None => return Ok(ClaimOutcome::Busy),
+    }
+    let steal = match DirLock::acquire(&dir, &steal_lock_name(shard)) {
+        Ok(lock) => lock,
+        Err(LockError::Held { .. }) => return Ok(ClaimOutcome::Busy),
+        Err(LockError::Io(e)) => return Err(e),
+    };
+    // Re-check under the steal lock: the owner may have heartbeated,
+    // finished, or another stealer may have won before we locked.
+    if done_path(campaign_dir, shard).exists() {
+        drop(steal);
+        return Ok(ClaimOutcome::Done);
+    }
+    let victim = match read_lease(&path) {
+        Some((info, age)) if is_stale(&info, age, cfg) => info,
+        _ => {
+            drop(steal);
+            return Ok(ClaimOutcome::Busy);
+        }
+    };
+    on_steal(&victim);
+    let _ = fs::remove_file(&path);
+    write_lease(&path, &mine)?;
+    drop(steal);
+    Ok(ClaimOutcome::Claimed(LeaseHandle::start(
+        path,
+        campaign_dir.to_path_buf(),
+        shard,
+        mine,
+        cfg.heartbeat,
+    )))
+}
+
+/// Ownership of one claimed shard: heartbeats in the background,
+/// records the in-flight case, retires or releases the shard.
+///
+/// Methods take `&self` so the handle can sit in an `Arc` shared with
+/// the pipeline's case gate (which calls [`set_case`](Self::set_case)
+/// per case) while the worker loop retires it.
+pub struct LeaseHandle {
+    path: PathBuf,
+    campaign_dir: PathBuf,
+    shard: usize,
+    info: Arc<Mutex<LeaseInfo>>,
+    stop: Arc<AtomicBool>,
+    heartbeat: Mutex<Option<std::thread::JoinHandle<()>>>,
+    retired: AtomicBool,
+}
+
+impl LeaseHandle {
+    fn start(
+        path: PathBuf,
+        campaign_dir: PathBuf,
+        shard: usize,
+        info: LeaseInfo,
+        heartbeat: Duration,
+    ) -> Self {
+        let info = Arc::new(Mutex::new(info));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let path = path.clone();
+            let info = info.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(heartbeat);
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let snapshot = info.lock().unwrap().clone();
+                    let _ = write_lease(&path, &snapshot);
+                }
+            })
+        };
+        LeaseHandle {
+            path,
+            campaign_dir,
+            shard,
+            info,
+            stop,
+            heartbeat: Mutex::new(Some(thread)),
+            retired: AtomicBool::new(false),
+        }
+    }
+
+    /// The shard this lease covers.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Records the case about to run; the lease is rewritten
+    /// immediately so a stealer sees it even if we die mid-case.
+    pub fn set_case(&self, index: usize, hash: &str) {
+        let snapshot = {
+            let mut info = self.info.lock().unwrap();
+            info.case = Some((index, hash.to_string()));
+            info.clone()
+        };
+        let _ = write_lease(&self.path, &snapshot);
+    }
+
+    /// Retires the shard: atomic done marker first, then lease
+    /// removal — a crash between the two leaves a done shard with a
+    /// stale lease, which every reader treats as done.
+    pub fn mark_done(&self) -> io::Result<()> {
+        let done = done_path(&self.campaign_dir, self.shard);
+        let tmp = done.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, self.info.lock().unwrap().render())?;
+        fs::rename(&tmp, &done)?;
+        self.retired.store(true, Ordering::SeqCst);
+        self.stop_heartbeat();
+        let _ = fs::remove_file(&self.path);
+        Ok(())
+    }
+
+    fn stop_heartbeat(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.heartbeat.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LeaseHandle {
+    fn drop(&mut self) {
+        self.stop_heartbeat();
+        if !self.retired.load(Ordering::SeqCst) {
+            // Released without retiring (drain, retry): free the shard
+            // for the next claimer instead of making them wait out the
+            // TTL.
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mocket-lease-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fast() -> LeaseConfig {
+        LeaseConfig {
+            heartbeat: Duration::from_millis(20),
+            ttl: Duration::from_millis(200),
+        }
+    }
+
+    #[test]
+    fn lease_info_roundtrip() {
+        for info in [
+            LeaseInfo {
+                pid: 42,
+                worker: 1,
+                case: None,
+            },
+            LeaseInfo {
+                pid: 7,
+                worker: 0,
+                case: Some((12, "abcdef0123456789".into())),
+            },
+        ] {
+            assert_eq!(LeaseInfo::parse(&info.render()), Some(info));
+        }
+        assert_eq!(LeaseInfo::parse("garbage"), None);
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_release_frees() {
+        let dir = tmp("excl");
+        let mut noop = |_: &LeaseInfo| {};
+        let h = match try_claim(&dir, 0, 0, &fast(), &mut noop).unwrap() {
+            ClaimOutcome::Claimed(h) => h,
+            _ => panic!("first claim must win"),
+        };
+        assert!(matches!(
+            try_claim(&dir, 0, 1, &fast(), &mut noop).unwrap(),
+            ClaimOutcome::Busy
+        ));
+        drop(h);
+        assert!(matches!(
+            try_claim(&dir, 0, 1, &fast(), &mut noop).unwrap(),
+            ClaimOutcome::Claimed(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_marker_retires_shard() {
+        let dir = tmp("done");
+        let mut noop = |_: &LeaseInfo| {};
+        let h = match try_claim(&dir, 3, 0, &fast(), &mut noop).unwrap() {
+            ClaimOutcome::Claimed(h) => h,
+            _ => panic!("claim"),
+        };
+        h.mark_done().unwrap();
+        assert!(done_path(&dir, 3).exists());
+        assert!(!lease_path(&dir, 3).exists());
+        assert!(matches!(
+            try_claim(&dir, 3, 1, &fast(), &mut noop).unwrap(),
+            ClaimOutcome::Done
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_owner_lease_is_stolen_with_attribution() {
+        let dir = tmp("steal");
+        fs::create_dir_all(shards_dir(&dir)).unwrap();
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        let dead_pid = child.id();
+        child.wait().unwrap();
+        write_lease(
+            &lease_path(&dir, 0),
+            &LeaseInfo {
+                pid: dead_pid,
+                worker: 9,
+                case: Some((4, "feedfacefeedface".into())),
+            },
+        )
+        .unwrap();
+        let mut stolen: Vec<LeaseInfo> = Vec::new();
+        let mut record = |v: &LeaseInfo| stolen.push(v.clone());
+        let h = match try_claim(&dir, 0, 1, &fast(), &mut record).unwrap() {
+            ClaimOutcome::Claimed(h) => h,
+            _ => panic!("dead-owner lease must be stealable immediately"),
+        };
+        assert_eq!(stolen.len(), 1, "exactly one steal report");
+        assert_eq!(stolen[0].case, Some((4, "feedfacefeedface".into())));
+        assert_eq!(stolen[0].worker, 9);
+        // No leftover steal lock.
+        assert!(!shards_dir(&dir).join(steal_lock_name(0)).exists());
+        drop(h);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_keeps_live_lease_unstealable() {
+        let dir = tmp("hb");
+        let cfg = fast();
+        let mut noop = |_: &LeaseInfo| {};
+        let h = match try_claim(&dir, 0, 0, &cfg, &mut noop).unwrap() {
+            ClaimOutcome::Claimed(h) => h,
+            _ => panic!("claim"),
+        };
+        h.set_case(2, "aaaa");
+        // Wait past the TTL: heartbeats must have kept the mtime fresh
+        // (and our pid is alive regardless, but assert the freshness
+        // path too via the recorded age check inside try_claim).
+        std::thread::sleep(cfg.ttl + cfg.heartbeat * 3);
+        assert!(matches!(
+            try_claim(&dir, 0, 1, &cfg, &mut noop).unwrap(),
+            ClaimOutcome::Busy
+        ));
+        let (info, age) = read_lease(&lease_path(&dir, 0)).unwrap();
+        assert_eq!(info.case, Some((2, "aaaa".into())));
+        assert!(age < cfg.ttl, "heartbeat must keep the lease fresh");
+        drop(h);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

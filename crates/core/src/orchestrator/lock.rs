@@ -1,0 +1,195 @@
+//! Cross-process directory locks (`O_EXCL` + stale-pid takeover).
+//!
+//! A [`DirLock`] is one file created with `create_new` (the portable
+//! `O_CREAT|O_EXCL`) whose content names the owning pid. Acquisition
+//! fails fast with a typed error while the owner lives; a lock whose
+//! owner pid no longer exists is taken over. Two processes racing for
+//! a stale lock both remove it, but only one wins the exclusive
+//! re-create — the loser reports the winner as the owner.
+//!
+//! The campaign journal uses this to stop two campaigns from
+//! interleaving appends into the same directory, and the supervisor
+//! uses it to claim a whole campaign directory.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use super::procs::pid_alive;
+
+/// Why a [`DirLock`] could not be acquired.
+#[derive(Debug)]
+pub enum LockError {
+    /// Another live process holds the lock.
+    Held {
+        /// The lock file.
+        path: PathBuf,
+        /// The pid recorded in it.
+        owner_pid: u32,
+    },
+    /// Filesystem trouble unrelated to contention.
+    Io(io::Error),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Held { path, owner_pid } => {
+                write!(f, "lock {} is held by live pid {owner_pid}", path.display())
+            }
+            LockError::Io(e) => write!(f, "lock io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+impl From<io::Error> for LockError {
+    fn from(e: io::Error) -> Self {
+        LockError::Io(e)
+    }
+}
+
+/// An exclusively held lock file; released (deleted) on drop.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+    held: bool,
+}
+
+impl DirLock {
+    /// Acquires `dir/file_name` exclusively for this process, creating
+    /// `dir` if needed. A lock owned by a dead pid (or with unreadable
+    /// content, i.e. a write interrupted before the pid landed) is
+    /// removed and re-acquired.
+    pub fn acquire(dir: &Path, file_name: &str) -> Result<Self, LockError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(file_name);
+        // Two rounds: the second one retries after a stale takeover.
+        // Losing the re-create race means someone else took the stale
+        // lock over first — report them as the owner.
+        for round in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = writeln!(file, "{}", std::process::id());
+                    let _ = file.flush();
+                    return Ok(DirLock { path, held: true });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let owner = read_owner_pid(&path);
+                    match owner {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(LockError::Held {
+                                path,
+                                owner_pid: pid,
+                            })
+                        }
+                        // Dead owner or torn content: stale either way.
+                        _ if round == 0 => {
+                            let _ = fs::remove_file(&path);
+                        }
+                        _ => {
+                            return Err(LockError::Held {
+                                path,
+                                owner_pid: owner.unwrap_or(0),
+                            })
+                        }
+                    }
+                }
+                Err(e) => return Err(LockError::Io(e)),
+            }
+        }
+        Err(LockError::Held { path, owner_pid: 0 })
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        if self.held {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// The pid recorded in a lock file, if it parses.
+fn read_owner_pid(path: &Path) -> Option<u32> {
+    fs::read_to_string(path)
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mocket-lock-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn exclusive_while_held_released_on_drop() {
+        let dir = tmp("excl");
+        let lock = DirLock::acquire(&dir, "t.lock").unwrap();
+        match DirLock::acquire(&dir, "t.lock") {
+            Err(LockError::Held { owner_pid, .. }) => {
+                assert_eq!(owner_pid, std::process::id());
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        drop(lock);
+        // Released: re-acquirable.
+        let again = DirLock::acquire(&dir, "t.lock").unwrap();
+        drop(again);
+        assert!(!dir.join("t.lock").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_dead_pid_lock_is_taken_over() {
+        let dir = tmp("stale");
+        fs::create_dir_all(&dir).unwrap();
+        // A dead child's pid: guaranteed-stale owner.
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        let dead_pid = child.id();
+        child.wait().unwrap();
+        fs::write(dir.join("t.lock"), format!("{dead_pid}\n")).unwrap();
+        let lock = DirLock::acquire(&dir, "t.lock").expect("stale lock must be taken over");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_lock_content_counts_as_stale() {
+        let dir = tmp("torn");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("t.lock"), "").unwrap();
+        let lock = DirLock::acquire(&dir, "t.lock").expect("empty lock must be taken over");
+        drop(lock);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_locks_different_names_coexist() {
+        let dir = tmp("names");
+        let a = DirLock::acquire(&dir, "a.lock").unwrap();
+        let b = DirLock::acquire(&dir, "b.lock").unwrap();
+        drop((a, b));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

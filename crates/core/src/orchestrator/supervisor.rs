@@ -1,0 +1,369 @@
+//! The campaign supervisor: spawns crash-isolated workers, restarts
+//! the dead, kills the hung, and converts SIGINT into a graceful
+//! drain.
+//!
+//! The supervisor itself never touches cases. It owns process
+//! lifecycle only; all work-queue state lives in the shard lease
+//! files, so a supervisor crash loses nothing either — re-running the
+//! campaign resumes from the journals.
+//!
+//! Hang detection is two-pronged. A frozen worker (SIGSTOP, swap
+//! death) stops heartbeating, its lease mtime goes stale past the
+//! TTL, and both the supervisor (kill) and its peers (steal) notice.
+//! A *hung* worker — one live thread stuck inside a case while the
+//! heartbeat thread keeps the lease fresh — is caught by the
+//! supervisor tracking how long each lease has shown the *same*
+//! in-flight case: past `hang_timeout`, the worker is SIGKILLed and
+//! its shard is stolen like any other crash.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Child;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant, SystemTime};
+
+use super::lease::{done_path, lease_path, shards_dir, LeaseConfig, LeaseInfo};
+use super::procs::install_sigint_flag;
+use super::worker::{drain_requested, request_drain};
+
+/// Worker exit code declaring the pinned plan inconsistent with what
+/// the worker regenerated — fatal for the whole campaign, never
+/// retried (a restart would fail identically).
+pub const EXIT_PLAN_MISMATCH: i32 = 64;
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The campaign directory.
+    pub campaign_dir: PathBuf,
+    /// Worker process count.
+    pub workers: usize,
+    /// Lease parameters (shared with the workers).
+    pub lease: LeaseConfig,
+    /// How long one case may stay in flight on a fresh lease before
+    /// its worker counts as hung and is SIGKILLed.
+    pub hang_timeout: Duration,
+    /// Restart budget per worker slot (exponential backoff between
+    /// restarts).
+    pub max_restarts: usize,
+    /// First restart delay; doubled per restart, capped at 5s.
+    pub backoff_base: Duration,
+    /// Render progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            campaign_dir: PathBuf::new(),
+            workers: 2,
+            lease: LeaseConfig::default(),
+            hang_timeout: Duration::from_secs(30),
+            max_restarts: 5,
+            backoff_base: Duration::from_millis(50),
+            progress: false,
+        }
+    }
+}
+
+/// How a supervised campaign ended.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The campaign ended via a drain request (SIGINT or injected);
+    /// remaining shards are resumable.
+    pub drained: bool,
+    /// Shards retired by the time the supervisor returned.
+    pub shards_done: usize,
+    /// Total shards in the plan.
+    pub shard_count: usize,
+    /// Worker restarts performed.
+    pub restarts: usize,
+    /// Workers SIGKILLed for hanging.
+    pub hung_killed: usize,
+    /// A fatal condition (plan mismatch, exhausted restart budget).
+    /// The campaign directory stays resumable regardless.
+    pub fatal: Option<String>,
+}
+
+impl CampaignOutcome {
+    /// Whether every shard was retired.
+    pub fn completed(&self) -> bool {
+        self.shards_done == self.shard_count && self.fatal.is_none()
+    }
+}
+
+struct Slot {
+    child: Option<Child>,
+    restarts: usize,
+    next_restart: Option<Instant>,
+    /// Exited cleanly (0) or gave up; never respawned.
+    finished: bool,
+}
+
+/// Per-shard in-flight tracking for hung-case detection.
+struct InflightWatch {
+    case: usize,
+    pid: u32,
+    since: Instant,
+}
+
+fn count_done(campaign_dir: &Path, shard_count: usize) -> usize {
+    (0..shard_count)
+        .filter(|&s| done_path(campaign_dir, s).exists())
+        .count()
+}
+
+fn read_lease_raw(path: &Path) -> Option<(LeaseInfo, Duration)> {
+    let info = LeaseInfo::parse(&fs::read_to_string(path).ok()?)?;
+    let age = fs::metadata(path)
+        .ok()?
+        .modified()
+        .ok()
+        .and_then(|m| SystemTime::now().duration_since(m).ok())
+        .unwrap_or(Duration::ZERO);
+    Some((info, age))
+}
+
+/// Runs the supervision loop until the campaign completes, drains, or
+/// hits a fatal condition. `spawn_worker` launches worker `id` (same
+/// binary, hidden subcommand) with its output redirected wherever the
+/// caller wants it.
+pub fn supervise(
+    cfg: &SupervisorConfig,
+    shard_count: usize,
+    spawn_worker: &mut dyn FnMut(usize) -> io::Result<Child>,
+) -> io::Result<CampaignOutcome> {
+    let interrupted = install_sigint_flag();
+    interrupted.store(false, Ordering::SeqCst);
+    let progress = |line: &str| {
+        if cfg.progress {
+            eprintln!("[mocket-campaign] {line}");
+        }
+    };
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(cfg.workers.max(1));
+    for id in 0..cfg.workers.max(1) {
+        slots.push(Slot {
+            child: Some(spawn_worker(id)?),
+            restarts: 0,
+            next_restart: None,
+            finished: false,
+        });
+    }
+
+    let mut restarts_total = 0usize;
+    let mut hung_killed = 0usize;
+    let mut fatal: Option<String> = None;
+    let mut inflight: HashMap<usize, InflightWatch> = HashMap::new();
+    let tick = Duration::from_millis(100);
+
+    loop {
+        // SIGINT → drain marker, once. Workers ignore SIGINT
+        // themselves; they see the marker at their next case boundary.
+        if interrupted.swap(false, Ordering::SeqCst) && !drain_requested(&cfg.campaign_dir) {
+            progress("SIGINT: draining in-flight cases (campaign stays resumable)");
+            request_drain(&cfg.campaign_dir)?;
+        }
+        let draining = drain_requested(&cfg.campaign_dir);
+        let shards_done = count_done(&cfg.campaign_dir, shard_count);
+        let work_left = shards_done < shard_count;
+
+        // Reap exits; decide restarts.
+        for (id, slot) in slots.iter_mut().enumerate() {
+            let Some(child) = slot.child.as_mut() else {
+                continue;
+            };
+            match child.try_wait()? {
+                None => {}
+                Some(status) => {
+                    slot.child = None;
+                    if status.success() {
+                        slot.finished = true;
+                    } else if status.code() == Some(EXIT_PLAN_MISMATCH) {
+                        slot.finished = true;
+                        if fatal.is_none() {
+                            fatal = Some(format!(
+                                "worker {id} reports a plan mismatch (exit {EXIT_PLAN_MISMATCH}); \
+                                 the campaign directory belongs to a different target/bounds"
+                            ));
+                            // Stop the others at their next boundary.
+                            request_drain(&cfg.campaign_dir)?;
+                        }
+                    } else if work_left && !draining && fatal.is_none() {
+                        if slot.restarts < cfg.max_restarts {
+                            let exp = slot.restarts.min(16) as u32;
+                            let delay =
+                                (cfg.backoff_base * 2u32.pow(exp)).min(Duration::from_secs(5));
+                            progress(&format!(
+                                "worker {id} died ({status}); restart #{} in {delay:?}",
+                                slot.restarts + 1
+                            ));
+                            slot.next_restart = Some(Instant::now() + delay);
+                        } else {
+                            progress(&format!(
+                                "worker {id} died ({status}); restart budget exhausted"
+                            ));
+                            slot.finished = true;
+                        }
+                    } else {
+                        slot.finished = true;
+                    }
+                }
+            }
+        }
+
+        // Fire due restarts.
+        if work_left && !draining && fatal.is_none() {
+            for (id, slot) in slots.iter_mut().enumerate() {
+                if slot.child.is_none() && !slot.finished {
+                    if let Some(due) = slot.next_restart {
+                        if Instant::now() >= due {
+                            slot.next_restart = None;
+                            slot.restarts += 1;
+                            restarts_total += 1;
+                            slot.child = Some(spawn_worker(id)?);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Hung-worker detection: a lease whose *same* in-flight case
+        // has been pinned past hang_timeout (heartbeat thread may well
+        // still be refreshing the mtime), or whose mtime went stale
+        // past the TTL while its pid is one of our live children.
+        let own_pids: Vec<u32> = slots
+            .iter()
+            .filter_map(|s| s.child.as_ref().map(|c| c.id()))
+            .collect();
+        for shard in 0..shard_count {
+            let path = lease_path(&cfg.campaign_dir, shard);
+            let Some((info, age)) = read_lease_raw(&path) else {
+                inflight.remove(&shard);
+                continue;
+            };
+            if !own_pids.contains(&info.pid) {
+                inflight.remove(&shard);
+                continue;
+            }
+            let hung_case = match info.case {
+                Some((case, _)) => {
+                    let watch = inflight.entry(shard).or_insert_with(|| InflightWatch {
+                        case,
+                        pid: info.pid,
+                        since: Instant::now(),
+                    });
+                    if watch.case != case || watch.pid != info.pid {
+                        *watch = InflightWatch {
+                            case,
+                            pid: info.pid,
+                            since: Instant::now(),
+                        };
+                    }
+                    watch.since.elapsed() > cfg.hang_timeout
+                }
+                None => {
+                    inflight.remove(&shard);
+                    false
+                }
+            };
+            if hung_case || age > cfg.lease.ttl {
+                for slot in slots.iter_mut() {
+                    if let Some(child) = slot.child.as_mut() {
+                        if child.id() == info.pid {
+                            progress(&format!(
+                                "worker pid {} hung on shard {shard} \
+                                 (case pinned or heartbeat stale); killing",
+                                info.pid
+                            ));
+                            let _ = child.kill();
+                            hung_killed += 1;
+                        }
+                    }
+                }
+                inflight.remove(&shard);
+            }
+        }
+
+        let running = slots.iter().filter(|s| s.child.is_some()).count();
+        let pending_restart = slots
+            .iter()
+            .any(|s| s.child.is_none() && !s.finished && s.next_restart.is_some());
+        let shards_done = count_done(&cfg.campaign_dir, shard_count);
+
+        if shards_done == shard_count && running == 0 {
+            return Ok(CampaignOutcome {
+                drained: false,
+                shards_done,
+                shard_count,
+                restarts: restarts_total,
+                hung_killed,
+                fatal,
+            });
+        }
+        if (draining || fatal.is_some()) && running == 0 && !pending_restart {
+            return Ok(CampaignOutcome {
+                drained: draining,
+                shards_done,
+                shard_count,
+                restarts: restarts_total,
+                hung_killed,
+                fatal,
+            });
+        }
+        if running == 0 && !pending_restart {
+            // Every worker is gone, shards remain, no drain: either
+            // all slots exhausted their budget, or everyone exited 0
+            // while a hung peer still nominally owned a shard whose
+            // lease has since gone stale. Respawn one worker if any
+            // budget remains; otherwise give up fatally (resumable).
+            if let Some((id, slot)) = slots
+                .iter_mut()
+                .enumerate()
+                .find(|(_, s)| s.restarts < cfg.max_restarts)
+            {
+                progress(&format!(
+                    "shards remain with no workers alive; respawning worker {id}"
+                ));
+                slot.finished = false;
+                slot.restarts += 1;
+                restarts_total += 1;
+                slot.child = Some(spawn_worker(id)?);
+            } else if fatal.is_none() {
+                return Ok(CampaignOutcome {
+                    drained: false,
+                    shards_done,
+                    shard_count,
+                    restarts: restarts_total,
+                    hung_killed,
+                    fatal: Some(
+                        "all workers exhausted their restart budget with shards \
+                         remaining; re-run the campaign to resume"
+                            .into(),
+                    ),
+                });
+            }
+        }
+
+        std::thread::sleep(tick);
+    }
+}
+
+/// Removes leftover shard leases whose owners are dead — cosmetic
+/// cleanup at campaign start so `ls shards/` reflects reality.
+pub fn sweep_dead_leases(campaign_dir: &Path, shard_count: usize) {
+    let dir = shards_dir(campaign_dir);
+    if !dir.exists() {
+        return;
+    }
+    for shard in 0..shard_count {
+        let path = lease_path(campaign_dir, shard);
+        if let Some((info, _)) = read_lease_raw(&path) {
+            if !super::procs::pid_alive(info.pid) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+}

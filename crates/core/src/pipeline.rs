@@ -18,7 +18,9 @@ use mocket_tla::{ActionInstance, Spec, State};
 
 use mocket_checker::{to_dot_overlay, uncovered_frontier, EdgeId, ModelChecker, StateGraph};
 
-use crate::artifact::{CampaignJournal, CaseOutcome, JournalEntry, ReplayArtifact};
+use crate::artifact::{
+    CampaignJournal, CaseOutcome, JournalEntry, JournalOpenError, ReplayArtifact,
+};
 use crate::explain::{explain_failure, ExplainConfig};
 use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::minimize::{minimize_case, MinimizeConfig};
@@ -141,6 +143,22 @@ impl TriageConfig {
     }
 }
 
+/// Per-case verdict from a [`PipelineConfig::case_gate`] hook,
+/// consulted at every case boundary before any journal lookup or SUT
+/// deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseGate {
+    /// Dispose of the case normally.
+    Run,
+    /// Skip this case without a verdict (it stays un-journaled and can
+    /// be retried by a later run) — how the orchestrator masks
+    /// quarantined poison cases.
+    Skip,
+    /// Stop the whole run at this boundary — how a drain request ends
+    /// a worker mid-shard without losing the in-flight journal state.
+    Stop,
+}
+
 /// Pipeline configuration.
 pub struct PipelineConfig {
     /// Bound on distinct states during model checking.
@@ -156,6 +174,18 @@ pub struct PipelineConfig {
     pub case_filter: Option<Arc<dyn Fn(&[&str]) -> bool + Send + Sync>>,
     /// Cap on generated test cases actually run (0 = all).
     pub max_test_cases: usize,
+    /// Half-open case-index window `[start, end)` to execute; cases
+    /// outside it are not materialized at all. `None` runs everything.
+    /// This is how a campaign worker runs exactly its shard of the
+    /// shared plan while keeping case indices (and thus hashes,
+    /// events and coverage attribution) globally consistent.
+    pub case_range: Option<(usize, usize)>,
+    /// Per-case gate, called with `(case_index, stable_hash)` after
+    /// the case is materialized but before the journal is consulted or
+    /// a SUT is deployed. The orchestrator uses it to honor drain
+    /// requests, mask poison cases, and record the in-flight case in
+    /// its shard lease (so a crash is attributed to the right case).
+    pub case_gate: Option<Arc<dyn Fn(usize, &str) -> CaseGate + Send + Sync>>,
     /// Cap on a single test case's length (0 = unbounded). Real
     /// deployments always bound this — an unbounded DFS descent
     /// through a cyclic state graph yields arbitrarily long walks.
@@ -197,6 +227,8 @@ impl Default for PipelineConfig {
             end_state: None,
             case_filter: None,
             max_test_cases: 0,
+            case_range: None,
+            case_gate: None,
             max_path_len: 0,
             stop_at_first_bug: true,
             run: RunConfig::default(),
@@ -281,6 +313,14 @@ pub struct PipelineResult {
     /// Enabled-but-never-scheduled edges: the uncovered frontier the
     /// next campaign should prioritize.
     pub frontier: Vec<EdgeId>,
+    /// Set when the run aborted before executing anything because the
+    /// campaign directory's journal is locked by another live process
+    /// (the satellite fail-fast: two campaigns must never interleave
+    /// appends). Nothing was written to the locked directory.
+    pub lock_conflict: Option<String>,
+    /// The case gate returned [`CaseGate::Stop`]: the run ended early
+    /// at a case boundary (a drain), leaving later cases untouched.
+    pub stopped_by_gate: bool,
 }
 
 /// Folds one disposed case (run, journal-skipped or quarantined) into
@@ -434,12 +474,11 @@ impl Pipeline {
     /// abort the whole run. Transient harness failures are retried
     /// per [`RetryPolicy`]; cases that stay undrivable are
     /// quarantined with their attempt history.
-    pub fn run<F>(&self, mut make_sut: F) -> PipelineResult
+    pub fn run<F>(&self, make_sut: F) -> PipelineResult
     where
         F: FnMut() -> Box<dyn SystemUnderTest>,
     {
         let obs = self.config.obs.clone();
-        let run_start = Instant::now();
         obs.event(
             "run.start",
             0,
@@ -456,6 +495,24 @@ impl Pipeline {
         ));
 
         let (graph, check_seconds) = self.check();
+        self.run_prepared(graph, check_seconds, make_sut)
+    }
+
+    /// Stage ④ against an already-checked graph. Campaign workers
+    /// model-check once per process and then drive one shard at a time
+    /// through this entry point; `check_seconds` is folded into the
+    /// reported wall totals.
+    pub fn run_prepared<F>(
+        &self,
+        graph: StateGraph,
+        check_seconds: f64,
+        mut make_sut: F,
+    ) -> PipelineResult
+    where
+        F: FnMut() -> Box<dyn SystemUnderTest>,
+    {
+        let obs = self.config.obs.clone();
+        let run_start = Instant::now();
         let (paths, paths_ec, paths_ec_por, por_excluded) = self.generate_paths(&graph);
         let cases_selected = paths.len();
 
@@ -510,6 +567,55 @@ impl Pipeline {
                     journal_issues.extend(j.issues().iter().map(|i| i.to_string()));
                     Some(j)
                 }
+                Err(locked @ JournalOpenError::Locked { .. }) => {
+                    // Another live campaign owns this directory. Abort
+                    // before deploying anything and before writing a
+                    // single byte into the contested directory —
+                    // interleaved appends would corrupt both campaigns.
+                    let message = locked.to_string();
+                    obs.event(
+                        "run.aborted",
+                        0,
+                        vec![
+                            ("reason", "campaign_dir_locked".into()),
+                            ("detail", message.clone().into()),
+                        ],
+                    );
+                    self.progress(format_args!("aborted: {message}"));
+                    obs.flush();
+                    let edge_count = graph.edge_count();
+                    return PipelineResult {
+                        cases_selected,
+                        reports: Vec::new(),
+                        quarantined: Vec::new(),
+                        effort: TestingEffort {
+                            states: graph.state_count(),
+                            edges: edge_count,
+                            paths_ec,
+                            paths_ec_por,
+                            por_excluded_edges: por_excluded,
+                            cases_run: 0,
+                            test_seconds: 0.0,
+                            check_seconds,
+                        },
+                        passed: 0,
+                        skipped_from_journal: 0,
+                        artifacts: Vec::new(),
+                        journal_issues: vec![message.clone()],
+                        summary: RunSummary {
+                            spec: self.spec.name().to_string(),
+                            states: graph.state_count() as u64,
+                            edges: edge_count as u64,
+                            journal_issues: 1,
+                            ..RunSummary::default()
+                        },
+                        coverage: CoverageMap::new(edge_count),
+                        frontier: Vec::new(),
+                        graph,
+                        lock_conflict: Some(message),
+                        stopped_by_gate: false,
+                    };
+                }
                 Err(e) => {
                     journal_issues.push(format!("campaign journal unavailable: {e}"));
                     None
@@ -518,7 +624,16 @@ impl Pipeline {
             None => None,
         };
 
+        let mut stopped_by_gate = false;
         'cases: for (case_idx, path) in paths.iter().enumerate() {
+            if let Some((start, end)) = self.config.case_range {
+                if case_idx < start {
+                    continue 'cases;
+                }
+                if case_idx >= end {
+                    break 'cases;
+                }
+            }
             // Materialize one case at a time. An empty path carries no
             // actions to schedule (a fully-excluded initial node can
             // produce one upstream); skip it instead of panicking.
@@ -531,6 +646,34 @@ impl Pipeline {
                 graph.enabled_at(final_node).into_iter().cloned().collect();
 
             let hash = tc.stable_hash();
+            // The gate runs before the journal lookup: a Stop (drain)
+            // must take effect even while a resumed run is still
+            // fast-forwarding through journaled cases.
+            match self.config.case_gate.as_ref().map(|g| g(case_idx, &hash)) {
+                None | Some(CaseGate::Run) => {}
+                Some(CaseGate::Skip) => {
+                    obs.event(
+                        "case.verdict",
+                        case_idx as u64,
+                        vec![("case", case_idx.into()), ("outcome", "skipped_gate".into())],
+                    );
+                    obs.metrics().add("pipeline.cases_skipped_gate", 1);
+                    continue 'cases;
+                }
+                Some(CaseGate::Stop) => {
+                    obs.event(
+                        "run.stopped",
+                        case_idx as u64,
+                        vec![("case", case_idx.into()), ("reason", "gate".into())],
+                    );
+                    self.progress(format_args!(
+                        "stopping at case {} on gate request",
+                        case_idx + 1
+                    ));
+                    stopped_by_gate = true;
+                    break 'cases;
+                }
+            }
             if let Some(entry) = journal.as_ref().and_then(|j| j.completed(&hash)) {
                 // A previous run of this campaign already reached a
                 // verdict here; rebuild the counters and move on.
@@ -621,6 +764,7 @@ impl Pipeline {
                                     if let Err(e) = j.record(JournalEntry {
                                         hash: hash.clone(),
                                         attempts: attempt,
+                                        determinism: None,
                                         outcome: CaseOutcome::Passed,
                                     }) {
                                         journal_issues
@@ -732,9 +876,15 @@ impl Pipeline {
                                     }
                                 }
                                 if let Some(j) = journal.as_mut() {
+                                    let det_label = match determinism {
+                                        Determinism::Deterministic { .. } => "deterministic",
+                                        Determinism::Flaky { .. } => "flaky",
+                                        Determinism::Unconfirmed => "unconfirmed",
+                                    };
                                     if let Err(e) = j.record(JournalEntry {
                                         hash: hash.clone(),
                                         attempts: attempt,
+                                        determinism: Some(det_label.to_string()),
                                         outcome: CaseOutcome::Failed {
                                             kind: inconsistency.kind().to_string(),
                                         },
@@ -831,7 +981,7 @@ impl Pipeline {
         m.observe("timing.stage.test_seconds", effort.test_seconds);
         m.observe(
             "timing.stage.total_seconds",
-            run_start.elapsed().as_secs_f64(),
+            check_seconds + run_start.elapsed().as_secs_f64(),
         );
 
         let mut summary = RunSummary {
@@ -852,7 +1002,7 @@ impl Pipeline {
             journal_issues: journal_issues.len() as u64,
             wall_check_seconds: check_seconds,
             wall_test_seconds: effort.test_seconds,
-            wall_total_seconds: run_start.elapsed().as_secs_f64(),
+            wall_total_seconds: check_seconds + run_start.elapsed().as_secs_f64(),
             ..RunSummary::default()
         };
         for report in &reports {
@@ -957,6 +1107,8 @@ impl Pipeline {
             summary,
             coverage,
             frontier,
+            lock_conflict: None,
+            stopped_by_gate,
         }
     }
 

@@ -340,6 +340,21 @@ impl CampaignHistory {
         self.records.push(record);
         Ok(())
     }
+
+    /// Appends `record` unless the latest record already equals it on
+    /// every field but `seq` — so an idempotent re-merge of a finished
+    /// campaign appends nothing. Returns whether a line was written.
+    pub fn append_dedup(&mut self, record: CampaignRecord) -> Result<bool, std::io::Error> {
+        if let Some(last) = self.records.last() {
+            let mut probe = record.clone();
+            probe.seq = last.seq;
+            if *last == probe {
+                return Ok(false);
+            }
+        }
+        self.append(record)?;
+        Ok(true)
+    }
 }
 
 fn pct(v: f64) -> String {
@@ -616,6 +631,27 @@ mod tests {
         assert_eq!(h2.next_seq(), 2);
         assert!(h2.issues().is_empty());
         assert_eq!(h2.records(), h.records());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_dedup_skips_only_the_identical_latest_record() {
+        let dir = std::env::temp_dir().join(format!("mocket-obs-dedup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut h = CampaignHistory::open(&dir).unwrap();
+        assert!(h.append_dedup(sample(0, 1.0)).unwrap());
+        // Same logical content, fresh seq: deduplicated.
+        let mut again = sample(0, 1.0);
+        again.seq = h.next_seq();
+        assert!(!h.append_dedup(again).unwrap());
+        assert_eq!(h.records().len(), 1);
+        // Different content appends.
+        let mut changed = sample(0, 1.0);
+        changed.seq = h.next_seq();
+        changed.cases_passed += 1;
+        assert!(h.append_dedup(changed).unwrap());
+        assert_eq!(h.records().len(), 2);
+        assert_eq!(CampaignHistory::open(&dir).unwrap().records().len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

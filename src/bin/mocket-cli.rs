@@ -5,6 +5,8 @@
 //! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
 //! mocket-cli test <target> [--bug NAME] [--all] [--limit N] [--progress] [--obs-dir DIR]
 //!                          [--priority-edges FILE]
+//! mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] [--limit N]
+//!                          [--shard-size N] [--poison-threshold K] [--progress] ...
 //! mocket-cli report --obs-dir DIR [--html] [--out FILE]
 //! mocket-cli simulate <target> [--steps N] [--seed S]
 //! mocket-cli list
@@ -12,11 +14,26 @@
 //!
 //! Specs: `cachemax`, `xraft`, `raft-java`, `raft-official`, `zab`.
 //! Targets: `xraft`, `raft-java`, `zab` (bug names via `list`).
+//!
+//! `campaign` runs the crash-tolerant sharded orchestrator: a
+//! supervisor process (this command) shards the pinned case plan
+//! across N crash-isolated worker processes (the hidden
+//! `campaign-worker` subcommand), restarts the dead, steals stale
+//! leases, quarantines poison cases, and deterministically merges the
+//! per-shard results into canonical top-level outputs. Re-running the
+//! same command against the same directory resumes idempotently.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
-use mocket::checker::{to_dot, ModelChecker};
-use mocket::core::{Pipeline, PipelineConfig, RunConfig, SystemUnderTest};
+use mocket::checker::{to_dot, ModelChecker, StateGraph};
+use mocket::core::orchestrator::{
+    clear_drain_marker, ignore_sigint, merge_campaign, supervise, sweep_dead_leases,
+    CampaignPlan, DirLock, InjectionConfig, LeaseConfig, LockError, MergeInputs, PlanCase,
+    ShardSetup, SupervisorConfig, WorkerConfig, WorkerContext, EXIT_PLAN_MISMATCH,
+};
+use mocket::core::{Pipeline, PipelineConfig, RunConfig, SystemUnderTest, TestCase};
 use mocket::raft_async::XraftBugs;
 use mocket::raft_sync::SyncRaftBugs;
 use mocket::specs::cachemax::CacheMax;
@@ -31,6 +48,10 @@ fn usage() -> ! {
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
          mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR] \
          [--priority-edges FILE]\n  \
+         mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] \
+         [--limit N] [--max-states N] [--max-path-len N] [--shard-size N] \
+         [--poison-threshold K] [--max-restarts N] [--heartbeat-ms N] [--lease-ttl-ms N] \
+         [--hang-timeout-ms N] [--progress]\n  \
          mocket-cli report --obs-dir DIR [--html] [--out FILE]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
@@ -342,6 +363,380 @@ fn cmd_test(args: &Args) {
     }
 }
 
+/// Shared campaign bounds: the supervisor pins them in `plan.txt`,
+/// every worker regenerates under the identical bounds and verifies.
+#[derive(Clone, Copy)]
+struct CampaignBounds {
+    max_states: usize,
+    max_path_len: usize,
+    max_test_cases: usize,
+}
+
+impl CampaignBounds {
+    fn from_args(args: &Args) -> Self {
+        CampaignBounds {
+            max_states: args.flag_usize("max-states", 1_000_000),
+            max_path_len: args.flag_usize("max-path-len", 60),
+            max_test_cases: args.flag_usize("limit", 0),
+        }
+    }
+
+    fn from_plan(plan: &CampaignPlan) -> Self {
+        CampaignBounds {
+            max_states: plan.max_states,
+            max_path_len: plan.max_path_len,
+            max_test_cases: plan.max_test_cases,
+        }
+    }
+}
+
+/// The pipeline configuration every campaign process uses: no POR (so
+/// shard indices line up with the plan), never stop at the first bug
+/// (a campaign's job is the whole case set), fast runner settings.
+fn campaign_pipeline_config(bounds: CampaignBounds) -> PipelineConfig {
+    let mut pc = PipelineConfig::default();
+    pc.max_states = bounds.max_states;
+    pc.por = false;
+    pc.stop_at_first_bug = false;
+    pc.max_path_len = bounds.max_path_len;
+    pc.max_test_cases = bounds.max_test_cases;
+    pc.run = RunConfig::fast();
+    pc
+}
+
+/// Materializes the plan's view of the selected paths: stable hash and
+/// length per case, `-` for a path that cannot materialize (the
+/// pipeline skips those indices; they never reach a verdict).
+fn plan_cases(graph: &StateGraph, paths: &[Vec<mocket::checker::EdgeId>]) -> Vec<PlanCase> {
+    paths
+        .iter()
+        .map(|p| match TestCase::from_edge_path(graph, p) {
+            Some(tc) => PlanCase {
+                hash: tc.stable_hash(),
+                len: tc.len(),
+            },
+            None => PlanCase {
+                hash: "-".into(),
+                len: 0,
+            },
+        })
+        .collect()
+}
+
+fn lease_config(args: &Args) -> LeaseConfig {
+    LeaseConfig {
+        heartbeat: Duration::from_millis(args.flag_usize("heartbeat-ms", 300) as u64),
+        ttl: Duration::from_millis(args.flag_usize("lease-ttl-ms", 5000) as u64),
+    }
+}
+
+fn cmd_campaign(args: &Args) {
+    let name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let bug = args.flags.get("bug").map(String::as_str);
+    let Some(dir) = args.flags.get("campaign-dir") else {
+        eprintln!("campaign requires --campaign-dir DIR");
+        usage();
+    };
+    let campaign_dir = PathBuf::from(dir);
+    let workers = args.flag_usize("workers", 2).max(1);
+    let shard_size = args.flag_usize("shard-size", 8).max(1);
+    let bounds = CampaignBounds::from_args(args);
+    let progress = args.flag_bool("progress");
+
+    // Exclusive claim on the directory: a second campaign (or anything
+    // else holding the campaign journal lock) fails fast, before a
+    // single byte is written.
+    let _lock = match DirLock::acquire(&campaign_dir, "journal.lock") {
+        Ok(lock) => lock,
+        Err(LockError::Held { path, owner_pid }) => {
+            eprintln!(
+                "campaign directory {dir} is owned by another live campaign \
+                 (pid {owner_pid}, lock {}); refusing to interleave",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot lock campaign directory {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Model-check once and pin (or verify) the plan.
+    let target = target_by_name(name, bug);
+    let spec_name = target.spec.name().to_string();
+    let obs = mocket::obs::Obs::disabled();
+    let mut pc = campaign_pipeline_config(bounds);
+    pc.obs = obs.clone();
+    pc.progress = progress;
+    let pipeline = Pipeline::new(target.spec, target.registry, pc).unwrap_or_else(|issues| {
+        eprintln!("mapping issues:");
+        for issue in issues {
+            eprintln!("  {issue}");
+        }
+        std::process::exit(1);
+    });
+    if progress {
+        eprintln!("[mocket-campaign] model checking {name} (max {} states)", bounds.max_states);
+    }
+    let (graph, _check_seconds) = pipeline.check();
+    let (paths, _ec, _ecpor, por_excluded) = pipeline.generate_paths(&graph);
+    let fresh = CampaignPlan {
+        target: name.to_string(),
+        bug: bug.map(str::to_string),
+        max_states: bounds.max_states,
+        max_path_len: bounds.max_path_len,
+        max_test_cases: bounds.max_test_cases,
+        shard_size,
+        cases: plan_cases(&graph, &paths),
+    };
+    let plan = match CampaignPlan::load(&campaign_dir) {
+        Ok(Some(existing)) => {
+            if let Err(mismatch) = existing.verify_matches(&fresh) {
+                eprintln!(
+                    "campaign directory {dir} holds a different campaign: {mismatch}\n\
+                     resume with the original target/flags, or use a fresh directory"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "resuming campaign in {dir}: {} cases across {} shards",
+                existing.cases.len(),
+                existing.shard_count()
+            );
+            existing
+        }
+        Ok(None) => {
+            if let Err(e) = fresh.write_to(&campaign_dir) {
+                eprintln!("cannot write campaign plan: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "campaign plan pinned: {} cases across {} shards in {dir}",
+                fresh.cases.len(),
+                fresh.shard_count()
+            );
+            fresh
+        }
+        Err(e) => {
+            eprintln!("cannot load campaign plan from {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // A leftover drain marker or dead lease from an interrupted run
+    // must not stop this one before it starts.
+    clear_drain_marker(&campaign_dir);
+    sweep_dead_leases(&campaign_dir, plan.shard_count());
+
+    let sup = SupervisorConfig {
+        campaign_dir: campaign_dir.clone(),
+        workers,
+        lease: lease_config(args),
+        hang_timeout: Duration::from_millis(args.flag_usize("hang-timeout-ms", 30_000) as u64),
+        max_restarts: args.flag_usize("max-restarts", 5),
+        backoff_base: Duration::from_millis(50),
+        progress,
+    };
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary for worker spawn: {e}");
+        std::process::exit(1);
+    });
+    let poison_threshold = args.flag_usize("poison-threshold", 3);
+    let heartbeat_ms = args.flag_usize("heartbeat-ms", 300);
+    let ttl_ms = args.flag_usize("lease-ttl-ms", 5000);
+    let mut spawn = |id: usize| -> std::io::Result<std::process::Child> {
+        let worker_dir = campaign_dir.join(format!("worker-{id}"));
+        std::fs::create_dir_all(&worker_dir)?;
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(worker_dir.join("worker.log"))?;
+        let log_err = log.try_clone()?;
+        std::process::Command::new(&exe)
+            .arg("campaign-worker")
+            .arg("--campaign-dir")
+            .arg(&campaign_dir)
+            .args(["--worker-id", &id.to_string()])
+            .args(["--poison-threshold", &poison_threshold.to_string()])
+            .args(["--heartbeat-ms", &heartbeat_ms.to_string()])
+            .args(["--lease-ttl-ms", &ttl_ms.to_string()])
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::from(log))
+            .stderr(std::process::Stdio::from(log_err))
+            .spawn()
+    };
+    let outcome = match supervise(&sup, plan.shard_count(), &mut spawn) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("campaign supervision failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Merge whatever completed — also on drain, so a checkpointed
+    // campaign leaves consistent partial outputs behind.
+    let m = obs.metrics();
+    let merged = match merge_campaign(&MergeInputs {
+        campaign_dir: &campaign_dir,
+        plan: &plan,
+        graph: &graph,
+        paths: &paths,
+        spec_name: &spec_name,
+        coverage_visited: m.gauge("coverage.edges_visited").unwrap_or(0.0) as u64,
+        coverage_targets: m.gauge("coverage.edge_targets").unwrap_or(0.0) as u64,
+        coverage_fraction: m.gauge("coverage.fraction").unwrap_or(0.0),
+        por_excluded: por_excluded as u64,
+        completed: outcome.completed(),
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign merge failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "campaign {name}{}: {}/{} shards done, {} worker restart(s), {} hung worker(s) killed",
+        bug.map(|b| format!(" (bug: {b})")).unwrap_or_default(),
+        outcome.shards_done,
+        outcome.shard_count,
+        outcome.restarts,
+        outcome.hung_killed,
+    );
+    println!(
+        "merged: {} case(s) with verdicts, {} passed, {} unique failure(s), \
+         {} quarantined poison case(s), {} artifact(s)",
+        merged.cases_with_verdict,
+        merged.cases_passed,
+        merged.failed_unique,
+        merged.poisoned,
+        merged.artifacts_copied,
+    );
+    for issue in &merged.issues {
+        eprintln!("warning: {issue}");
+    }
+    if let Some(fatal) = &outcome.fatal {
+        eprintln!("campaign failed: {fatal}");
+        std::process::exit(1);
+    }
+    if outcome.drained {
+        println!("campaign drained (checkpoint written); re-run the same command to resume");
+    } else {
+        println!(
+            "canonical outputs in {dir}/ (journal.log, coverage.json, events.jsonl, \
+             run-summary.json, campaign-history.jsonl)"
+        );
+    }
+}
+
+/// Hidden worker subcommand: one crash-isolated campaign worker. Not
+/// part of the public usage string — only the supervisor spawns it.
+fn cmd_campaign_worker(args: &Args) -> ! {
+    // SIGINT goes to the whole foreground process group; the
+    // supervisor translates it into a drain marker, workers must not
+    // die mid-case from the raw signal.
+    ignore_sigint();
+    let Some(dir) = args.flags.get("campaign-dir") else {
+        usage();
+    };
+    let campaign_dir = PathBuf::from(dir);
+    let worker_id = args.flag_usize("worker-id", 0);
+    let plan = match CampaignPlan::load(&campaign_dir) {
+        Ok(Some(plan)) => plan,
+        Ok(None) => {
+            eprintln!("worker {worker_id}: no plan in {dir}");
+            std::process::exit(EXIT_PLAN_MISMATCH);
+        }
+        Err(e) => {
+            eprintln!("worker {worker_id}: cannot load plan: {e}");
+            std::process::exit(EXIT_PLAN_MISMATCH);
+        }
+    };
+    let target = target_by_name(&plan.target, plan.bug.as_deref());
+    let spec = target.spec;
+    let registry = target.registry;
+    let mut make = target.make;
+    let spec_name = spec.name().to_string();
+    let spec_config = format!(
+        "target={} bug={}",
+        plan.target,
+        plan.bug.as_deref().unwrap_or("-")
+    );
+
+    // Workers stream their own observability under worker-<id>/; the
+    // campaign top level belongs to the supervisor's merge.
+    let worker_dir = campaign_dir.join(format!("worker-{worker_id}"));
+    let obs = mocket::obs::Obs::jsonl_in(&worker_dir).unwrap_or_else(|e| {
+        eprintln!("worker {worker_id}: obs dir unavailable ({e}); events disabled");
+        mocket::obs::Obs::disabled()
+    });
+
+    let bounds = CampaignBounds::from_plan(&plan);
+    let mut base_pc = campaign_pipeline_config(bounds);
+    base_pc.obs = obs.clone();
+    let base = Pipeline::new(spec.clone(), registry.clone(), base_pc).unwrap_or_else(|issues| {
+        eprintln!("worker {worker_id}: mapping issues: {issues:?}");
+        std::process::exit(EXIT_PLAN_MISMATCH);
+    });
+    let (graph, check_seconds) = base.check();
+    let (paths, _ec, _ecpor, _excl) = base.generate_paths(&graph);
+    let fresh = CampaignPlan {
+        target: plan.target.clone(),
+        bug: plan.bug.clone(),
+        max_states: plan.max_states,
+        max_path_len: plan.max_path_len,
+        max_test_cases: plan.max_test_cases,
+        shard_size: plan.shard_size,
+        cases: plan_cases(&graph, &paths),
+    };
+    if let Err(mismatch) = plan.verify_matches(&fresh) {
+        eprintln!(
+            "worker {worker_id}: regenerated case set contradicts the pinned plan \
+             ({mismatch}); refusing to run"
+        );
+        std::process::exit(EXIT_PLAN_MISMATCH);
+    }
+
+    let run_cfg = RunConfig::fast();
+    let wcfg = WorkerConfig {
+        campaign_dir: campaign_dir.clone(),
+        worker_id,
+        lease: lease_config(args),
+        poison_threshold: args.flag_usize("poison-threshold", 3),
+        inject: InjectionConfig::from_env(),
+    };
+    let ctx = WorkerContext {
+        plan: &plan,
+        spec_name: &spec_name,
+        spec_config: &spec_config,
+        run: &run_cfg,
+        paths: &paths,
+        check_seconds,
+    };
+    let build = |setup: &ShardSetup| {
+        let mut pc = campaign_pipeline_config(bounds);
+        pc.obs = obs.clone();
+        pc.case_range = Some(setup.range);
+        pc.case_gate = Some(setup.gate.clone());
+        pc.triage.campaign_dir = Some(setup.shard_dir.clone());
+        pc.triage.spec_config = spec_config.clone();
+        Pipeline::new(spec.clone(), registry.clone(), pc)
+            .expect("mapping validated at worker startup")
+    };
+    match mocket::core::orchestrator::worker_loop(&wcfg, &ctx, graph, build, &mut make) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {worker_id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn cmd_report(args: &Args) {
     let dir = args
         .flags
@@ -445,6 +840,8 @@ fn main() {
         Some("check") => cmd_check(&args),
         Some("generate") => cmd_generate(&args),
         Some("test") => cmd_test(&args),
+        Some("campaign") => cmd_campaign(&args),
+        Some("campaign-worker") => cmd_campaign_worker(&args),
         Some("report") => cmd_report(&args),
         Some("simulate") => cmd_simulate(&args),
         Some("list") => cmd_list(),

@@ -1,0 +1,261 @@
+//! End-to-end crash tolerance for the sharded campaign orchestrator.
+//!
+//! Each test drives the real `mocket-cli` binary: a supervisor that
+//! shards the pinned case set across crash-isolated worker processes
+//! with lease-based work stealing, then deterministically merges the
+//! per-shard outputs. The contract under test is byte-identity of the
+//! canonical campaign outputs — no matter whether the campaign ran
+//! clean, lost a worker to `kill -9` mid-shard, quarantined a poison
+//! case, drained on SIGINT and resumed, or used a different worker
+//! count.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mocket::core::orchestrator::{load_crashes, load_poisoned};
+use mocket::core::ReplayArtifact;
+
+const CLI: &str = env!("CARGO_BIN_EXE_mocket-cli");
+
+/// The canonical merged outputs whose bytes must not depend on the
+/// campaign's failure history.
+const CANONICAL: &[&str] = &[
+    "journal.log",
+    "coverage.json",
+    "events.jsonl",
+    "run-summary.json",
+    "campaign-history.jsonl",
+];
+
+struct CampaignRun {
+    dir: PathBuf,
+}
+
+impl CampaignRun {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "mocket-campaign-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CampaignRun { dir }
+    }
+
+    /// Runs `mocket-cli campaign` with a small xraft state space and
+    /// aggressive lease timing so steals happen within the test
+    /// budget. Injection env vars are scoped to this one invocation —
+    /// a resume must not re-inject the fault it is recovering from.
+    fn run_with(&self, workers: usize, env: &[(&str, &str)]) -> std::process::ExitStatus {
+        let mut cmd = Command::new(CLI);
+        cmd.args(["campaign", "xraft"])
+            .arg("--campaign-dir")
+            .arg(&self.dir)
+            .args(["--limit", "12"])
+            .args(["--workers", &workers.to_string()])
+            .args(["--shard-size", "4"])
+            .args(["--max-states", "2000"])
+            .args(["--poison-threshold", "2"])
+            .args(["--heartbeat-ms", "50"])
+            .args(["--lease-ttl-ms", "500"]);
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        cmd.status().expect("spawn mocket-cli campaign")
+    }
+
+    fn run(&self, workers: usize) -> std::process::ExitStatus {
+        self.run_with(workers, &[])
+    }
+
+    fn read(&self, name: &str) -> Vec<u8> {
+        std::fs::read(self.dir.join(name))
+            .unwrap_or_else(|e| panic!("read {name} in {}: {e}", self.dir.display()))
+    }
+}
+
+impl Drop for CampaignRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn assert_canonical_identical(a: &CampaignRun, b: &CampaignRun, context: &str) {
+    for name in CANONICAL {
+        assert_eq!(
+            a.read(name),
+            b.read(name),
+            "{context}: {name} must be byte-identical"
+        );
+    }
+}
+
+fn quarantine_dir(dir: &Path) -> PathBuf {
+    dir.join("quarantine")
+}
+
+/// A `kill -9`'d worker's shard is stolen and finished by a restarted
+/// worker, and the merged outputs are byte-identical to a crash-free
+/// campaign's — the crash leaves forensics, not divergence.
+#[test]
+fn sigkilled_worker_shard_is_recovered_and_merge_is_byte_identical() {
+    let clean = CampaignRun::new("clean");
+    assert!(clean.run(2).success(), "clean campaign must succeed");
+
+    let crashed = CampaignRun::new("sigkill");
+    assert!(
+        crashed
+            .run_with(2, &[("MOCKET_CAMPAIGN_INJECT_CRASH", "sigkill:5")])
+            .success(),
+        "campaign must survive a SIGKILLed worker"
+    );
+
+    // The crash actually happened and was attributed.
+    let crashes = load_crashes(&crashed.dir).expect("crash log readable");
+    assert!(
+        crashes.iter().any(|c| c.case == 5),
+        "crash log must attribute case 5, got {crashes:?}"
+    );
+    // ...but exactly once: the stealer saw the crash, retried, passed.
+    assert!(
+        load_poisoned(&crashed.dir)
+            .expect("poison log readable")
+            .is_empty(),
+        "a single crash must not quarantine the case"
+    );
+
+    assert_canonical_identical(&clean, &crashed, "crashed-and-recovered vs clean");
+}
+
+/// The merge is a pure function of the plan and the verdict set: one
+/// worker or two, same bytes. And re-running a completed campaign is
+/// idempotent — outputs unchanged, history not double-appended.
+#[test]
+fn merge_is_invariant_to_worker_count_and_rerun_is_idempotent() {
+    let two = CampaignRun::new("two-workers");
+    assert!(two.run(2).success());
+    let one = CampaignRun::new("one-worker");
+    assert!(one.run(1).success());
+    assert_canonical_identical(&two, &one, "workers=1 vs workers=2");
+
+    let before: Vec<Vec<u8>> = CANONICAL.iter().map(|n| two.read(n)).collect();
+    assert!(two.run(2).success(), "re-run of a completed campaign");
+    for (name, snapshot) in CANONICAL.iter().zip(before) {
+        assert_eq!(two.read(name), snapshot, "{name} must survive a re-run");
+    }
+    let history = String::from_utf8(two.read("campaign-history.jsonl")).unwrap();
+    assert_eq!(
+        history.lines().count(),
+        1,
+        "idempotent re-run must not append a second history record"
+    );
+}
+
+/// A case that deterministically kills its worker is quarantined after
+/// K attempts with a replay artifact, and the campaign still completes
+/// with every other case resolved.
+#[test]
+fn poison_case_is_quarantined_with_replay_artifact_and_campaign_completes() {
+    let run = CampaignRun::new("poison");
+    assert!(
+        run.run_with(2, &[("MOCKET_CAMPAIGN_POISON_CASE", "5")])
+            .success(),
+        "campaign must complete despite a poison case"
+    );
+
+    let poisoned = load_poisoned(&run.dir).expect("poison log readable");
+    assert_eq!(poisoned.len(), 1, "exactly one quarantined case");
+    assert_eq!(poisoned[0].case, 5);
+    assert_eq!(
+        poisoned[0].crashes, 2,
+        "quarantine exactly at --poison-threshold"
+    );
+
+    // The quarantine ships a loadable reproducer for the poison case.
+    let artifact_path =
+        quarantine_dir(&run.dir).join(format!("case-{}.artifact", poisoned[0].hash));
+    let artifact = ReplayArtifact::load(&artifact_path).expect("quarantine replay artifact loads");
+    assert_eq!(
+        artifact.test_case.stable_hash(),
+        poisoned[0].hash,
+        "reproducer must be the quarantined schedule"
+    );
+    assert!(
+        !artifact.test_case.is_empty(),
+        "reproducer must carry the schedule"
+    );
+
+    // Everyone else still got a verdict: 12 planned - 1 poisoned.
+    let journal = String::from_utf8(run.read("journal.log")).unwrap();
+    assert_eq!(
+        journal.lines().filter(|l| l.starts_with("case: ")).count(),
+        11,
+        "all non-poison cases must reach the canonical journal"
+    );
+    assert!(
+        !journal.contains(&poisoned[0].hash),
+        "poisoned case must not claim a verdict"
+    );
+}
+
+/// A drain request mid-campaign checkpoints cleanly; re-running the
+/// same command resumes from the journals and converges to the same
+/// bytes as a never-interrupted campaign.
+#[test]
+fn drained_campaign_resumes_to_byte_identical_outputs() {
+    let reference = CampaignRun::new("drain-ref");
+    assert!(reference.run(2).success());
+
+    let drained = CampaignRun::new("drained");
+    assert!(
+        drained
+            .run_with(2, &[("MOCKET_CAMPAIGN_INJECT_DRAIN", "6")])
+            .success(),
+        "a drained campaign exits successfully"
+    );
+    let partial = String::from_utf8(drained.read("journal.log")).unwrap();
+    assert!(
+        partial.lines().count() < 12,
+        "drain must checkpoint before the case set is exhausted"
+    );
+
+    // Same command again, without the injection: the resume picks up
+    // the journaled verdicts and finishes the remaining cases.
+    assert!(
+        drained.run(2).success(),
+        "resume must complete the campaign"
+    );
+    assert_canonical_identical(&reference, &drained, "drained-and-resumed vs clean");
+}
+
+/// Two supervisors on one campaign directory must not interleave: the
+/// second fails fast with a lock-held diagnostic while the first is
+/// alive, and succeeds once the lock is released.
+#[test]
+fn concurrent_campaign_on_same_dir_fails_fast() {
+    use mocket::core::orchestrator::DirLock;
+
+    let run = CampaignRun::new("locked");
+    std::fs::create_dir_all(&run.dir).unwrap();
+    let lock = DirLock::acquire(&run.dir, "journal.lock").expect("test takes the lock");
+
+    let out = Command::new(CLI)
+        .args(["campaign", "xraft"])
+        .arg("--campaign-dir")
+        .arg(&run.dir)
+        .args(["--limit", "4", "--max-states", "2000"])
+        .output()
+        .expect("spawn contender");
+    assert!(
+        !out.status.success(),
+        "second campaign must refuse the held directory"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("owned by another live campaign"),
+        "diagnostic must name the conflict, got: {stderr}"
+    );
+
+    drop(lock);
+    assert!(run.run(1).success(), "released lock unblocks the campaign");
+}
