@@ -1,0 +1,385 @@
+//! Campaign-harness throughput and recovery overhead.
+//!
+//! Runs the Xraft campaign end-to-end **in-process** (worker loops on
+//! threads instead of child processes — the orchestration, lease, and
+//! journal code paths are identical), measures cases/sec by worker
+//! count, then interrupts a campaign mid-flight with an injected drain
+//! and times the resume. Canonical merge outputs are asserted
+//! byte-identical across worker counts and across the
+//! interrupt-and-resume cycle, and the numbers go to
+//! `BENCH_campaign.json` at the repository root.
+//!
+//! `BENCH_SMOKE=1` shrinks the case set and worker-count sweep so CI
+//! can exercise the whole harness in seconds.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mocket_checker::StateGraph;
+use mocket_core::orchestrator::{
+    clear_drain_marker, merge_campaign, worker_loop, CampaignPlan, InjectionConfig, LeaseConfig,
+    MergeInputs, PlanCase, ShardSetup, WorkerConfig, WorkerContext,
+};
+use mocket_core::{Pipeline, PipelineConfig, RunConfig, TestCase};
+use mocket_obs::Obs;
+use mocket_raft_async::{make_sut, mapping, XraftBugs};
+use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket_tla::Spec;
+
+/// Peak RSS (VmHWM) in kB, from /proc/self/status; 0 off-Linux.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|kb| kb.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// One campaign scenario: the model, the case budget, sharding.
+#[derive(Clone)]
+struct Scenario {
+    max_states: usize,
+    max_test_cases: usize,
+    max_path_len: usize,
+    shard_size: usize,
+}
+
+impl Scenario {
+    fn smoke() -> Scenario {
+        Scenario {
+            max_states: 2000,
+            max_test_cases: 12,
+            max_path_len: 0,
+            shard_size: 4,
+        }
+    }
+
+    fn full() -> Scenario {
+        Scenario {
+            max_states: 20_000,
+            max_test_cases: 48,
+            max_path_len: 0,
+            shard_size: 8,
+        }
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let mut pc = PipelineConfig::default();
+        pc.max_states = self.max_states;
+        pc.por = false;
+        pc.stop_at_first_bug = false;
+        pc.max_path_len = self.max_path_len;
+        pc.max_test_cases = self.max_test_cases;
+        pc.run = RunConfig::fast();
+        pc
+    }
+}
+
+fn xraft_spec() -> Arc<dyn Spec> {
+    Arc::new(RaftSpec::new(RaftSpecConfig::xraft(vec![1, 2])))
+}
+
+fn xraft_servers() -> Vec<u64> {
+    RaftSpecConfig::xraft(vec![1, 2])
+        .servers
+        .iter()
+        .map(|&i| i as u64)
+        .collect()
+}
+
+/// Materializes the plan's view of the selected paths, exactly as the
+/// CLI does when pinning a campaign.
+fn plan_cases(graph: &StateGraph, paths: &[Vec<mocket_checker::EdgeId>]) -> Vec<PlanCase> {
+    paths
+        .iter()
+        .map(|p| match TestCase::from_edge_path(graph, p) {
+            Some(tc) => PlanCase {
+                hash: tc.stable_hash(),
+                len: tc.len(),
+            },
+            None => PlanCase {
+                hash: "-".into(),
+                len: 0,
+            },
+        })
+        .collect()
+}
+
+const LEASE: LeaseConfig = LeaseConfig {
+    heartbeat: Duration::from_millis(50),
+    ttl: Duration::from_millis(2000),
+};
+
+/// Runs one worker loop on the current thread — the same code a
+/// `campaign-worker` child process runs, minus the process boundary.
+fn run_worker(scenario: &Scenario, dir: &Path, worker_id: usize, inject: InjectionConfig) {
+    let spec = xraft_spec();
+    let registry = mapping();
+    let servers = xraft_servers();
+    let plan = CampaignPlan::load(dir)
+        .expect("load pinned plan")
+        .expect("plan pinned before workers start");
+    let worker_dir = dir.join(format!("worker-{worker_id}"));
+    let obs = Obs::jsonl_in(&worker_dir).unwrap_or_else(|_| Obs::disabled());
+
+    let mut base_pc = scenario.pipeline_config();
+    base_pc.obs = obs.clone();
+    let base = Pipeline::new(spec.clone(), registry.clone(), base_pc).expect("bench mapping");
+    let (graph, check_seconds) = base.check();
+    let (paths, _ec, _ecpor, _excl) = base.generate_paths(&graph);
+
+    let run_cfg = RunConfig::fast();
+    let spec_name = spec.name().to_string();
+    let wcfg = WorkerConfig {
+        campaign_dir: dir.to_path_buf(),
+        worker_id,
+        lease: LEASE,
+        poison_threshold: 2,
+        plan_hash: plan.stable_hash(),
+        inject,
+    };
+    let ctx = WorkerContext {
+        plan: &plan,
+        spec_name: &spec_name,
+        spec_config: "target=xraft bug=-",
+        run: &run_cfg,
+        paths: &paths,
+        check_seconds,
+    };
+    let build = |setup: &ShardSetup| {
+        let mut pc = scenario.pipeline_config();
+        pc.obs = obs.clone();
+        pc.case_range = Some(setup.range);
+        pc.case_gate = Some(setup.gate.clone());
+        pc.triage.campaign_dir = Some(setup.shard_dir.clone());
+        pc.triage.spec_config = "target=xraft bug=-".to_string();
+        Pipeline::new(spec.clone(), registry.clone(), pc).expect("bench mapping")
+    };
+    let mut make = move || -> Box<dyn mocket_core::SystemUnderTest> {
+        Box::new(make_sut(servers.clone(), XraftBugs::none()))
+    };
+    worker_loop(&wcfg, &ctx, graph, build, &mut make).expect("worker loop");
+}
+
+/// Pins the plan (or verifies resume), runs `workers` worker loops on
+/// threads, merges. Returns the wall-clock seconds of the worker +
+/// merge phase (planning/model-checking excluded — that cost is
+/// amortized across a real campaign's lifetime and reported
+/// separately).
+fn run_campaign(
+    scenario: &Scenario,
+    dir: &Path,
+    workers: usize,
+    inject: InjectionConfig,
+) -> (f64, usize) {
+    let spec = xraft_spec();
+    let obs = Obs::disabled();
+    let mut pc = scenario.pipeline_config();
+    pc.obs = obs.clone();
+    let pipeline = Pipeline::new(spec.clone(), mapping(), pc).expect("bench mapping");
+    let (graph, _check_seconds) = pipeline.check();
+    let (paths, _ec, _ecpor, por_excluded) = pipeline.generate_paths(&graph);
+    let fresh = CampaignPlan {
+        target: "xraft".into(),
+        bug: None,
+        max_states: scenario.max_states,
+        max_path_len: scenario.max_path_len,
+        max_test_cases: scenario.max_test_cases,
+        shard_size: scenario.shard_size,
+        cases: plan_cases(&graph, &paths),
+    };
+    let plan = match CampaignPlan::load(dir).expect("load plan") {
+        Some(existing) => {
+            existing.verify_matches(&fresh).expect("resume plan matches");
+            existing
+        }
+        None => {
+            fresh.write_to(dir).expect("pin plan");
+            fresh
+        }
+    };
+    clear_drain_marker(dir);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for id in 0..workers {
+            let scenario = scenario.clone();
+            let inject = inject.clone();
+            let dir = dir.to_path_buf();
+            scope.spawn(move || run_worker(&scenario, &dir, id, inject));
+        }
+    });
+
+    let m = obs.metrics();
+    let merged = merge_campaign(&MergeInputs {
+        campaign_dir: dir,
+        plan: &plan,
+        graph: &graph,
+        paths: &paths,
+        spec_name: spec.name(),
+        coverage_visited: m.gauge("coverage.edges_visited").unwrap_or(0.0) as u64,
+        coverage_targets: m.gauge("coverage.edge_targets").unwrap_or(0.0) as u64,
+        coverage_fraction: m.gauge("coverage.fraction").unwrap_or(0.0),
+        por_excluded: por_excluded as u64,
+        completed: true,
+    })
+    .expect("merge");
+    (started.elapsed().as_secs_f64(), merged.cases_with_verdict)
+}
+
+/// The canonical outputs that must not depend on worker count or on
+/// an interrupt-and-resume cycle.
+const CANONICAL_STABLE: &[&str] = &["journal.log", "coverage.json"];
+
+fn read_canonical(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    CANONICAL_STABLE
+        .iter()
+        .map(|name| {
+            let bytes = std::fs::read(dir.join(name))
+                .unwrap_or_else(|e| panic!("read {name} in {}: {e}", dir.display()));
+            (name.to_string(), bytes)
+        })
+        .collect()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("mocket-bench-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+struct Run {
+    workers: usize,
+    secs: f64,
+    cases_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let scenario = if smoke {
+        Scenario::smoke()
+    } else {
+        Scenario::full()
+    };
+    let worker_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    // Throughput sweep: one fresh campaign per worker count, canonical
+    // outputs byte-compared against the single-worker baseline.
+    let mut runs: Vec<Run> = Vec::new();
+    let mut cases_total = 0usize;
+    let mut baseline: Option<Vec<(String, Vec<u8>)>> = None;
+    let mut reference: Option<(usize, f64)> = None;
+    for &workers in worker_counts {
+        let dir = TempDir::new(&format!("w{workers}"));
+        let (secs, cases) = run_campaign(&scenario, &dir.0, workers, InjectionConfig::default());
+        cases_total = cases;
+        let outputs = read_canonical(&dir.0);
+        match &baseline {
+            None => baseline = Some(outputs),
+            Some(base) => {
+                for ((name, a), (_, b)) in base.iter().zip(&outputs) {
+                    assert_eq!(a, b, "{name} must not depend on worker count");
+                }
+            }
+        }
+        let base_secs = reference.get_or_insert((workers, secs)).1;
+        let speedup = if secs > 0.0 { base_secs / secs } else { 1.0 };
+        println!(
+            "workers={workers}: {cases} case(s) in {secs:.3}s ({:.1} cases/sec, {speedup:.2}x)",
+            cases as f64 / secs.max(1e-9)
+        );
+        runs.push(Run {
+            workers,
+            secs,
+            cases_per_sec: cases as f64 / secs.max(1e-9),
+            speedup,
+        });
+    }
+
+    // Recovery overhead: drain mid-campaign, then resume the same
+    // directory and verify the merged outputs match an uninterrupted
+    // run byte for byte.
+    let workers = *worker_counts.last().unwrap();
+    let clean = TempDir::new("recovery-clean");
+    let (clean_secs, _) = run_campaign(&scenario, &clean.0, workers, InjectionConfig::default());
+    let interrupted = TempDir::new("recovery-interrupted");
+    let drain_at = scenario.max_test_cases / 2;
+    let inject = InjectionConfig {
+        drain: Some(drain_at),
+        ..InjectionConfig::default()
+    };
+    let (interrupted_secs, _) = run_campaign(&scenario, &interrupted.0, workers, inject);
+    let (resume_secs, _) =
+        run_campaign(&scenario, &interrupted.0, workers, InjectionConfig::default());
+    for ((name, a), (_, b)) in read_canonical(&clean.0)
+        .iter()
+        .zip(&read_canonical(&interrupted.0))
+    {
+        assert_eq!(a, b, "{name} must survive interrupt-and-resume unchanged");
+    }
+    let overhead_frac = ((interrupted_secs + resume_secs) - clean_secs) / clean_secs.max(1e-9);
+    println!(
+        "recovery: clean {clean_secs:.3}s, interrupted {interrupted_secs:.3}s + resume \
+         {resume_secs:.3}s (overhead {:.0}%)",
+        overhead_frac * 100.0
+    );
+
+    let rss_kb = peak_rss_kb();
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"campaign\",");
+    let _ = writeln!(json, "  \"model\": \"xraft\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cases\": {cases_total},");
+    let _ = writeln!(json, "  \"shard_size\": {},", scenario.shard_size);
+    let _ = writeln!(json, "  \"peak_rss_kb\": {rss_kb},");
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"clean_secs\": {clean_secs:.4}, \"interrupted_secs\": \
+         {interrupted_secs:.4}, \"resume_secs\": {resume_secs:.4}, \"overhead_frac\": \
+         {overhead_frac:.4}}},"
+    );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"secs\": {:.4}, \"cases_per_sec\": {:.1}, \"speedup\": {:.3}}}{}",
+            r.workers,
+            r.secs,
+            r.cases_per_sec,
+            r.speedup,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    // Walk up from the bench crate to the workspace root so the
+    // artifact lands beside the other BENCH_*.json files.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = root.join("BENCH_campaign.json");
+    std::fs::write(&out, &json).expect("write BENCH_campaign.json");
+    println!("wrote {}", out.display());
+}

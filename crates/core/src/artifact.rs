@@ -24,7 +24,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -415,11 +414,13 @@ impl ReplayArtifact {
     /// truncation forced a replay) can never leave a torn artifact,
     /// and an interrupted write never clobbers an intact one.
     pub fn write_to(&self, dir: &Path) -> Result<PathBuf, ArtifactError> {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(self.file_name());
-        let tmp = dir.join(format!("{}.tmp", self.file_name()));
-        fs::write(&tmp, self.serialize())?;
-        fs::rename(&tmp, &path)?;
+        let path = crate::fsio::write_atomic(
+            dir,
+            &self.file_name(),
+            self.serialize().as_bytes(),
+            crate::fsio::points::ARTIFACT_WRITE,
+            &crate::fsio::RetryPolicy::io(),
+        )?;
         Ok(path)
     }
 
@@ -772,18 +773,18 @@ impl CampaignJournal {
     }
 
     /// Appends one completed case and flushes it to disk immediately —
-    /// an interruption right after a case finishes loses nothing.
+    /// an interruption right after a case finishes loses nothing. The
+    /// append goes through the fault-injectable I/O layer, which both
+    /// repairs a torn trailing line (starts the new entry on a fresh
+    /// line) and rolls back its own partial appends.
     pub fn record(&mut self, entry: JournalEntry) -> Result<(), std::io::Error> {
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        if self.needs_newline {
-            file.write_all(b"\n")?;
-            self.needs_newline = false;
-        }
-        file.write_all(render_journal_line(&entry).as_bytes())?;
-        file.flush()?;
+        crate::fsio::append_line(
+            &self.path,
+            render_journal_line(&entry).trim_end_matches('\n'),
+            crate::fsio::points::JOURNAL_APPEND,
+            &crate::fsio::RetryPolicy::io(),
+        )?;
+        self.needs_newline = false;
         self.completed.insert(entry.hash.clone(), entry);
         Ok(())
     }

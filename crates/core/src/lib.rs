@@ -19,6 +19,7 @@
 
 pub mod artifact;
 pub mod explain;
+pub mod fsio;
 pub mod mapping;
 pub mod minimize;
 pub mod msgpool;

@@ -14,10 +14,11 @@
 use std::fmt;
 use std::fs;
 use std::io;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use super::procs::pid_alive;
+use super::procs::{same_process, self_token};
+use crate::fsio;
+use crate::fsio::points;
 
 /// Why a [`DirLock`] could not be acquired.
 #[derive(Debug)]
@@ -61,51 +62,62 @@ pub struct DirLock {
 
 impl DirLock {
     /// Acquires `dir/file_name` exclusively for this process, creating
-    /// `dir` if needed. A lock owned by a dead pid (or with unreadable
-    /// content, i.e. a write interrupted before the pid landed) is
-    /// removed and re-acquired.
+    /// `dir` if needed. A lock owned by a dead pid, a *recycled* pid
+    /// (start-token mismatch), or with unreadable content (a write
+    /// interrupted before the pid landed) is removed and re-acquired.
+    /// Transient I/O failures of the exclusive create are retried
+    /// under the unified policy.
     pub fn acquire(dir: &Path, file_name: &str) -> Result<Self, LockError> {
         fs::create_dir_all(dir)?;
         let path = dir.join(file_name);
-        // Two rounds: the second one retries after a stale takeover.
-        // Losing the re-create race means someone else took the stale
-        // lock over first — report them as the owner.
-        for round in 0..2 {
-            match fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut file) => {
-                    let _ = writeln!(file, "{}", std::process::id());
-                    let _ = file.flush();
-                    return Ok(DirLock { path, held: true });
-                }
+        let body = match self_token() {
+            Some(tok) => format!("{} tok={tok}\n", std::process::id()),
+            None => format!("{}\n", std::process::id()),
+        };
+        let retry = fsio::RetryPolicy::io();
+        let mut io_failures = 0;
+        let mut takeover_done = false;
+        loop {
+            match fsio::create_exclusive(&path, body.as_bytes(), points::LOCK_CREATE) {
+                Ok(()) => return Ok(DirLock { path, held: true }),
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let owner = read_owner_pid(&path);
+                    let owner = read_owner(&path);
                     match owner {
-                        Some(pid) if pid_alive(pid) => {
+                        Some((pid, tok)) if owner_alive(pid, tok) => {
                             return Err(LockError::Held {
                                 path,
                                 owner_pid: pid,
                             })
                         }
-                        // Dead owner or torn content: stale either way.
-                        _ if round == 0 => {
+                        // Dead/recycled owner or torn content: stale
+                        // either way. One takeover attempt; losing the
+                        // re-create race afterwards means someone else
+                        // took the stale lock over first.
+                        _ if !takeover_done => {
+                            takeover_done = true;
                             let _ = fs::remove_file(&path);
                         }
                         _ => {
                             return Err(LockError::Held {
                                 path,
-                                owner_pid: owner.unwrap_or(0),
+                                owner_pid: owner.map(|(pid, _)| pid).unwrap_or(0),
                             })
                         }
                     }
                 }
-                Err(e) => return Err(LockError::Io(e)),
+                Err(e) => {
+                    // The create itself failed (injected fault or real
+                    // I/O error), possibly leaving torn debris we own:
+                    // remove it and retry.
+                    let _ = fs::remove_file(&path);
+                    io_failures += 1;
+                    if io_failures >= retry.attempts.max(1) {
+                        return Err(LockError::Io(e));
+                    }
+                    std::thread::sleep(retry.delay(io_failures - 1, fsio::is_enospc(&e)));
+                }
             }
         }
-        Err(LockError::Held { path, owner_pid: 0 })
     }
 
     /// The lock file's path.
@@ -122,14 +134,24 @@ impl Drop for DirLock {
     }
 }
 
-/// The pid recorded in a lock file, if it parses.
-fn read_owner_pid(path: &Path) -> Option<u32> {
-    fs::read_to_string(path)
-        .ok()?
-        .split_whitespace()
-        .next()?
-        .parse()
-        .ok()
+/// The pid (and optional start token) recorded in a lock file, if it
+/// parses. Locks written before token recording carry only the pid.
+fn read_owner(path: &Path) -> Option<(u32, Option<u64>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut parts = text.split_whitespace();
+    let pid = parts.next()?.parse().ok()?;
+    let tok = parts
+        .next()
+        .and_then(|t| t.strip_prefix("tok="))
+        .and_then(|t| t.parse().ok());
+    Some((pid, tok))
+}
+
+/// Whether the recorded owner is the *same process* that wrote the
+/// lock: pid alive, and (when both sides have start tokens) the same
+/// incarnation of that pid.
+fn owner_alive(pid: u32, recorded_token: Option<u64>) -> bool {
+    same_process(pid, recorded_token)
 }
 
 #[cfg(test)]

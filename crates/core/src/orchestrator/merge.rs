@@ -87,10 +87,17 @@ pub struct MergeInputs<'a> {
     pub completed: bool,
 }
 
+/// Canonical outputs go through the fault-injectable atomic writer so
+/// chaos campaigns exercise the merge's crash-consistency too.
 fn write_atomic(dir: &Path, name: &str, content: &str) -> io::Result<()> {
-    let tmp = dir.join(format!("{name}.tmp-{}", std::process::id()));
-    fs::write(&tmp, content)?;
-    fs::rename(&tmp, dir.join(name))
+    crate::fsio::write_atomic(
+        dir,
+        name,
+        content.as_bytes(),
+        crate::fsio::points::MERGE_WRITE,
+        &crate::fsio::RetryPolicy::io(),
+    )
+    .map(|_| ())
 }
 
 /// Resolves one verdict per unique case hash: the entry from the shard

@@ -40,10 +40,12 @@ pub use lock::{DirLock, LockError};
 pub use merge::{merge_campaign, MergeInputs, MergeReport};
 pub use plan::{CampaignPlan, PlanCase, PLAN_FILE_NAME};
 pub use procs::{
-    ignore_sigint, install_sigint_flag, pid_alive, send_signal, sigkill_self, SIGINT, SIGKILL,
+    ignore_sigint, install_sigint_flag, pid_alive, proc_start_token, same_process, self_token,
+    send_signal, sigkill_self, SIGINT, SIGKILL,
 };
 pub use supervisor::{
-    supervise, sweep_dead_leases, CampaignOutcome, SupervisorConfig, EXIT_PLAN_MISMATCH,
+    adoptable_workers, supervise, sweep_dead_leases, CampaignOutcome, SupervisorConfig,
+    SupervisorEvent, SupervisorJournal, EXIT_PLAN_MISMATCH, INJECT_SUPERVISOR_CRASH_ENV,
 };
 pub use worker::{
     clear_drain_marker, drain_requested, load_crashes, load_poisoned, record_worker_crash,

@@ -13,7 +13,6 @@
 
 use std::fs;
 use std::io;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// File name of the plan inside a campaign directory.
@@ -85,18 +84,30 @@ impl CampaignPlan {
         out
     }
 
-    /// Atomically writes the plan into `dir` (temp + rename).
-    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(PLAN_FILE_NAME);
-        let tmp = dir.join(format!("{PLAN_FILE_NAME}.tmp-{}", std::process::id()));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.render().as_bytes())?;
-            f.flush()?;
+    /// A short, stable fingerprint of the plan (FNV-1a over the
+    /// serialized form, hex). Pinned into every lease and supervisor
+    /// journal record so a re-elected supervisor and lease stealers
+    /// can prove two processes agree on the campaign epoch without
+    /// re-reading and re-comparing the whole plan.
+    pub fn stable_hash(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        fs::rename(&tmp, &path)?;
-        Ok(path)
+        format!("{h:016x}")
+    }
+
+    /// Atomically writes the plan into `dir` (size-verified temp +
+    /// rename via the fault-injectable I/O layer).
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        crate::fsio::write_atomic(
+            dir,
+            PLAN_FILE_NAME,
+            self.render().as_bytes(),
+            crate::fsio::points::PLAN_WRITE,
+            &crate::fsio::RetryPolicy::io(),
+        )
     }
 
     /// Parses a serialized plan.
@@ -290,6 +301,16 @@ mod tests {
         let mut other = plan.clone();
         other.target = "zab".into();
         assert!(plan.verify_matches(&other).unwrap_err().contains("target"));
+    }
+
+    #[test]
+    fn stable_hash_tracks_content() {
+        let plan = sample();
+        assert_eq!(plan.stable_hash(), plan.clone().stable_hash());
+        assert_eq!(plan.stable_hash().len(), 16);
+        let mut other = plan.clone();
+        other.cases[0].hash = "ffffffffffffffff".into();
+        assert_ne!(plan.stable_hash(), other.stable_hash());
     }
 
     #[test]

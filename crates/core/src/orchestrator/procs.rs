@@ -69,6 +69,49 @@ pub fn send_signal(pid: u32, sig: i32) -> bool {
     }
 }
 
+/// A token distinguishing *this incarnation* of `pid` from a later
+/// process that recycled the same pid. On Linux this is the process
+/// start time (field 22 of `/proc/<pid>/stat`, in clock ticks since
+/// boot) — stable for the process's lifetime, different for any
+/// successor. `None` where no such marker is available (non-Linux, or
+/// the process vanished mid-read); callers must then fall back to
+/// `pid_alive` alone.
+pub fn proc_start_token(pid: u32) -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+        // comm (field 2) may contain spaces and parentheses; fields
+        // 3.. start after the *last* ')'.
+        let rest = &stat[stat.rfind(')')? + 1..];
+        // rest begins at field 3 (`state`); starttime is field 22.
+        rest.split_whitespace().nth(19)?.parse().ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
+}
+
+/// [`proc_start_token`] for the current process.
+pub fn self_token() -> Option<u64> {
+    proc_start_token(std::process::id())
+}
+
+/// Whether `pid` is alive *and* still the incarnation that `recorded`
+/// its start token. A recycled pid (same number, later process) fails
+/// the token comparison; where either side lacks a token the check
+/// degrades to plain liveness.
+pub fn same_process(pid: u32, recorded: Option<u64>) -> bool {
+    if !pid_alive(pid) {
+        return false;
+    }
+    match (recorded, proc_start_token(pid)) {
+        (Some(recorded), Some(live)) => recorded == live,
+        _ => true,
+    }
+}
+
 /// The flag [`install_sigint_flag`] latches. Static because a signal
 /// handler cannot carry state.
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
@@ -134,6 +177,20 @@ mod tests {
         // The child is reaped: its pid no longer exists (modulo pid
         // reuse, which a fresh wait makes overwhelmingly unlikely).
         assert!(!pid_alive(pid));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn start_token_is_stable_for_self_and_absent_for_dead_pid() {
+        let a = self_token().expect("linux always has /proc/self/stat");
+        let b = self_token().expect("second read");
+        assert_eq!(a, b, "start token must be stable across reads");
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn /bin/true");
+        let pid = child.id();
+        child.wait().expect("wait");
+        assert_eq!(proc_start_token(pid), None, "reaped pid has no token");
     }
 
     #[cfg(unix)]

@@ -1,11 +1,19 @@
 //! The campaign supervisor: spawns crash-isolated workers, restarts
-//! the dead, kills the hung, and converts SIGINT into a graceful
-//! drain.
+//! the dead, kills the hung, converts SIGINT into a graceful drain —
+//! and survives being SIGKILLed itself.
 //!
-//! The supervisor itself never touches cases. It owns process
-//! lifecycle only; all work-queue state lives in the shard lease
-//! files, so a supervisor crash loses nothing either — re-running the
-//! campaign resumes from the journals.
+//! The supervisor never touches cases. It owns process lifecycle only;
+//! all work-queue state lives in the shard lease files, so a
+//! supervisor crash loses nothing — re-running the campaign on the
+//! same directory resumes from the journals. To make that resumption
+//! seamless the supervisor keeps its own append-only journal
+//! (`supervisor.log`): every election, spawn and reap is recorded with
+//! the pid, its start token and the pinned plan hash. A re-elected
+//! supervisor replays the journal, finds workers from the previous
+//! incarnation that are still alive (pid *and* start token must match,
+//! so a recycled pid is never adopted) and takes them over instead of
+//! spawning doubles; dead slots are restarted under the unified
+//! [`RetryPolicy`].
 //!
 //! Hang detection is two-pronged. A frozen worker (SIGSTOP, swap
 //! death) stops heartbeating, its lease mtime goes stale past the
@@ -24,14 +32,27 @@ use std::process::Child;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant, SystemTime};
 
+use crate::fsio;
+use crate::fsio::points;
+use crate::fsio::RetryPolicy;
+
 use super::lease::{done_path, lease_path, shards_dir, LeaseConfig, LeaseInfo};
-use super::procs::install_sigint_flag;
+use super::procs::{install_sigint_flag, same_process, self_token, send_signal, SIGKILL};
 use super::worker::{drain_requested, request_drain};
 
 /// Worker exit code declaring the pinned plan inconsistent with what
 /// the worker regenerated — fatal for the whole campaign, never
 /// retried (a restart would fail identically).
 pub const EXIT_PLAN_MISMATCH: i32 = 64;
+
+/// Test hook: when set to a shard count `N`, the supervisor SIGKILLs
+/// *itself* the first time it observes at least `N` retired shards.
+/// One-shot per campaign directory (guarded by the
+/// `supervisor-crash-injected` marker), so the re-run that takes over
+/// is not crashed again.
+pub const INJECT_SUPERVISOR_CRASH_ENV: &str = "MOCKET_CAMPAIGN_INJECT_SUPERVISOR_CRASH";
+
+const INJECT_SUPERVISOR_CRASH_MARKER: &str = "supervisor-crash-injected";
 
 /// Supervisor configuration.
 #[derive(Debug, Clone)]
@@ -45,11 +66,14 @@ pub struct SupervisorConfig {
     /// How long one case may stay in flight on a fresh lease before
     /// its worker counts as hung and is SIGKILLed.
     pub hang_timeout: Duration,
-    /// Restart budget per worker slot (exponential backoff between
-    /// restarts).
-    pub max_restarts: usize,
-    /// First restart delay; doubled per restart, capped at 5s.
-    pub backoff_base: Duration,
+    /// Restart budget and backoff per worker slot (the unified retry
+    /// policy shape: `attempts` restarts, exponential backoff from
+    /// `backoff` capped at `max_backoff`).
+    pub restart: RetryPolicy,
+    /// The pinned plan's stable hash, recorded in the supervisor
+    /// journal so a re-elected supervisor only adopts workers from the
+    /// same campaign epoch.
+    pub plan_hash: String,
     /// Render progress lines to stderr.
     pub progress: bool,
 }
@@ -61,8 +85,12 @@ impl Default for SupervisorConfig {
             workers: 2,
             lease: LeaseConfig::default(),
             hang_timeout: Duration::from_secs(30),
-            max_restarts: 5,
-            backoff_base: Duration::from_millis(50),
+            restart: RetryPolicy {
+                attempts: 5,
+                backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_secs(5),
+            },
+            plan_hash: String::new(),
             progress: false,
         }
     }
@@ -82,6 +110,8 @@ pub struct CampaignOutcome {
     pub restarts: usize,
     /// Workers SIGKILLed for hanging.
     pub hung_killed: usize,
+    /// Live workers adopted from a previous supervisor incarnation.
+    pub adopted: usize,
     /// A fatal condition (plan mismatch, exhausted restart budget).
     /// The campaign directory stays resumable regardless.
     pub fatal: Option<String>,
@@ -94,8 +124,257 @@ impl CampaignOutcome {
     }
 }
 
+/// One record in the supervisor journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// A supervisor took over the campaign directory.
+    Elect {
+        /// The supervisor's pid.
+        pid: u32,
+        /// Its start token, when the platform provides one.
+        token: Option<u64>,
+        /// The plan hash it runs under.
+        plan: String,
+    },
+    /// A worker process was spawned (or adopted — an adoption re-logs
+    /// the worker under the new supervisor so the *next* incarnation
+    /// still finds it).
+    Spawn {
+        /// Worker slot id.
+        worker: usize,
+        /// The worker's pid.
+        pid: u32,
+        /// Its start token.
+        token: Option<u64>,
+        /// The plan hash it was launched under.
+        plan: String,
+    },
+    /// A worker exit was observed.
+    Reap {
+        /// Worker slot id.
+        worker: usize,
+        /// The pid that exited.
+        pid: u32,
+    },
+}
+
+fn render_token(token: Option<u64>) -> String {
+    match token {
+        Some(t) => t.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl SupervisorEvent {
+    /// Renders the single journal line for this event (no newline).
+    pub fn render_line(&self) -> String {
+        match self {
+            SupervisorEvent::Elect { pid, token, plan } => {
+                format!("elect pid={pid} tok={} plan={plan}", render_token(*token))
+            }
+            SupervisorEvent::Spawn {
+                worker,
+                pid,
+                token,
+                plan,
+            } => format!(
+                "spawn worker={worker} pid={pid} tok={} plan={plan}",
+                render_token(*token)
+            ),
+            SupervisorEvent::Reap { worker, pid } => {
+                format!("reap worker={worker} pid={pid}")
+            }
+        }
+    }
+
+    /// Parses one journal line. `None` for anything malformed — a torn
+    /// append salvages to "skip the line", never a panic.
+    pub fn parse_line(line: &str) -> Option<SupervisorEvent> {
+        let mut fields = HashMap::new();
+        let mut parts = line.split_whitespace();
+        let head = parts.next()?;
+        for tok in parts {
+            let (k, v) = tok.split_once('=')?;
+            fields.insert(k, v);
+        }
+        let pid: u32 = fields.get("pid")?.parse().ok()?;
+        let token = match fields.get("tok") {
+            Some(&"-") | None => None,
+            Some(t) => Some(t.parse().ok()?),
+        };
+        match head {
+            "elect" => Some(SupervisorEvent::Elect {
+                pid,
+                token,
+                plan: fields.get("plan")?.to_string(),
+            }),
+            "spawn" => Some(SupervisorEvent::Spawn {
+                worker: fields.get("worker")?.parse().ok()?,
+                pid,
+                token,
+                plan: fields.get("plan")?.to_string(),
+            }),
+            "reap" => Some(SupervisorEvent::Reap {
+                worker: fields.get("worker")?.parse().ok()?,
+                pid,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The supervisor's append-only journal (`supervisor.log`): process
+/// lifecycle facts a re-elected supervisor needs to adopt the previous
+/// incarnation's live workers. Appends flow through the
+/// fault-injectable I/O layer; loading salvages the valid prefix and
+/// skips torn or garbage lines.
+pub struct SupervisorJournal {
+    path: PathBuf,
+}
+
+impl SupervisorJournal {
+    /// The journal's file name inside a campaign directory.
+    pub const FILE_NAME: &'static str = "supervisor.log";
+
+    /// Opens (creating lazily on first append) the journal in `dir`.
+    pub fn open(dir: &Path) -> SupervisorJournal {
+        SupervisorJournal {
+            path: dir.join(Self::FILE_NAME),
+        }
+    }
+
+    /// Appends one event. Best-effort callers may ignore the error —
+    /// losing a journal line degrades adoption (a doubled worker loses
+    /// the lease race and idles), never correctness.
+    pub fn append(&self, event: &SupervisorEvent) -> io::Result<()> {
+        fsio::append_line(
+            &self.path,
+            &event.render_line(),
+            points::SUPERVISOR_JOURNAL,
+            &RetryPolicy::io(),
+        )
+    }
+
+    /// Loads every parseable event in `dir`'s journal, plus the count
+    /// of lines skipped as unparseable (torn appends, garbage).
+    pub fn load(dir: &Path) -> (Vec<SupervisorEvent>, usize) {
+        let text = match fs::read_to_string(dir.join(Self::FILE_NAME)) {
+            Ok(text) => text,
+            Err(_) => return (Vec::new(), 0),
+        };
+        let mut events = Vec::new();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match SupervisorEvent::parse_line(line) {
+                Some(ev) => events.push(ev),
+                None => skipped += 1,
+            }
+        }
+        (events, skipped)
+    }
+}
+
+/// Workers from a previous supervisor incarnation that are still the
+/// same live process (pid + start token) and ran under `plan_hash`:
+/// worker slot id → (pid, token). Computed by replaying the journal —
+/// the last un-reaped spawn per slot is the candidate.
+pub fn adoptable_workers(dir: &Path, plan_hash: &str) -> HashMap<usize, (u32, Option<u64>)> {
+    let (events, _) = SupervisorJournal::load(dir);
+    let mut last: HashMap<usize, (u32, Option<u64>, String)> = HashMap::new();
+    for ev in events {
+        match ev {
+            SupervisorEvent::Spawn {
+                worker,
+                pid,
+                token,
+                plan,
+            } => {
+                last.insert(worker, (pid, token, plan));
+            }
+            SupervisorEvent::Reap { worker, pid } => {
+                if last.get(&worker).map(|(p, _, _)| *p) == Some(pid) {
+                    last.remove(&worker);
+                }
+            }
+            SupervisorEvent::Elect { .. } => {}
+        }
+    }
+    last.into_iter()
+        .filter(|(_, (pid, token, plan))| {
+            plan == plan_hash && *pid != std::process::id() && same_process(*pid, *token)
+        })
+        .map(|(worker, (pid, token, _))| (worker, (pid, token)))
+        .collect()
+}
+
+/// A worker process under supervision: either our own child, or a
+/// live orphan adopted from the previous supervisor incarnation.
+enum WorkerProc {
+    Child(Child),
+    Adopted { pid: u32, token: Option<u64> },
+}
+
+/// What a finished worker process reported.
+enum WorkerExit {
+    Success,
+    PlanMismatch,
+    Died(String),
+}
+
+impl WorkerProc {
+    fn pid(&self) -> u32 {
+        match self {
+            WorkerProc::Child(child) => child.id(),
+            WorkerProc::Adopted { pid, .. } => *pid,
+        }
+    }
+
+    /// Non-blocking exit poll. `None` while still running. An adopted
+    /// worker's exit status is unobservable (we are not its parent):
+    /// its disappearance reports as a death, and the restarted worker
+    /// simply finds no unclaimed shard if the orphan actually finished.
+    fn poll(&mut self) -> io::Result<Option<WorkerExit>> {
+        match self {
+            WorkerProc::Child(child) => match child.try_wait()? {
+                None => Ok(None),
+                Some(status) if status.success() => Ok(Some(WorkerExit::Success)),
+                Some(status) if status.code() == Some(EXIT_PLAN_MISMATCH) => {
+                    Ok(Some(WorkerExit::PlanMismatch))
+                }
+                Some(status) => Ok(Some(WorkerExit::Died(status.to_string()))),
+            },
+            WorkerProc::Adopted { pid, token } => {
+                if same_process(*pid, *token) {
+                    Ok(None)
+                } else {
+                    Ok(Some(WorkerExit::Died(format!("adopted pid {pid} gone"))))
+                }
+            }
+        }
+    }
+
+    fn kill(&mut self) {
+        match self {
+            WorkerProc::Child(child) => {
+                let _ = child.kill();
+            }
+            WorkerProc::Adopted { pid, token } => {
+                // Only if it is still the process we adopted: never
+                // SIGKILL a recycled pid.
+                if same_process(*pid, *token) {
+                    send_signal(*pid, SIGKILL);
+                }
+            }
+        }
+    }
+}
+
 struct Slot {
-    child: Option<Child>,
+    proc: Option<WorkerProc>,
     restarts: usize,
     next_restart: Option<Instant>,
     /// Exited cleanly (0) or gave up; never respawned.
@@ -106,6 +385,11 @@ struct Slot {
 struct InflightWatch {
     case: usize,
     pid: u32,
+    /// Lease heartbeat counter when the case was first observed; a
+    /// counter that *moves* while the case stays pinned proves the
+    /// heartbeat thread is alive and the worker thread is stuck — the
+    /// precise hang signature.
+    hb: u64,
     since: Instant,
 }
 
@@ -126,10 +410,41 @@ fn read_lease_raw(path: &Path) -> Option<(LeaseInfo, Duration)> {
     Some((info, age))
 }
 
+/// Fires the one-shot injected supervisor crash when armed and the
+/// retired-shard threshold is reached. The marker is created with a
+/// *plain* (never fault-injected) exclusive create so the injection
+/// gate itself cannot be disturbed by the chaos layer.
+fn maybe_inject_supervisor_crash(campaign_dir: &Path, shards_done: usize) {
+    let Ok(raw) = std::env::var(INJECT_SUPERVISOR_CRASH_ENV) else {
+        return;
+    };
+    let Ok(threshold) = raw.trim().parse::<usize>() else {
+        return;
+    };
+    if shards_done < threshold {
+        return;
+    }
+    let marker = campaign_dir.join(INJECT_SUPERVISOR_CRASH_MARKER);
+    if fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&marker)
+        .is_ok()
+    {
+        eprintln!("[mocket-campaign] injected supervisor crash at {shards_done} shards done");
+        super::procs::sigkill_self();
+    }
+}
+
 /// Runs the supervision loop until the campaign completes, drains, or
 /// hits a fatal condition. `spawn_worker` launches worker `id` (same
 /// binary, hidden subcommand) with its output redirected wherever the
 /// caller wants it.
+///
+/// On entry the supervisor records its election in `supervisor.log`
+/// and adopts any still-live workers a previous (crashed) supervisor
+/// left behind, so `kill -9` on the supervisor followed by a re-run of
+/// the same command is a seamless takeover, not a cold start.
 pub fn supervise(
     cfg: &SupervisorConfig,
     shard_count: usize,
@@ -143,10 +458,47 @@ pub fn supervise(
         }
     };
 
+    let journal = SupervisorJournal::open(&cfg.campaign_dir);
+    let adoptable = adoptable_workers(&cfg.campaign_dir, &cfg.plan_hash);
+    let _ = journal.append(&SupervisorEvent::Elect {
+        pid: std::process::id(),
+        token: self_token(),
+        plan: cfg.plan_hash.clone(),
+    });
+
+    let mut adopted_total = 0usize;
     let mut slots: Vec<Slot> = Vec::with_capacity(cfg.workers.max(1));
     for id in 0..cfg.workers.max(1) {
+        let proc = match adoptable.get(&id) {
+            Some(&(pid, token)) => {
+                progress(&format!(
+                    "adopting live worker {id} (pid {pid}) from previous supervisor"
+                ));
+                adopted_total += 1;
+                // Re-log under this incarnation so the *next* takeover
+                // still sees it.
+                let _ = journal.append(&SupervisorEvent::Spawn {
+                    worker: id,
+                    pid,
+                    token,
+                    plan: cfg.plan_hash.clone(),
+                });
+                WorkerProc::Adopted { pid, token }
+            }
+            None => {
+                let child = spawn_worker(id)?;
+                let pid = child.id();
+                let _ = journal.append(&SupervisorEvent::Spawn {
+                    worker: id,
+                    pid,
+                    token: super::procs::proc_start_token(pid),
+                    plan: cfg.plan_hash.clone(),
+                });
+                WorkerProc::Child(child)
+            }
+        };
         slots.push(Slot {
-            child: Some(spawn_worker(id)?),
+            proc: Some(proc),
             restarts: 0,
             next_restart: None,
             finished: false,
@@ -158,6 +510,7 @@ pub fn supervise(
     let mut fatal: Option<String> = None;
     let mut inflight: HashMap<usize, InflightWatch> = HashMap::new();
     let tick = Duration::from_millis(100);
+    let max_restarts = cfg.restart.attempts;
 
     loop {
         // SIGINT → drain marker, once. Workers ignore SIGINT
@@ -168,47 +521,53 @@ pub fn supervise(
         }
         let draining = drain_requested(&cfg.campaign_dir);
         let shards_done = count_done(&cfg.campaign_dir, shard_count);
+        maybe_inject_supervisor_crash(&cfg.campaign_dir, shards_done);
         let work_left = shards_done < shard_count;
 
         // Reap exits; decide restarts.
         for (id, slot) in slots.iter_mut().enumerate() {
-            let Some(child) = slot.child.as_mut() else {
+            let Some(proc) = slot.proc.as_mut() else {
                 continue;
             };
-            match child.try_wait()? {
+            let pid = proc.pid();
+            match proc.poll()? {
                 None => {}
-                Some(status) => {
-                    slot.child = None;
-                    if status.success() {
-                        slot.finished = true;
-                    } else if status.code() == Some(EXIT_PLAN_MISMATCH) {
-                        slot.finished = true;
-                        if fatal.is_none() {
-                            fatal = Some(format!(
-                                "worker {id} reports a plan mismatch (exit {EXIT_PLAN_MISMATCH}); \
-                                 the campaign directory belongs to a different target/bounds"
-                            ));
-                            // Stop the others at their next boundary.
-                            request_drain(&cfg.campaign_dir)?;
-                        }
-                    } else if work_left && !draining && fatal.is_none() {
-                        if slot.restarts < cfg.max_restarts {
-                            let exp = slot.restarts.min(16) as u32;
-                            let delay =
-                                (cfg.backoff_base * 2u32.pow(exp)).min(Duration::from_secs(5));
-                            progress(&format!(
-                                "worker {id} died ({status}); restart #{} in {delay:?}",
-                                slot.restarts + 1
-                            ));
-                            slot.next_restart = Some(Instant::now() + delay);
-                        } else {
-                            progress(&format!(
-                                "worker {id} died ({status}); restart budget exhausted"
-                            ));
+                Some(exit) => {
+                    slot.proc = None;
+                    let _ = journal.append(&SupervisorEvent::Reap { worker: id, pid });
+                    match exit {
+                        WorkerExit::Success => slot.finished = true,
+                        WorkerExit::PlanMismatch => {
                             slot.finished = true;
+                            if fatal.is_none() {
+                                fatal = Some(format!(
+                                    "worker {id} reports a plan mismatch (exit \
+                                     {EXIT_PLAN_MISMATCH}); the campaign directory \
+                                     belongs to a different target/bounds"
+                                ));
+                                // Stop the others at their next boundary.
+                                request_drain(&cfg.campaign_dir)?;
+                            }
                         }
-                    } else {
-                        slot.finished = true;
+                        WorkerExit::Died(status) => {
+                            if work_left && !draining && fatal.is_none() {
+                                if slot.restarts < max_restarts {
+                                    let delay = cfg.restart.delay(slot.restarts, false);
+                                    progress(&format!(
+                                        "worker {id} died ({status}); restart #{} in {delay:?}",
+                                        slot.restarts + 1
+                                    ));
+                                    slot.next_restart = Some(Instant::now() + delay);
+                                } else {
+                                    progress(&format!(
+                                        "worker {id} died ({status}); restart budget exhausted"
+                                    ));
+                                    slot.finished = true;
+                                }
+                            } else {
+                                slot.finished = true;
+                            }
+                        }
                     }
                 }
             }
@@ -217,13 +576,21 @@ pub fn supervise(
         // Fire due restarts.
         if work_left && !draining && fatal.is_none() {
             for (id, slot) in slots.iter_mut().enumerate() {
-                if slot.child.is_none() && !slot.finished {
+                if slot.proc.is_none() && !slot.finished {
                     if let Some(due) = slot.next_restart {
                         if Instant::now() >= due {
                             slot.next_restart = None;
                             slot.restarts += 1;
                             restarts_total += 1;
-                            slot.child = Some(spawn_worker(id)?);
+                            let child = spawn_worker(id)?;
+                            let pid = child.id();
+                            let _ = journal.append(&SupervisorEvent::Spawn {
+                                worker: id,
+                                pid,
+                                token: super::procs::proc_start_token(pid),
+                                plan: cfg.plan_hash.clone(),
+                            });
+                            slot.proc = Some(WorkerProc::Child(child));
                         }
                     }
                 }
@@ -232,11 +599,12 @@ pub fn supervise(
 
         // Hung-worker detection: a lease whose *same* in-flight case
         // has been pinned past hang_timeout (heartbeat thread may well
-        // still be refreshing the mtime), or whose mtime went stale
-        // past the TTL while its pid is one of our live children.
+        // still be refreshing the mtime and bumping the counter), or
+        // whose heartbeat went stale past the TTL while its pid is one
+        // of our live workers.
         let own_pids: Vec<u32> = slots
             .iter()
-            .filter_map(|s| s.child.as_ref().map(|c| c.id()))
+            .filter_map(|s| s.proc.as_ref().map(|p| p.pid()))
             .collect();
         for shard in 0..shard_count {
             let path = lease_path(&cfg.campaign_dir, shard);
@@ -253,14 +621,22 @@ pub fn supervise(
                     let watch = inflight.entry(shard).or_insert_with(|| InflightWatch {
                         case,
                         pid: info.pid,
+                        hb: info.hb,
                         since: Instant::now(),
                     });
                     if watch.case != case || watch.pid != info.pid {
                         *watch = InflightWatch {
                             case,
                             pid: info.pid,
+                            hb: info.hb,
                             since: Instant::now(),
                         };
+                    } else if info.hb > watch.hb {
+                        // Heartbeat still moving under the pinned case:
+                        // the classic hung-worker signature. Track the
+                        // counter so a *frozen* worker (counter stuck)
+                        // is left to the mtime-staleness path instead.
+                        watch.hb = info.hb;
                     }
                     watch.since.elapsed() > cfg.hang_timeout
                 }
@@ -269,16 +645,16 @@ pub fn supervise(
                     false
                 }
             };
-            if hung_case || age > cfg.lease.ttl {
+            if hung_case || age > cfg.lease.ttl + cfg.lease.mtime_slack() {
                 for slot in slots.iter_mut() {
-                    if let Some(child) = slot.child.as_mut() {
-                        if child.id() == info.pid {
+                    if let Some(proc) = slot.proc.as_mut() {
+                        if proc.pid() == info.pid {
                             progress(&format!(
                                 "worker pid {} hung on shard {shard} \
                                  (case pinned or heartbeat stale); killing",
                                 info.pid
                             ));
-                            let _ = child.kill();
+                            proc.kill();
                             hung_killed += 1;
                         }
                     }
@@ -287,10 +663,10 @@ pub fn supervise(
             }
         }
 
-        let running = slots.iter().filter(|s| s.child.is_some()).count();
+        let running = slots.iter().filter(|s| s.proc.is_some()).count();
         let pending_restart = slots
             .iter()
-            .any(|s| s.child.is_none() && !s.finished && s.next_restart.is_some());
+            .any(|s| s.proc.is_none() && !s.finished && s.next_restart.is_some());
         let shards_done = count_done(&cfg.campaign_dir, shard_count);
 
         if shards_done == shard_count && running == 0 {
@@ -300,6 +676,7 @@ pub fn supervise(
                 shard_count,
                 restarts: restarts_total,
                 hung_killed,
+                adopted: adopted_total,
                 fatal,
             });
         }
@@ -310,6 +687,7 @@ pub fn supervise(
                 shard_count,
                 restarts: restarts_total,
                 hung_killed,
+                adopted: adopted_total,
                 fatal,
             });
         }
@@ -322,7 +700,7 @@ pub fn supervise(
             if let Some((id, slot)) = slots
                 .iter_mut()
                 .enumerate()
-                .find(|(_, s)| s.restarts < cfg.max_restarts)
+                .find(|(_, s)| s.restarts < max_restarts)
             {
                 progress(&format!(
                     "shards remain with no workers alive; respawning worker {id}"
@@ -330,7 +708,15 @@ pub fn supervise(
                 slot.finished = false;
                 slot.restarts += 1;
                 restarts_total += 1;
-                slot.child = Some(spawn_worker(id)?);
+                let child = spawn_worker(id)?;
+                let pid = child.id();
+                let _ = journal.append(&SupervisorEvent::Spawn {
+                    worker: id,
+                    pid,
+                    token: super::procs::proc_start_token(pid),
+                    plan: cfg.plan_hash.clone(),
+                });
+                slot.proc = Some(WorkerProc::Child(child));
             } else if fatal.is_none() {
                 return Ok(CampaignOutcome {
                     drained: false,
@@ -338,6 +724,7 @@ pub fn supervise(
                     shard_count,
                     restarts: restarts_total,
                     hung_killed,
+                    adopted: adopted_total,
                     fatal: Some(
                         "all workers exhausted their restart budget with shards \
                          remaining; re-run the campaign to resume"
@@ -361,9 +748,208 @@ pub fn sweep_dead_leases(campaign_dir: &Path, shard_count: usize) {
     for shard in 0..shard_count {
         let path = lease_path(campaign_dir, shard);
         if let Some((info, _)) = read_lease_raw(&path) {
-            if !super::procs::pid_alive(info.pid) {
+            if !same_process(info.pid, info.token) {
                 let _ = fs::remove_file(&path);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mocket-supjournal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn supervisor_event_line_roundtrip() {
+        for ev in [
+            SupervisorEvent::Elect {
+                pid: 42,
+                token: Some(123456),
+                plan: "aabbccdd00112233".into(),
+            },
+            SupervisorEvent::Elect {
+                pid: 42,
+                token: None,
+                plan: "aabbccdd00112233".into(),
+            },
+            SupervisorEvent::Spawn {
+                worker: 3,
+                pid: 77,
+                token: Some(9),
+                plan: "ffff000011112222".into(),
+            },
+            SupervisorEvent::Reap { worker: 3, pid: 77 },
+        ] {
+            let line = ev.render_line();
+            assert_eq!(SupervisorEvent::parse_line(&line), Some(ev), "{line}");
+        }
+    }
+
+    #[test]
+    fn supervisor_event_parse_rejects_garbage() {
+        for bad in [
+            "",
+            "elect",
+            "spawn worker=1",
+            "spawn worker=x pid=3 tok=- plan=aa",
+            "reap pid=3",
+            "nonsense pid=3",
+            "elect pid=zz tok=- plan=aa",
+        ] {
+            assert_eq!(SupervisorEvent::parse_line(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn journal_salvages_valid_prefix_and_skips_torn_lines() {
+        let dir = tmp("salvage");
+        let j = SupervisorJournal::open(&dir);
+        j.append(&SupervisorEvent::Elect {
+            pid: 1,
+            token: None,
+            plan: "p".into(),
+        })
+        .unwrap();
+        j.append(&SupervisorEvent::Spawn {
+            worker: 0,
+            pid: 2,
+            token: Some(5),
+            plan: "p".into(),
+        })
+        .unwrap();
+        // Simulate a torn append: garbage without a newline at the end.
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(SupervisorJournal::FILE_NAME))
+            .unwrap();
+        f.write_all(b"spawn worker=1 pid=").unwrap();
+        drop(f);
+        let (events, skipped) = SupervisorJournal::load(&dir);
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 1);
+        // An append after the torn line starts fresh (fsio repairs it).
+        j.append(&SupervisorEvent::Reap { worker: 0, pid: 2 })
+            .unwrap();
+        let (events, skipped) = SupervisorJournal::load(&dir);
+        assert_eq!(events.len(), 3);
+        assert_eq!(skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adoption_finds_live_unreaped_worker_only_for_same_plan() {
+        let dir = tmp("adopt");
+        let j = SupervisorJournal::open(&dir);
+        let my_pid = std::process::id();
+        let my_tok = self_token();
+        // A dead pid: spawn+never reaped, but the process is gone.
+        let mut dead = std::process::Command::new("true").spawn().unwrap();
+        let dead_pid = dead.id();
+        dead.wait().unwrap();
+        // Worker 0: alive (this test process stands in), same plan.
+        j.append(&SupervisorEvent::Spawn {
+            worker: 0,
+            pid: my_pid,
+            token: my_tok,
+            plan: "planA".into(),
+        })
+        .unwrap();
+        // Worker 1: dead.
+        j.append(&SupervisorEvent::Spawn {
+            worker: 1,
+            pid: dead_pid,
+            token: None,
+            plan: "planA".into(),
+        })
+        .unwrap();
+        // Worker 2: alive but a different plan epoch.
+        j.append(&SupervisorEvent::Spawn {
+            worker: 2,
+            pid: my_pid,
+            token: my_tok,
+            plan: "planB".into(),
+        })
+        .unwrap();
+        // Worker 3: alive but reaped.
+        j.append(&SupervisorEvent::Spawn {
+            worker: 3,
+            pid: my_pid,
+            token: my_tok,
+            plan: "planA".into(),
+        })
+        .unwrap();
+        j.append(&SupervisorEvent::Reap {
+            worker: 3,
+            pid: my_pid,
+        })
+        .unwrap();
+        let adoptable = adoptable_workers(&dir, "planA");
+        // Worker 0 is our own pid — excluded (a supervisor never
+        // adopts itself); so nothing survives the filters here...
+        assert!(adoptable.is_empty());
+        // ...unless the pid belongs to another live process. Use a
+        // long-running child to prove the positive case.
+        let mut sleeper = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .unwrap();
+        let pid = sleeper.id();
+        let tok = super::super::procs::proc_start_token(pid);
+        j.append(&SupervisorEvent::Spawn {
+            worker: 4,
+            pid,
+            token: tok,
+            plan: "planA".into(),
+        })
+        .unwrap();
+        let adoptable = adoptable_workers(&dir, "planA");
+        assert_eq!(adoptable.get(&4), Some(&(pid, tok)));
+        let _ = sleeper.kill();
+        let _ = sleeper.wait();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_spawn_supersedes_earlier_one_for_the_same_slot() {
+        let dir = tmp("supersede");
+        let j = SupervisorJournal::open(&dir);
+        let mut sleeper = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .unwrap();
+        let pid = sleeper.id();
+        let tok = super::super::procs::proc_start_token(pid);
+        let mut dead = std::process::Command::new("true").spawn().unwrap();
+        let dead_pid = dead.id();
+        dead.wait().unwrap();
+        j.append(&SupervisorEvent::Spawn {
+            worker: 0,
+            pid,
+            token: tok,
+            plan: "p".into(),
+        })
+        .unwrap();
+        // Restart of slot 0 with a pid that then died: the *last*
+        // spawn is the candidate, and it is dead → nothing to adopt.
+        j.append(&SupervisorEvent::Spawn {
+            worker: 0,
+            pid: dead_pid,
+            token: None,
+            plan: "p".into(),
+        })
+        .unwrap();
+        assert!(adoptable_workers(&dir, "p").is_empty());
+        let _ = sleeper.kill();
+        let _ = sleeper.wait();
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -22,7 +22,6 @@
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -39,6 +38,8 @@ use crate::testcase::TestCase;
 use super::lease::{shard_data_dir, try_claim, ClaimOutcome, LeaseConfig, LeaseHandle, LeaseInfo};
 use super::plan::CampaignPlan;
 use super::procs::sigkill_self;
+use crate::fsio;
+use crate::fsio::points;
 
 /// Transient drain-request marker inside a campaign directory.
 pub const DRAIN_FILE_NAME: &str = "drain";
@@ -189,12 +190,12 @@ fn append_line(path: &Path, line: &str) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let mut f = fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    f.write_all(line.as_bytes())?;
-    f.flush()
+    fsio::append_line(
+        path,
+        line.trim_end_matches('\n'),
+        points::QUARANTINE_APPEND,
+        &fsio::RetryPolicy::io(),
+    )
 }
 
 /// What [`record_worker_crash`] decided.
@@ -344,6 +345,10 @@ pub struct WorkerConfig {
     pub lease: LeaseConfig,
     /// Crash count at which a case is quarantined.
     pub poison_threshold: usize,
+    /// Short hash of the verified campaign plan, pinned into every
+    /// lease this worker writes — so stealers and a re-elected
+    /// supervisor can prove which plan epoch the owner executed.
+    pub plan_hash: String,
     /// Failure injection (test hooks), normally all `None`.
     pub inject: InjectionConfig,
 }
@@ -506,6 +511,17 @@ where
             // instead of all contending for shard 0.
             let shard = (i + cfg.worker_id) % shard_count;
             let mut on_steal = |victim: &LeaseInfo| {
+                if victim.plan.as_deref().is_some_and(|p| p != cfg.plan_hash) {
+                    // The victim verified against a different plan —
+                    // its case indices are not comparable to ours, so
+                    // a crash cannot be attributed safely.
+                    eprintln!(
+                        "[mocket-worker {}] stole shard {shard} from a worker on a \
+                         different plan epoch; crash not attributed",
+                        cfg.worker_id
+                    );
+                    return;
+                }
                 let artifact_for = |idx: usize| poison_artifact(ctx, &graph, idx, victim);
                 match record_worker_crash(
                     &cfg.campaign_dir,
@@ -536,6 +552,7 @@ where
                 shard,
                 cfg.worker_id,
                 &cfg.lease,
+                Some(&cfg.plan_hash),
                 &mut on_steal,
             )? {
                 ClaimOutcome::Done => continue,
@@ -610,7 +627,10 @@ mod tests {
     fn victim(case: usize, hash: &str) -> LeaseInfo {
         LeaseInfo {
             pid: 12345,
+            token: None,
             worker: 0,
+            hb: 0,
+            plan: None,
             case: Some((case, hash.to_string())),
         }
     }
@@ -668,7 +688,10 @@ mod tests {
         // No in-flight case at all: nothing to attribute.
         let idle = LeaseInfo {
             pid: 1,
+            token: None,
             worker: 0,
+            hb: 0,
+            plan: None,
             case: None,
         };
         assert_eq!(

@@ -8,7 +8,7 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use mocket_obs::{
     CampaignHistory, CampaignRecord, CoverageMap, Obs, RunSummary, COVERAGE_FILE_NAME,
@@ -35,40 +35,15 @@ use crate::traversal::{edge_coverage_paths, TraversalConfig};
 /// directory.
 pub const COVERAGE_DOT_FILE_NAME: &str = "coverage.dot";
 
-/// Per-case retry policy for transient harness failures.
+/// The unified retry policy (re-exported from [`crate::fsio`]).
 ///
-/// A campaign of thousands of deploy/run/teardown cycles will hit
-/// occasional environmental hiccups (a deploy that loses the race
-/// with teardown of the previous cluster, a dropped control channel).
-/// Those are not findings about the system under test; each case gets
-/// a small attempt budget, and only cases that fail *persistently*
-/// for harness-side reasons are quarantined.
-#[derive(Debug, Clone)]
-pub struct RetryPolicy {
-    /// Maximum attempts per test case (>= 1).
-    pub attempts: usize,
-    /// Sleep before each retry, doubled per further attempt.
-    pub backoff: Duration,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 2,
-            backoff: Duration::from_millis(25),
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// No retries: every transient failure quarantines immediately.
-    pub fn none() -> Self {
-        RetryPolicy {
-            attempts: 1,
-            backoff: Duration::ZERO,
-        }
-    }
-}
+/// One shape covers every transient-failure loop in the harness:
+/// per-case SUT retries here in the pipeline (a deploy that loses the
+/// race with teardown, a dropped control channel — not findings about
+/// the system under test), supervisor worker restarts, lease steals,
+/// and fault-injectable filesystem writes. Only cases that fail
+/// *persistently* for harness-side reasons are quarantined.
+pub use crate::fsio::RetryPolicy;
 
 /// One failed attempt at running a test case.
 #[derive(Debug, Clone)]
@@ -710,8 +685,7 @@ impl Pipeline {
                 if attempt > 1 {
                     // Exponential backoff: transient conditions (a
                     // slow teardown, an exhausted port) need time.
-                    let exp = (attempt - 2).min(16) as u32;
-                    std::thread::sleep(self.config.retry.backoff * 2u32.pow(exp));
+                    std::thread::sleep(self.config.retry.delay(attempt - 2, false));
                 }
                 let mut sut = make_sut();
                 // A panicking SUT (or checker) must not take the
@@ -1044,7 +1018,13 @@ impl Pipeline {
                     to_dot_overlay(&graph, coverage.edge_hits()),
                 ),
             ] {
-                if let Err(e) = std::fs::write(dir.join(name), content) {
+                if let Err(e) = crate::fsio::write_atomic(
+                    dir,
+                    name,
+                    content.as_bytes(),
+                    crate::fsio::points::INSIGHT_WRITE,
+                    &RetryPolicy::io(),
+                ) {
                     journal_issues.push(format!("{name} write failed: {e}"));
                 }
             }
@@ -1213,6 +1193,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use crate::mapping::ActionBinding;
     use crate::sut::{ExecReport, Offer, Snapshot, SutError};
     use mocket_tla::{ActionClass, ActionDef, Value, VarClass, VarDef};
@@ -1404,6 +1385,7 @@ mod tests {
         cfg.retry = RetryPolicy {
             attempts: 2,
             backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
         };
         let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
         let made = AtomicUsize::new(0);
@@ -1428,6 +1410,7 @@ mod tests {
         cfg.retry = RetryPolicy {
             attempts: 3,
             backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
         };
         let p = Pipeline::new(Arc::new(CounterSpec), registry(), cfg).unwrap();
         let result = p.run(|| {

@@ -14,7 +14,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::fs;
-use std::io::{self, BufWriter, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
@@ -152,25 +152,34 @@ impl Recorder for MemoryRecorder {
 }
 
 /// Appends one JSON object per line to `events.jsonl`.
+///
+/// Lines are staged in memory and pushed to disk in whole-line
+/// batches through the fault-injectable [`crate::fsio`] append path
+/// (fault point `obs.flush`), so a torn batch is rolled back or
+/// isolated rather than corrupting the stream mid-line.
 pub struct JsonlRecorder {
     inner: Mutex<JsonlInner>,
     path: PathBuf,
 }
 
 struct JsonlInner {
-    file: BufWriter<fs::File>,
+    staged: String,
     seq: u64,
 }
+
+/// Flush the staged buffer once it crosses this size even without an
+/// explicit `flush()` call.
+const JSONL_STAGE_LIMIT: usize = 64 * 1024;
 
 impl JsonlRecorder {
     /// Creates (truncating) `events.jsonl` under `dir`.
     pub fn create(dir: &Path) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         let path = dir.join(EVENTS_FILE_NAME);
-        let file = fs::File::create(&path)?;
+        fs::File::create(&path)?;
         Ok(JsonlRecorder {
             inner: Mutex::new(JsonlInner {
-                file: BufWriter::new(file),
+                staged: String::new(),
                 seq: 0,
             }),
             path,
@@ -180,6 +189,29 @@ impl JsonlRecorder {
     /// The path of the sink file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    fn flush_staged(&self, inner: &mut JsonlInner) {
+        if inner.staged.is_empty() {
+            return;
+        }
+        // Sink errors must never fail a campaign: retry via the
+        // unified policy (which absorbs injected faults and transient
+        // ENOSPC), then drop the batch rather than grow unboundedly.
+        let _ = crate::fsio::append_bytes(
+            &self.path,
+            inner.staged.as_bytes(),
+            "obs.flush",
+            &crate::fsio::RetryPolicy::io(),
+        );
+        inner.staged.clear();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.flush_staged(&mut inner);
     }
 }
 
@@ -216,14 +248,17 @@ impl Recorder for JsonlRecorder {
         for e in events {
             let line = e.to_json_line(inner.seq);
             inner.seq += 1;
-            // Sink errors must never fail a campaign; drop the event.
-            let _ = inner.file.write_all(line.as_bytes());
-            let _ = inner.file.write_all(b"\n");
+            inner.staged.push_str(&line);
+            inner.staged.push('\n');
+        }
+        if inner.staged.len() >= JSONL_STAGE_LIMIT {
+            self.flush_staged(&mut inner);
         }
     }
 
     fn flush(&self) {
-        let _ = self.inner.lock().unwrap().file.flush();
+        let mut inner = self.inner.lock().unwrap();
+        self.flush_staged(&mut inner);
     }
 }
 

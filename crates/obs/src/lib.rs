@@ -51,6 +51,7 @@
 
 pub mod coverage;
 mod event;
+pub mod fsio;
 mod json;
 mod metrics;
 pub mod report;
@@ -63,6 +64,9 @@ pub use coverage::{
 pub use event::{
     Event, FieldValue, JsonlRecorder, MemoryRecorder, NullRecorder, Obs, ObsDirError, Recorder,
     Span, EVENTS_FILE_NAME,
+};
+pub use fsio::{
+    FaultInjector, FaultKind, RetryPolicy, MOCKET_FSIO_FAULTS_ENV, MOCKET_FSIO_FAULT_LOG_ENV,
 };
 pub use json::{parse_flat_object, JsonScalar};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, TIMING_PREFIX};

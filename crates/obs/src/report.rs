@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write;
+
 use std::path::{Path, PathBuf};
 
 use crate::json::{parse_flat_object, push_escaped, push_f64, JsonScalar};
@@ -324,19 +324,17 @@ impl CampaignHistory {
         self.records.last().map(|r| r.seq + 1).unwrap_or(0)
     }
 
-    /// Appends one record and flushes it to disk immediately.
+    /// Appends one record and flushes it to disk immediately. Runs
+    /// through the fault-injectable append path, which also repairs a
+    /// torn final line before writing (superseding `needs_newline`).
     pub fn append(&mut self, record: CampaignRecord) -> Result<(), std::io::Error> {
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        if self.needs_newline {
-            file.write_all(b"\n")?;
-            self.needs_newline = false;
-        }
-        file.write_all(record.to_json_line().as_bytes())?;
-        file.write_all(b"\n")?;
-        file.flush()?;
+        crate::fsio::append_line(
+            &self.path,
+            &record.to_json_line(),
+            "history.append",
+            &crate::fsio::RetryPolicy::io(),
+        )?;
+        self.needs_newline = false;
         self.records.push(record);
         Ok(())
     }

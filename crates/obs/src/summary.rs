@@ -6,7 +6,7 @@
 //! be compared with [`strip_wall_clock`].
 
 use std::collections::BTreeMap;
-use std::fs;
+
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -163,15 +163,18 @@ impl RunSummary {
         out
     }
 
-    /// Writes `run-summary.json` under `dir` (temp + rename, so a
-    /// crash never leaves a torn summary). Returns the final path.
+    /// Writes `run-summary.json` under `dir` (atomic temp + rename
+    /// with size verification via [`crate::fsio`], so a crash or an
+    /// injected fault never leaves a torn summary). Returns the final
+    /// path.
     pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
-        fs::create_dir_all(dir)?;
-        let path = dir.join(RUN_SUMMARY_FILE_NAME);
-        let tmp = dir.join(format!("{RUN_SUMMARY_FILE_NAME}.tmp"));
-        fs::write(&tmp, self.to_json())?;
-        fs::rename(&tmp, &path)?;
-        Ok(path)
+        crate::fsio::write_atomic(
+            dir,
+            RUN_SUMMARY_FILE_NAME,
+            self.to_json().as_bytes(),
+            "summary.write",
+            &crate::fsio::RetryPolicy::io(),
+        )
     }
 }
 
@@ -209,6 +212,7 @@ pub fn strip_wall_clock(json: &str) -> String {
 mod tests {
     use super::*;
     use crate::metrics::MetricsRegistry;
+    use std::fs;
 
     fn sample(wall: f64) -> RunSummary {
         let m = MetricsRegistry::default();

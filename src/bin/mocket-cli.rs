@@ -33,7 +33,7 @@ use mocket::core::orchestrator::{
     CampaignPlan, DirLock, InjectionConfig, LeaseConfig, LockError, MergeInputs, PlanCase,
     ShardSetup, SupervisorConfig, WorkerConfig, WorkerContext, EXIT_PLAN_MISMATCH,
 };
-use mocket::core::{Pipeline, PipelineConfig, RunConfig, SystemUnderTest, TestCase};
+use mocket::core::{Pipeline, PipelineConfig, RetryPolicy, RunConfig, SystemUnderTest, TestCase};
 use mocket::raft_async::XraftBugs;
 use mocket::raft_sync::SyncRaftBugs;
 use mocket::specs::cachemax::CacheMax;
@@ -538,8 +538,12 @@ fn cmd_campaign(args: &Args) {
         workers,
         lease: lease_config(args),
         hang_timeout: Duration::from_millis(args.flag_usize("hang-timeout-ms", 30_000) as u64),
-        max_restarts: args.flag_usize("max-restarts", 5),
-        backoff_base: Duration::from_millis(50),
+        restart: RetryPolicy {
+            attempts: args.flag_usize("max-restarts", 5),
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(5),
+        },
+        plan_hash: plan.stable_hash(),
         progress,
     };
     let exe = std::env::current_exe().unwrap_or_else(|e| {
@@ -601,12 +605,14 @@ fn cmd_campaign(args: &Args) {
     };
 
     println!(
-        "campaign {name}{}: {}/{} shards done, {} worker restart(s), {} hung worker(s) killed",
+        "campaign {name}{}: {}/{} shards done, {} worker restart(s), \
+         {} hung worker(s) killed, {} adopted",
         bug.map(|b| format!(" (bug: {b})")).unwrap_or_default(),
         outcome.shards_done,
         outcome.shard_count,
         outcome.restarts,
         outcome.hung_killed,
+        outcome.adopted,
     );
     println!(
         "merged: {} case(s) with verdicts, {} passed, {} unique failure(s), \
@@ -708,6 +714,7 @@ fn cmd_campaign_worker(args: &Args) -> ! {
         worker_id,
         lease: lease_config(args),
         poison_threshold: args.flag_usize("poison-threshold", 3),
+        plan_hash: plan.stable_hash(),
         inject: InjectionConfig::from_env(),
     };
     let ctx = WorkerContext {
