@@ -24,7 +24,10 @@ use mocket_core::orchestrator::{
 };
 use mocket_core::{Pipeline, PipelineConfig, RunConfig, TestCase};
 use mocket_obs::Obs;
+use mocket_core::SystemUnderTest;
 use mocket_raft_async::{make_sut, mapping, XraftBugs};
+use mocket_runtime::Backend;
+use mocket_sim::SimHandle;
 use mocket_specs::raft::{RaftSpec, RaftSpecConfig};
 use mocket_tla::Spec;
 
@@ -273,6 +276,149 @@ struct Run {
     speedup: f64,
 }
 
+/// One timed case phase on one cluster backend.
+struct BackendRow {
+    workload: &'static str,
+    sim: bool,
+    secs: f64,
+    cases: usize,
+    cases_per_sec: f64,
+    /// Throughput relative to the real (threaded) row of the same
+    /// workload; 1.0 for the real row itself.
+    speedup: f64,
+}
+
+/// Times the case-execution phase of one workload on one backend
+/// (model checking excluded — it is backend-independent). Returns
+/// wall seconds, cases run, and the verdict kinds for parity checks.
+fn time_backend<M>(
+    spec: Arc<dyn Spec>,
+    registry: mocket_core::MappingRegistry,
+    max_test_cases: usize,
+    mut make: M,
+    sim: Option<&SimHandle>,
+) -> (f64, usize, Vec<String>)
+where
+    M: FnMut(Backend) -> Box<dyn SystemUnderTest>,
+{
+    let mut pc = PipelineConfig::default();
+    pc.max_states = 20_000;
+    pc.por = false;
+    pc.stop_at_first_bug = false;
+    pc.max_path_len = 60;
+    pc.max_test_cases = max_test_cases;
+    pc.run = RunConfig::fast();
+    pc.obs = Obs::disabled();
+    let backend = match sim {
+        Some(handle) => {
+            pc.clock = handle.clock.clone();
+            Backend::Sim(handle.clone())
+        }
+        None => Backend::Threads,
+    };
+    let pipeline = Pipeline::new(spec, registry, pc).expect("bench mapping");
+    let (graph, check_seconds) = pipeline.check();
+    let started = Instant::now();
+    let result = pipeline.run_prepared(graph, check_seconds, || make(backend.clone()));
+    let secs = started.elapsed().as_secs_f64();
+    let cases = result.passed + result.reports.len() + result.quarantined.len();
+    let verdicts = result
+        .reports
+        .iter()
+        .map(|r| r.inconsistency.kind().to_string())
+        .collect();
+    (secs, cases, verdicts)
+}
+
+/// Real-vs-sim throughput on two workloads: the clean Xraft campaign
+/// (every case passes; real mode still pays per-step thread
+/// round-trips) and a bug-seeded SyncRaft campaign (failing cases
+/// wait out 50ms offer deadlines through the runner's backoff, then
+/// pay them again during triage and minimization — in sim those waits
+/// are instant virtual-time jumps). Verdict parity between backends
+/// is asserted before any number is reported.
+fn run_backend_comparison(smoke: bool) -> Vec<BackendRow> {
+    let mut rows = Vec::new();
+    let workloads: Vec<(
+        &'static str,
+        Arc<dyn Spec>,
+        mocket_core::MappingRegistry,
+        usize,
+        Box<dyn FnMut(Backend) -> Box<dyn SystemUnderTest>>,
+    )> = vec![
+        (
+            "xraft-clean",
+            xraft_spec(),
+            mapping(),
+            if smoke { 8 } else { 24 },
+            Box::new(|backend| {
+                Box::new(mocket_raft_async::make_sut_backend(
+                    xraft_servers(),
+                    XraftBugs::none(),
+                    backend,
+                ))
+            }),
+        ),
+        (
+            "raft-java-buggy",
+            {
+                let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+                cfg.max_term = 2;
+                cfg.client_request_limit = 0;
+                cfg.candidates = Some(vec![1]);
+                Arc::new(RaftSpec::new(cfg))
+            },
+            mocket_raft_sync::mapping(false),
+            if smoke { 4 } else { 12 },
+            Box::new(|backend| {
+                let mut bugs = mocket_raft_sync::SyncRaftBugs::none();
+                bugs.ignore_extra_vote_response = true;
+                Box::new(mocket_raft_sync::make_sut_backend(
+                    vec![1, 2, 3],
+                    bugs,
+                    backend,
+                ))
+            }),
+        ),
+    ];
+    for (workload, spec, registry, cases_budget, mut make) in workloads {
+        let (real_secs, real_cases, real_verdicts) =
+            time_backend(spec.clone(), registry.clone(), cases_budget, &mut make, None);
+        let handle = SimHandle::new(42);
+        let (sim_secs, sim_cases, sim_verdicts) =
+            time_backend(spec, registry, cases_budget, &mut make, Some(&handle));
+        assert_eq!(
+            real_verdicts, sim_verdicts,
+            "{workload}: sim backend must reproduce the real backend's verdicts"
+        );
+        assert_eq!(real_cases, sim_cases);
+        let real_rate = real_cases as f64 / real_secs.max(1e-9);
+        let sim_rate = sim_cases as f64 / sim_secs.max(1e-9);
+        let speedup = sim_rate / real_rate.max(1e-9);
+        println!(
+            "backend {workload}: real {real_cases} case(s) in {real_secs:.3}s \
+             ({real_rate:.1}/sec), sim in {sim_secs:.3}s ({sim_rate:.1}/sec, {speedup:.1}x)"
+        );
+        rows.push(BackendRow {
+            workload,
+            sim: false,
+            secs: real_secs,
+            cases: real_cases,
+            cases_per_sec: real_rate,
+            speedup: 1.0,
+        });
+        rows.push(BackendRow {
+            workload,
+            sim: true,
+            secs: sim_secs,
+            cases: sim_cases,
+            cases_per_sec: sim_rate,
+            speedup,
+        });
+    }
+    rows
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let scenario = if smoke {
@@ -343,6 +489,22 @@ fn main() {
         overhead_frac * 100.0
     );
 
+    // Simulation backend: same campaigns, virtual clock, no wall-clock
+    // sleeps.
+    let backend_rows = run_backend_comparison(smoke);
+    if !smoke {
+        let buggy_sim = backend_rows
+            .iter()
+            .find(|r| r.workload == "raft-java-buggy" && r.sim)
+            .expect("buggy sim row");
+        assert!(
+            buggy_sim.speedup >= 50.0,
+            "sim backend must deliver >=50x cases/sec on the bug-seeded \
+             workload, got {:.1}x",
+            buggy_sim.speedup
+        );
+    }
+
     let rss_kb = peak_rss_kb();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -368,6 +530,22 @@ fn main() {
             r.cases_per_sec,
             r.speedup,
             if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"backends\": [");
+    for (i, r) in backend_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"sim\": {}, \"secs\": {:.4}, \"cases\": {}, \
+             \"cases_per_sec\": {:.1}, \"speedup\": {:.1}}}{}",
+            r.workload,
+            r.sim,
+            r.secs,
+            r.cases,
+            r.cases_per_sec,
+            r.speedup,
+            if i + 1 < backend_rows.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ]");

@@ -13,9 +13,10 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mocket_obs::Obs;
+use mocket_sim::{Clock, RealClock};
 use mocket_tla::{successors_with, Spec, State};
 
 use crate::graph::{EdgeId, NodeId, StateGraph};
@@ -80,6 +81,7 @@ pub struct ModelChecker {
     pub(crate) max_depth: usize,
     pub(crate) workers: usize,
     pub(crate) obs: Obs,
+    pub(crate) clock: Arc<dyn Clock>,
 }
 
 impl ModelChecker {
@@ -94,7 +96,17 @@ impl ModelChecker {
             max_depth: usize::MAX,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             obs: Obs::disabled(),
+            clock: Arc::new(RealClock::new()),
         }
+    }
+
+    /// Sets the clock `elapsed` and throughput figures are measured
+    /// on. Simulation runs install their shared virtual clock so the
+    /// whole run summary — wall-clock section included — is
+    /// deterministic per seed.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Attaches an observability handle. Wave progress events
@@ -153,7 +165,7 @@ impl ModelChecker {
     }
 
     fn run_sequential(self) -> CheckResult {
-        let start = Instant::now();
+        let start = self.clock.now();
         let mut graph = StateGraph::new();
         let mut stats = CheckStats::default();
         // Parent links for counterexample reconstruction: for each
@@ -246,7 +258,7 @@ impl ModelChecker {
         stats.distinct_states = graph.state_count();
         stats.edges = graph.edge_count();
         stats.depth = depth.iter().copied().max().unwrap_or(0);
-        stats.elapsed = start.elapsed();
+        stats.elapsed = self.clock.now().saturating_sub(start);
         stats.workers = 1;
         stats.per_worker = vec![WorkerStats {
             nodes_expanded: stats.distinct_states,

@@ -82,7 +82,7 @@ enum NodeOut {
 /// Runs the wave-synchronized parallel exploration. Only called with
 /// `checker.workers >= 2`.
 pub(crate) fn run(checker: ModelChecker) -> CheckResult {
-    let start = Instant::now();
+    let start = checker.clock.now();
     let workers = checker.workers;
     let actions = checker.spec.actions();
     let mut graph = StateGraph::new();
@@ -169,7 +169,7 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
     stats.distinct_states = graph.state_count();
     stats.edges = graph.edge_count();
     stats.depth = depth.iter().copied().max().unwrap_or(0);
-    stats.elapsed = start.elapsed();
+    stats.elapsed = checker.clock.now().saturating_sub(start);
     stats.workers = workers;
     stats.per_worker = per_worker;
     finish_obs(&checker.obs, &stats, violation.is_some());

@@ -8,7 +8,8 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+
+use mocket_sim::{Clock, RealClock};
 
 use mocket_obs::{
     CampaignHistory, CampaignRecord, CoverageMap, Obs, RunSummary, COVERAGE_FILE_NAME,
@@ -26,7 +27,7 @@ use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::minimize::{minimize_case, MinimizeConfig};
 use crate::por::partial_order_reduction;
 use crate::report::{BugClass, BugReport, Determinism, Inconsistency};
-use crate::runner::{run_test_case_observed, RunConfig, TestOutcome};
+use crate::runner::{run_test_case_clocked, RunConfig, TestOutcome};
 use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
 use crate::traversal::{edge_coverage_paths, TraversalConfig};
@@ -192,6 +193,12 @@ pub struct PipelineConfig {
     /// `--progress`). Independent of `obs`: progress is for watching,
     /// events are for machines.
     pub progress: bool,
+    /// The clock every stage counts time on. Defaults to the wall
+    /// clock; a simulation run installs a shared
+    /// [`mocket_sim::SimClock`] here (and in the cluster backend) so
+    /// deadlines, backoffs and all `timing.*`/`wall_*` figures are
+    /// virtual — the same seed then yields byte-identical summaries.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for PipelineConfig {
@@ -213,6 +220,7 @@ impl Default for PipelineConfig {
             priority_edges: Vec::new(),
             obs: Obs::disabled(),
             progress: false,
+            clock: Arc::new(RealClock::new()),
         }
     }
 }
@@ -341,12 +349,13 @@ impl Pipeline {
 
     /// Stage ②: model checking.
     pub fn check(&self) -> (StateGraph, f64) {
-        let start = Instant::now();
+        let start = self.config.clock.now();
         let result = ModelChecker::new(self.spec.clone())
             .max_states(self.config.max_states)
             .obs(self.config.obs.clone())
+            .clock(self.config.clock.clone())
             .run();
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = self.config.clock.now().saturating_sub(start).as_secs_f64();
         self.config
             .obs
             .metrics()
@@ -487,7 +496,7 @@ impl Pipeline {
         F: FnMut() -> Box<dyn SystemUnderTest>,
     {
         let obs = self.config.obs.clone();
-        let run_start = Instant::now();
+        let run_start = self.config.clock.now();
         let (paths, paths_ec, paths_ec_por, por_excluded) = self.generate_paths(&graph);
         let cases_selected = paths.len();
 
@@ -523,7 +532,7 @@ impl Pipeline {
         let mut reports = Vec::new();
         let mut quarantined = Vec::new();
         let mut passed = 0usize;
-        let test_start = Instant::now();
+        let test_start = self.config.clock.now();
         let mut cases_run = 0usize;
         let mut skipped_from_journal = 0usize;
         let mut artifacts: Vec<PathBuf> = Vec::new();
@@ -685,7 +694,9 @@ impl Pipeline {
                 if attempt > 1 {
                     // Exponential backoff: transient conditions (a
                     // slow teardown, an exhausted port) need time.
-                    std::thread::sleep(self.config.retry.delay(attempt - 2, false));
+                    self.config
+                        .clock
+                        .sleep(self.config.retry.delay(attempt - 2, false));
                 }
                 let mut sut = make_sut();
                 // A panicking SUT (or checker) must not take the
@@ -694,13 +705,14 @@ impl Pipeline {
                 // triage evidence — including this case's `case.start`
                 // — reaches events.jsonl.
                 let attempt_outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_test_case_observed(
+                    run_test_case_clocked(
                         sut.as_mut(),
                         &tc,
                         &self.registry,
                         &final_enabled,
                         &self.config.run,
                         &obs,
+                        self.config.clock.as_ref(),
                     )
                 }));
                 let attempt_outcome = match attempt_outcome {
@@ -871,7 +883,7 @@ impl Pipeline {
                                     inconsistency,
                                     test_case: tc.clone(),
                                     actions_executed: stats.actions_executed,
-                                    elapsed: test_start.elapsed(),
+                                    elapsed: self.config.clock.now().saturating_sub(test_start),
                                     attempt,
                                     determinism,
                                     minimized,
@@ -928,7 +940,12 @@ impl Pipeline {
             paths_ec_por,
             por_excluded_edges: por_excluded,
             cases_run,
-            test_seconds: test_start.elapsed().as_secs_f64(),
+            test_seconds: self
+                .config
+                .clock
+                .now()
+                .saturating_sub(test_start)
+                .as_secs_f64(),
             check_seconds,
         };
 
@@ -951,12 +968,15 @@ impl Pipeline {
             quarantined.len()
         ));
 
+        let run_seconds = self
+            .config
+            .clock
+            .now()
+            .saturating_sub(run_start)
+            .as_secs_f64();
         let m = obs.metrics();
         m.observe("timing.stage.test_seconds", effort.test_seconds);
-        m.observe(
-            "timing.stage.total_seconds",
-            check_seconds + run_start.elapsed().as_secs_f64(),
-        );
+        m.observe("timing.stage.total_seconds", check_seconds + run_seconds);
 
         let mut summary = RunSummary {
             spec: self.spec.name().to_string(),
@@ -976,7 +996,7 @@ impl Pipeline {
             journal_issues: journal_issues.len() as u64,
             wall_check_seconds: check_seconds,
             wall_test_seconds: effort.test_seconds,
-            wall_total_seconds: check_seconds + run_start.elapsed().as_secs_f64(),
+            wall_total_seconds: check_seconds + run_seconds,
             ..RunSummary::default()
         };
         for report in &reports {
@@ -1133,13 +1153,14 @@ impl Pipeline {
             obs.metrics().add("pipeline.triage_reruns", 1);
             let mut sut = make_sut();
             matches!(
-                run_test_case_observed(
+                run_test_case_clocked(
                     sut.as_mut(),
                     case,
                     &self.registry,
                     enabled,
                     &self.config.run,
-                    obs
+                    obs,
+                    self.config.clock.as_ref(),
                 ),
                 Ok((TestOutcome::Failed(inc), _)) if inc.kind() == kind
             )

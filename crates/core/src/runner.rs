@@ -8,9 +8,10 @@
 //! the end leftover offers are classified against the actions the
 //! specification enables in the final state.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mocket_obs::Obs;
+use mocket_sim::{Clock, RealClock};
 use mocket_tla::{ActionClass, ActionInstance, State};
 
 use crate::mapping::{MappingRegistry, VarTarget};
@@ -77,6 +78,19 @@ impl RunConfig {
             poll_backoff_max: Duration::from_millis(10),
         }
     }
+}
+
+/// The runner's deterministic poll-backoff schedule: `poll_backoff`
+/// doubled after every miss, capped at `poll_backoff_max`. Pure
+/// function of the config — the sleep sequence between offer polls is
+/// identical on every run, real or simulated; only the number of
+/// sleeps taken differs (bounded by `offer_deadline` on the run's
+/// clock).
+pub fn backoff_schedule(config: &RunConfig) -> impl Iterator<Item = Duration> {
+    let cap = config.poll_backoff_max;
+    std::iter::successors(Some(config.poll_backoff.min(cap)), move |&d| {
+        Some((d * 2).min(cap))
+    })
 }
 
 /// Outcome of one controlled run.
@@ -153,12 +167,47 @@ pub fn run_test_case_observed(
     config: &RunConfig,
     obs: &Obs,
 ) -> Result<(TestOutcome, RunStats), SutError> {
-    let start = Instant::now();
+    run_test_case_clocked(
+        sut,
+        test_case,
+        registry,
+        final_enabled,
+        config,
+        obs,
+        &RealClock::new(),
+    )
+}
+
+/// [`run_test_case_observed`] on an explicit [`Clock`]. Every wait and
+/// every measured duration — offer deadline, poll backoff, per-action
+/// budget, `RunStats::seconds` — counts this clock's time. With a
+/// `SimClock` the whole run takes zero wall time on waits and its
+/// timings are byte-reproducible.
+#[allow(clippy::too_many_arguments)]
+pub fn run_test_case_clocked(
+    sut: &mut dyn SystemUnderTest,
+    test_case: &TestCase,
+    registry: &MappingRegistry,
+    final_enabled: &[ActionInstance],
+    config: &RunConfig,
+    obs: &Obs,
+    clock: &dyn Clock,
+) -> Result<(TestOutcome, RunStats), SutError> {
+    let start = clock.now();
     let mut stats = RunStats::default();
     sut.deploy()?;
-    let result = drive(sut, test_case, registry, final_enabled, config, &mut stats, obs);
+    let result = drive(
+        sut,
+        test_case,
+        registry,
+        final_enabled,
+        config,
+        &mut stats,
+        obs,
+        clock,
+    );
     sut.teardown();
-    stats.seconds = start.elapsed().as_secs_f64();
+    stats.seconds = clock.now().saturating_sub(start).as_secs_f64();
     result.map(|outcome| (outcome, stats))
 }
 
@@ -207,17 +256,20 @@ fn drive(
     config: &RunConfig,
     stats: &mut RunStats,
     obs: &Obs,
+    clock: &dyn Clock,
 ) -> Result<TestOutcome, SutError> {
     let mut pools = pools_from_registry(registry);
 
     // Classifies a failed SUT call: crash-style errors become a
     // failed outcome, harness errors propagate to the caller.
+    // `$start` is a `Duration` read from the run's clock.
     macro_rules! try_sut {
         ($call:expr, $step:expr, $action:expr, $start:expr) => {
             match $call {
                 Ok(v) => v,
                 Err(e) => {
-                    return match classify_sut_error(e, $step, $action, $start.elapsed()) {
+                    let waited = clock.now().saturating_sub($start);
+                    return match classify_sut_error(e, $step, $action, waited) {
                         Classified::Fail(inc) => Ok(TestOutcome::Failed(inc)),
                         Classified::Harness(e) => Err(e),
                     }
@@ -227,7 +279,7 @@ fn drive(
     }
 
     if config.check_initial {
-        let init_start = Instant::now();
+        let init_start = clock.now();
         let init_action = ActionInstance::nullary("<Init>");
         let snapshot = try_sut!(sut.snapshot(), 0, &init_action, init_start);
         stats.checks += 1;
@@ -242,7 +294,7 @@ fn drive(
     }
 
     for (i, step) in test_case.steps.iter().enumerate() {
-        let step_start = Instant::now();
+        let step_start = clock.now();
         let class = registry
             .action_by_spec_name(&step.action.name)
             .map(|m| m.class)
@@ -259,12 +311,14 @@ fn drive(
             _ => {
                 // Deadline-based offer matching with exponential
                 // backoff: poll, sleep, poll again until the offer
-                // shows up or the deadline elapses.
+                // shows up or the deadline elapses. Poll counts depend
+                // on how much clock time each poll burns, so the poll
+                // metrics live under the `timing.` quarantine.
                 let mut matched = None;
                 let mut last_offers = Vec::new();
-                let mut backoff = config.poll_backoff;
+                let mut backoff = backoff_schedule(config);
                 loop {
-                    obs.metrics().add("runner.offer_polls", 1);
+                    obs.metrics().add("timing.runner.offer_polls", 1);
                     let offers = translate_offers_observed(
                         registry,
                         try_sut!(sut.offers(), i, &step.action, step_start),
@@ -275,11 +329,10 @@ fn drive(
                         break;
                     }
                     last_offers = offers;
-                    if step_start.elapsed() >= config.offer_deadline {
+                    if clock.now().saturating_sub(step_start) >= config.offer_deadline {
                         break;
                     }
-                    std::thread::sleep(backoff.min(config.poll_backoff_max));
-                    backoff = (backoff * 2).min(config.poll_backoff_max);
+                    clock.sleep(backoff.next().expect("backoff schedule is infinite"));
                 }
                 match matched {
                     Some(offer) => {
@@ -288,7 +341,7 @@ fn drive(
                         // and released for execution.
                         obs.metrics().observe(
                             "timing.runner.release_latency_ms",
-                            step_start.elapsed().as_secs_f64() * 1e3,
+                            clock.now().saturating_sub(step_start).as_secs_f64() * 1e3,
                         );
                         obs.metrics().add("runner.actions_released", 1);
                         try_sut!(sut.execute(&offer), i, &step.action, step_start)
@@ -331,12 +384,14 @@ fn drive(
 
         // Per-step watchdog: a step that consumed more than its
         // budget indicates a stalled system even if every call
-        // eventually answered.
-        if step_start.elapsed() > config.per_action_budget {
+        // eventually answered. The budget counts the run's clock —
+        // virtual time under simulation.
+        let step_elapsed = clock.now().saturating_sub(step_start);
+        if step_elapsed > config.per_action_budget {
             return Ok(TestOutcome::Failed(Inconsistency::WatchdogTimeout {
                 step: i,
                 action: step.action.clone(),
-                waited: step_start.elapsed(),
+                waited: step_elapsed,
                 reason: "per-action budget exceeded".to_string(),
             }));
         }
@@ -344,7 +399,7 @@ fn drive(
 
     // End of test case: leftover notifications the spec does not
     // enable in the final state are unexpected actions.
-    let final_start = Instant::now();
+    let final_start = clock.now();
     let final_action = ActionInstance::nullary("<Final>");
     let offers = translate_offers_observed(
         registry,
@@ -577,7 +632,7 @@ mod tests {
         assert!(outcome.passed(), "{outcome:?}");
         let m = obs.metrics();
         assert_eq!(m.counter("runner.actions_released"), 3);
-        assert!(m.counter("runner.offer_polls") >= 3);
+        assert!(m.counter("timing.runner.offer_polls") >= 3);
         assert_eq!(m.counter("statecheck.checks"), stats.checks as u64);
         assert_eq!(m.counter("statecheck.divergences"), 0);
         let latency = m
@@ -769,5 +824,117 @@ mod tests {
             }
             other => panic!("expected pool inconsistency, got {other:?}"),
         }
+    }
+
+    /// A virtual clock that records every sleep it serves, so a test
+    /// can assert the exact wait sequence a run produced.
+    struct RecordingClock {
+        sim: mocket_sim::SimClock,
+        sleeps: std::sync::Mutex<Vec<Duration>>,
+    }
+
+    impl RecordingClock {
+        fn new() -> Self {
+            RecordingClock {
+                sim: mocket_sim::SimClock::new(),
+                sleeps: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+
+        fn recorded(&self) -> Vec<Duration> {
+            self.sleeps.lock().unwrap().clone()
+        }
+    }
+
+    impl Clock for RecordingClock {
+        fn now(&self) -> Duration {
+            self.sim.now()
+        }
+        fn sleep(&self, d: Duration) {
+            self.sleeps.lock().unwrap().push(d);
+            self.sim.sleep(d);
+        }
+        fn is_virtual(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_doubling() {
+        let cfg = RunConfig::fast();
+        let seq: Vec<Duration> = backoff_schedule(&cfg).take(7).collect();
+        assert_eq!(
+            seq,
+            [1, 2, 4, 8, 10, 10, 10]
+                .map(Duration::from_millis)
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn missing_action_retry_sequence_is_identical_across_runs() {
+        // Satellite check: a mute SUT forces the runner through its
+        // whole poll-backoff loop; on a virtual clock the sleep
+        // sequence must be the exact capped-doubling schedule, byte
+        // for byte the same on every run.
+        let run_once = || {
+            let mut sut = FakeSut::new(10);
+            sut.mute = true;
+            let clock = RecordingClock::new();
+            let (outcome, _) = run_test_case_clocked(
+                &mut sut,
+                &inc_case(1),
+                &registry(),
+                &[],
+                &RunConfig::fast(),
+                &Obs::disabled(),
+                &clock,
+            )
+            .unwrap();
+            assert!(matches!(
+                outcome,
+                TestOutcome::Failed(Inconsistency::MissingAction { .. })
+            ));
+            clock.recorded()
+        };
+        let first = run_once();
+        let second = run_once();
+        assert_eq!(first, second, "retry sequence must be deterministic");
+        // 50ms deadline over the 1,2,4,8,10,… schedule: cumulative
+        // waits hit 1,3,7,15,25,35,45,55ms, so the elapsed virtual
+        // time crosses the deadline after the eighth sleep.
+        assert_eq!(
+            first,
+            [1, 2, 4, 8, 10, 10, 10, 10]
+                .map(Duration::from_millis)
+                .to_vec()
+        );
+    }
+
+    #[test]
+    fn virtual_clock_runs_report_virtual_seconds() {
+        let mut sut = FakeSut::new(10);
+        sut.mute = true;
+        let clock = mocket_sim::SimClock::new();
+        let wall = std::time::Instant::now();
+        let (_, stats) = run_test_case_clocked(
+            &mut sut,
+            &inc_case(1),
+            &registry(),
+            &[],
+            &RunConfig::default(), // 2s offer deadline — instant virtually
+            &Obs::disabled(),
+            &clock,
+        )
+        .unwrap();
+        assert!(
+            stats.seconds >= 2.0,
+            "virtual deadline must be fully counted, got {}",
+            stats.seconds
+        );
+        assert!(
+            wall.elapsed() < Duration::from_secs(2),
+            "a 2s virtual deadline must not cost 2s of wall time"
+        );
     }
 }

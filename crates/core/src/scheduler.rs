@@ -34,8 +34,11 @@ pub fn translate_offers(registry: &MappingRegistry, offers: Vec<Offer>) -> Vec<S
 }
 
 /// [`translate_offers`] with scheduler metrics: counts every
-/// translated offer (`scheduler.offers_translated`) and every offer
-/// the mapping cannot name (`scheduler.unmapped_offers`).
+/// translated offer (`timing.scheduler.offers_translated`) and every
+/// offer the mapping cannot name (`timing.scheduler.unmapped_offers`).
+/// These accumulate once per poll round, and the number of poll rounds
+/// depends on the run's clock — so both live under the `timing.`
+/// quarantine and never appear in the deterministic summary section.
 pub fn translate_offers_observed(
     registry: &MappingRegistry,
     offers: Vec<Offer>,
@@ -43,10 +46,10 @@ pub fn translate_offers_observed(
 ) -> Vec<SpecOffer> {
     let out = translate_offers(registry, offers);
     let m = obs.metrics();
-    m.add("scheduler.offers_translated", out.len() as u64);
+    m.add("timing.scheduler.offers_translated", out.len() as u64);
     let unmapped = out.iter().filter(|o| o.spec.is_none()).count() as u64;
     if unmapped > 0 {
-        m.add("scheduler.unmapped_offers", unmapped);
+        m.add("timing.scheduler.unmapped_offers", unmapped);
     }
     out
 }
@@ -238,8 +241,8 @@ mod tests {
         let unexpected = unexpected_offers_observed(&r, &offers, &[], &obs);
         assert_eq!(unexpected.len(), 2);
         let m = obs.metrics();
-        assert_eq!(m.counter("scheduler.offers_translated"), 3);
-        assert_eq!(m.counter("scheduler.unmapped_offers"), 1);
+        assert_eq!(m.counter("timing.scheduler.offers_translated"), 3);
+        assert_eq!(m.counter("timing.scheduler.unmapped_offers"), 1);
         assert_eq!(m.counter("scheduler.unexpected_offers"), 2);
     }
 

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mocket_core::mapping::{ActionBinding, MappingRegistry};
 use mocket_core::sut::{int_param, record_int_field, ExecReport, MsgEvent, SutError};
 use mocket_dsnet::{ClusterStorage, Net, NodeId};
-use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
+use mocket_runtime::{Backend, Cluster, ClusterSut, ExternalDriver};
 use mocket_tla::{ActionClass, ActionInstance, Value};
 
 use crate::bugs::XraftBugs;
@@ -202,20 +202,29 @@ impl ExternalDriver for XraftDriver {
 /// test. Every call creates a fresh network and fresh durable storage
 /// (one cluster per test case, §4.3.2).
 pub fn make_sut(servers: Vec<NodeId>, bugs: XraftBugs) -> ClusterSut {
+    make_sut_backend(servers, bugs, Backend::Threads)
+}
+
+/// [`make_sut`] on an explicit cluster backend (threads or
+/// simulation).
+pub fn make_sut_backend(servers: Vec<NodeId>, bugs: XraftBugs, backend: Backend) -> ClusterSut {
     let net = Net::new(servers.iter().copied());
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();
     let factory_storage = storage.clone();
-    let cluster = Cluster::new(Box::new(move |id| {
-        Box::new(AsyncRaftNode::new(
-            id,
-            factory_servers.clone(),
-            bugs.clone(),
-            factory_net.clone(),
-            factory_storage.for_node(id),
-        )) as Box<dyn mocket_runtime::NodeApp>
-    }))
+    let cluster = Cluster::with_backend(
+        Box::new(move |id| {
+            Box::new(AsyncRaftNode::new(
+                id,
+                factory_servers.clone(),
+                bugs.clone(),
+                factory_net.clone(),
+                factory_storage.for_node(id),
+            )) as Box<dyn mocket_runtime::NodeApp>
+        }),
+        backend,
+    )
     // Disk-loss faults erase the node's durable storage; the next
     // restart recovers nothing (unlike a plain Restart, which reloads
     // whatever the node persisted).

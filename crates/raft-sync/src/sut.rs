@@ -11,7 +11,7 @@ use std::sync::Arc;
 use mocket_core::mapping::{ActionBinding, MappingRegistry};
 use mocket_core::sut::{int_param, ExecReport, SutError};
 use mocket_dsnet::{ClusterStorage, Net, NodeId};
-use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
+use mocket_runtime::{Backend, Cluster, ClusterSut, ExternalDriver};
 use mocket_tla::{ActionClass, ActionInstance, Value};
 
 use crate::bugs::SyncRaftBugs;
@@ -163,6 +163,12 @@ pub fn make_sut(servers: Vec<NodeId>, bugs: SyncRaftBugs) -> ClusterSut {
     make_sut_with_options(servers, bugs, false)
 }
 
+/// [`make_sut`] on an explicit cluster backend (threads or
+/// simulation).
+pub fn make_sut_backend(servers: Vec<NodeId>, bugs: SyncRaftBugs, backend: Backend) -> ClusterSut {
+    make_sut_with_options_backend(servers, bugs, false, backend)
+}
+
 /// [`make_sut`] plus the `expose_update_term` option: whether the
 /// `stepDown` region notifies the testbed standalone. With `false`
 /// (the natural mapping) the official spec's independent `UpdateTerm`
@@ -174,20 +180,33 @@ pub fn make_sut_with_options(
     bugs: SyncRaftBugs,
     expose_update_term: bool,
 ) -> ClusterSut {
+    make_sut_with_options_backend(servers, bugs, expose_update_term, Backend::Threads)
+}
+
+/// [`make_sut_with_options`] on an explicit cluster backend.
+pub fn make_sut_with_options_backend(
+    servers: Vec<NodeId>,
+    bugs: SyncRaftBugs,
+    expose_update_term: bool,
+    backend: Backend,
+) -> ClusterSut {
     let net = Net::new(servers.iter().copied());
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();
-    let cluster = Cluster::new(Box::new(move |id| {
-        Box::new(SyncRaftNode::new(
-            id,
-            factory_servers.clone(),
-            bugs.clone(),
-            expose_update_term,
-            factory_net.clone(),
-            storage.for_node(id),
-        )) as Box<dyn mocket_runtime::NodeApp>
-    }));
+    let cluster = Cluster::with_backend(
+        Box::new(move |id| {
+            Box::new(SyncRaftNode::new(
+                id,
+                factory_servers.clone(),
+                bugs.clone(),
+                expose_update_term,
+                factory_net.clone(),
+                storage.for_node(id),
+            )) as Box<dyn mocket_runtime::NodeApp>
+        }),
+        backend,
+    );
     ClusterSut::new(cluster, servers, Box::new(SyncDriver { client_counter: 0 }))
 }
 

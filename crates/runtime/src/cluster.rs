@@ -18,15 +18,31 @@
 //! panicking are detached on the first reply timeout — their thread
 //! is abandoned, never joined, so a stuck `execute` can stall one
 //! request but not the whole campaign.
+//!
+//! **Simulation backend.** [`Backend::Sim`] replaces the one-thread-
+//! per-node deployment with direct in-process calls sequenced by a
+//! [`mocket_sim::SimExecutor`]: every control step is an event on the
+//! shared virtual clock, so a whole test case runs with zero thread
+//! spawns, zero channel round-trips and zero wall-clock sleeps while
+//! preserving the threaded backend's observable request/reply order.
+//! Panic isolation carries over (steps run under `catch_unwind` with
+//! the same structured [`ClusterError::Died`] reporting); the one
+//! behaviour the direct backend cannot reproduce is detaching a *hung*
+//! node — application code that never returns would stall the harness
+//! thread itself. The protocol crates under test never block, so this
+//! only matters for adversarial `NodeApp` implementations.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Once};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use mocket_core::sut::MsgEvent;
+use mocket_sim::{SimExecutor, SimHandle};
 use mocket_tla::{ActionInstance, Value};
 
 use crate::registry::VarRegistry;
@@ -71,13 +87,77 @@ enum Rsp {
     Died(String),
 }
 
+/// Signalled by a node thread on its way out (normal exit or panic),
+/// so [`Cluster::crash`] can wait for wind-down without polling.
+struct ExitFlag {
+    exited: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl ExitFlag {
+    fn new() -> Arc<Self> {
+        Arc::new(ExitFlag {
+            exited: Mutex::new(false),
+            cvar: Condvar::new(),
+        })
+    }
+
+    fn signal(&self) {
+        *self.exited.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cvar.notify_all();
+    }
+
+    /// Waits up to `timeout` for the flag; `true` means the thread has
+    /// reached its exit path (joining it will not block meaningfully).
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut exited = self.exited.lock().unwrap_or_else(|e| e.into_inner());
+        while !*exited {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            exited = self
+                .cvar
+                .wait_timeout(exited, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+}
+
 struct NodeHandle {
     ctl_tx: Sender<Ctl>,
     rsp_rx: Receiver<Rsp>,
     /// The node's shadow registry, kept harness-side so a panicked or
     /// hung node's last state stays readable (non-poisoning locks).
     registry: Arc<VarRegistry>,
+    /// Set by the thread's drop guard the moment `node_main` unwinds
+    /// or returns.
+    exit: Arc<ExitFlag>,
     thread: Option<JoinHandle<()>>,
+}
+
+/// A node hosted directly on the harness thread (simulation backend):
+/// no thread, no channels, every step an instant virtual-time event.
+struct DirectNode {
+    app: Box<dyn NodeApp>,
+    registry: Arc<VarRegistry>,
+}
+
+enum NodeSlot {
+    Threaded(NodeHandle),
+    Direct(DirectNode),
+}
+
+impl NodeSlot {
+    fn registry(&self) -> &Arc<VarRegistry> {
+        match self {
+            NodeSlot::Threaded(h) => &h.registry,
+            NodeSlot::Direct(d) => &d.registry,
+        }
+    }
 }
 
 /// Errors from cluster control.
@@ -130,19 +210,29 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
-/// Suppresses default panic output from node threads: their panics
-/// are caught, reported as [`ClusterError::Died`] and classified by
-/// the test runner, so the default stderr backtrace is just noise.
-/// Panics on any other thread keep the previous hook's behaviour.
+thread_local! {
+    /// True while the harness thread is executing application code on
+    /// behalf of a direct (simulation-backend) node, so the panic hook
+    /// can tell a caught node fault from a genuine harness panic.
+    static IN_NODE_STEP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Suppresses default panic output from node code: node panics are
+/// caught, reported as [`ClusterError::Died`] and classified by the
+/// test runner, so the default stderr backtrace is just noise. Node
+/// code is recognised by thread name (`node-*`, threaded backend) or
+/// by the [`IN_NODE_STEP`] marker (simulation backend). Panics
+/// anywhere else keep the previous hook's behaviour.
 fn install_node_panic_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let is_node_thread = std::thread::current()
+            let in_node_code = std::thread::current()
                 .name()
-                .is_some_and(|n| n.starts_with("node-"));
-            if !is_node_thread {
+                .is_some_and(|n| n.starts_with("node-"))
+                || IN_NODE_STEP.with(Cell::get);
+            if !in_node_code {
                 previous(info);
             }
         }));
@@ -166,10 +256,35 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// storage-agnostic.
 pub type DiskWiper = Box<dyn Fn(NodeId) + Send>;
 
+/// How the cluster hosts its nodes.
+#[derive(Clone)]
+pub enum Backend {
+    /// One OS thread per node, request/reply over channels — the
+    /// paper's pseudo-distributed deployment.
+    Threads,
+    /// Direct in-process calls sequenced on the simulation's shared
+    /// virtual clock: zero threads, zero sleeps, deterministic.
+    Sim(SimHandle),
+}
+
+/// Virtual cost of one control step (offer poll, execute, snapshot)
+/// under the simulation backend. Small but non-zero, so virtual time
+/// progresses and per-action watchdogs stay meaningful.
+const SIM_STEP_COST: Duration = Duration::from_micros(50);
+
+/// Bound on the seeded per-step jitter the simulation adds on top of
+/// [`SIM_STEP_COST`] — virtual timings vary by seed (exercising
+/// time-dependent paths) while staying bit-reproducible per seed.
+const SIM_STEP_JITTER: Duration = Duration::from_micros(20);
+
+struct SimState {
+    exec: SimExecutor<NodeId>,
+}
+
 /// A running instrumented cluster.
 pub struct Cluster {
     factory: NodeFactory,
-    nodes: BTreeMap<NodeId, NodeHandle>,
+    nodes: BTreeMap<NodeId, NodeSlot>,
     last_snapshot: BTreeMap<NodeId, Vec<(String, Value)>>,
     /// Nodes that died involuntarily (panic / hang / channel loss)
     /// since the last [`Cluster::take_deaths`], with the reason.
@@ -177,12 +292,25 @@ pub struct Cluster {
     reply_timeout: Duration,
     disk_wiper: Option<DiskWiper>,
     metrics: Option<Arc<mocket_obs::MetricsRegistry>>,
+    /// Present iff the backend is [`Backend::Sim`].
+    sim: Option<SimState>,
 }
 
 impl Cluster {
-    /// Creates a cluster (no nodes yet).
+    /// Creates a cluster (no nodes yet) on the threaded backend.
     pub fn new(factory: NodeFactory) -> Self {
+        Cluster::with_backend(factory, Backend::Threads)
+    }
+
+    /// Creates a cluster (no nodes yet) on the given backend.
+    pub fn with_backend(factory: NodeFactory, backend: Backend) -> Self {
         install_node_panic_hook();
+        let sim = match backend {
+            Backend::Threads => None,
+            Backend::Sim(handle) => Some(SimState {
+                exec: SimExecutor::new(handle.clock.clone(), handle.seed),
+            }),
+        };
         Cluster {
             factory,
             nodes: BTreeMap::new(),
@@ -191,6 +319,7 @@ impl Cluster {
             reply_timeout: Duration::from_secs(5),
             disk_wiper: None,
             metrics: None,
+            sim,
         }
     }
 
@@ -253,22 +382,27 @@ impl Cluster {
         self.tally("cluster.starts");
         let app = (self.factory)(id);
         let registry = app.registry();
-        let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
-        let (rsp_tx, rsp_rx) = bounded::<Rsp>(1);
-        let thread = std::thread::Builder::new()
-            .name(format!("node-{id}"))
-            .spawn(move || node_main(app, ctl_rx, rsp_tx))
-            .expect("spawn node thread");
         self.deaths.remove(&id);
-        self.nodes.insert(
-            id,
-            NodeHandle {
+        let slot = if self.sim.is_some() {
+            NodeSlot::Direct(DirectNode { app, registry })
+        } else {
+            let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
+            let (rsp_tx, rsp_rx) = bounded::<Rsp>(1);
+            let exit = ExitFlag::new();
+            let exit_for_thread = exit.clone();
+            let thread = std::thread::Builder::new()
+                .name(format!("node-{id}"))
+                .spawn(move || node_main(app, ctl_rx, rsp_tx, exit_for_thread))
+                .expect("spawn node thread");
+            NodeSlot::Threaded(NodeHandle {
                 ctl_tx,
                 rsp_rx,
                 registry,
+                exit,
                 thread: Some(thread),
-            },
-        );
+            })
+        };
+        self.nodes.insert(id, slot);
     }
 
     /// The ids of running nodes.
@@ -282,13 +416,60 @@ impl Cluster {
     }
 
     fn request(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
+        match self.nodes.get(&id) {
+            None => Err(ClusterError::NotRunning(id)),
+            Some(NodeSlot::Threaded(_)) => self.request_threaded(id, msg),
+            Some(NodeSlot::Direct(_)) => self.request_direct(id, msg),
+        }
+    }
+
+    /// One control step on a direct (simulation-backend) node: the
+    /// step is dispatched as an event on the virtual clock — which
+    /// jumps forward by the seeded step cost, instantly — and the
+    /// application code runs inline under the same panic isolation as
+    /// a node thread.
+    fn request_direct(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
+        let sim = self.sim.as_mut().expect("direct node implies sim backend");
+        sim.exec
+            .schedule_after_jittered(SIM_STEP_COST, SIM_STEP_JITTER, id);
+        let _ = sim.exec.pop_next();
+        let node = match self.nodes.get_mut(&id) {
+            Some(NodeSlot::Direct(node)) => node,
+            _ => return Err(ClusterError::NotRunning(id)),
+        };
+        let app = &mut node.app;
+        let outcome = IN_NODE_STEP.with(|flag| {
+            flag.set(true);
+            let result = catch_unwind(AssertUnwindSafe(|| match msg {
+                Ctl::Offers => Rsp::Offers(app.enabled()),
+                Ctl::Execute(action) => Rsp::Done(app.execute(&action)),
+                Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
+                Ctl::Kill => unreachable!("kill is handled by crash(), never dispatched"),
+            }));
+            flag.set(false);
+            result
+        });
+        match outcome {
+            Ok(rsp) => Ok(rsp),
+            Err(payload) => {
+                let reason = panic_message(payload.as_ref());
+                self.bury(id, reason.clone());
+                Err(ClusterError::Died { node: id, reason })
+            }
+        }
+    }
+
+    fn request_threaded(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
         enum Outcome {
             Ok(Rsp),
             Died(String),
             Hung,
         }
         let outcome = {
-            let handle = self.nodes.get(&id).ok_or(ClusterError::NotRunning(id))?;
+            let handle = match self.nodes.get(&id) {
+                Some(NodeSlot::Threaded(handle)) => handle,
+                _ => return Err(ClusterError::NotRunning(id)),
+            };
             if handle.ctl_tx.send(msg).is_err() {
                 Outcome::Died("control channel closed".to_string())
             } else {
@@ -323,8 +504,8 @@ impl Cluster {
     /// abandons the thread without joining (it may be hung forever).
     fn bury(&mut self, id: NodeId, reason: String) {
         self.tally("cluster.deaths");
-        if let Some(handle) = self.nodes.remove(&id) {
-            self.last_snapshot.insert(id, handle.registry.snapshot());
+        if let Some(slot) = self.nodes.remove(&id) {
+            self.last_snapshot.insert(id, slot.registry().snapshot());
         }
         self.deaths.insert(id, reason);
     }
@@ -410,25 +591,34 @@ impl Cluster {
     /// state checks after the crash still see its frozen last state —
     /// the specification keeps modeling a crashed node's variables.
     pub fn crash(&mut self, id: NodeId) {
-        if let Some(mut handle) = self.nodes.remove(&id) {
-            self.tally("cluster.crashes");
-            self.last_snapshot.insert(id, handle.registry.snapshot());
-            // Best-effort kill; a hung node won't read it, and a
-            // blocking send here would hang the harness with it.
-            let _ = handle.ctl_tx.try_send(Ctl::Kill);
-            let thread = handle.thread.take();
-            // Dropping the channels disconnects the node's recv loop.
-            drop(handle);
-            if let Some(t) = thread {
-                // Join only if the thread actually winds down in
-                // time; otherwise detach it — the harness never
-                // blocks on application code.
-                let deadline = Instant::now() + self.reply_timeout;
-                while !t.is_finished() && Instant::now() < deadline {
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                if t.is_finished() {
-                    let _ = t.join();
+        let Some(slot) = self.nodes.remove(&id) else {
+            return;
+        };
+        self.tally("cluster.crashes");
+        self.last_snapshot.insert(id, slot.registry().snapshot());
+        match slot {
+            NodeSlot::Direct(node) => {
+                // No thread to wind down: dropping the app *is* the
+                // crash (in-memory state gone, storage survives).
+                drop(node);
+            }
+            NodeSlot::Threaded(mut handle) => {
+                // Best-effort kill; a hung node won't read it, and a
+                // blocking send here would hang the harness with it.
+                let _ = handle.ctl_tx.try_send(Ctl::Kill);
+                let exit = handle.exit.clone();
+                let thread = handle.thread.take();
+                // Dropping the channels disconnects the node's recv
+                // loop.
+                drop(handle);
+                if let Some(t) = thread {
+                    // Join only if the thread reaches its exit path in
+                    // time (its drop guard signals the flag); otherwise
+                    // detach it — the harness never blocks on
+                    // application code.
+                    if exit.wait_timeout(self.reply_timeout) {
+                        let _ = t.join();
+                    }
                 }
             }
         }
@@ -456,7 +646,21 @@ impl Drop for Cluster {
     }
 }
 
-fn node_main(mut app: Box<dyn NodeApp>, ctl_rx: Receiver<Ctl>, rsp_tx: Sender<Rsp>) {
+fn node_main(
+    mut app: Box<dyn NodeApp>,
+    ctl_rx: Receiver<Ctl>,
+    rsp_tx: Sender<Rsp>,
+    exit: Arc<ExitFlag>,
+) {
+    // Signal the exit flag on every way out of this function — normal
+    // return, kill, or an unwind from the `unreachable!` below.
+    struct SignalOnExit(Arc<ExitFlag>);
+    impl Drop for SignalOnExit {
+        fn drop(&mut self) {
+            self.0.signal();
+        }
+    }
+    let _guard = SignalOnExit(exit);
     while let Ok(msg) = ctl_rx.recv() {
         if matches!(msg, Ctl::Kill) {
             break;
@@ -722,8 +926,11 @@ mod tests {
         }
 
         fn execute(&mut self, _action: &ActionInstance) -> Vec<MsgEvent> {
-            std::thread::sleep(Duration::from_secs(3600));
-            vec![]
+            // Hang forever without burning CPU or wall-clock timers;
+            // park() can wake spuriously, hence the loop.
+            loop {
+                std::thread::park();
+            }
         }
 
         fn registry(&self) -> Arc<VarRegistry> {
@@ -747,5 +954,97 @@ mod tests {
             "harness never waits out a hung node"
         );
         assert!(c.take_deaths().contains_key(&1));
+    }
+
+    #[test]
+    fn crash_joins_a_cooperative_node_promptly() {
+        let mut c = cluster();
+        c.start(&[1]);
+        let start = std::time::Instant::now();
+        c.crash(1);
+        // The condvar wait returns as soon as the node thread signals
+        // its exit flag — well under the 2s reply timeout.
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(!c.is_running(1));
+    }
+
+    fn sim_cluster(factory: NodeFactory, handle: &SimHandle) -> Cluster {
+        Cluster::with_backend(factory, Backend::Sim(handle.clone()))
+    }
+
+    #[test]
+    fn sim_backend_roundtrip_matches_threaded_semantics() {
+        let handle = SimHandle::new(7);
+        let mut c = sim_cluster(Box::new(CounterApp::boxed), &handle);
+        c.start(&[1, 2]);
+        let offers = c.offers().unwrap();
+        assert_eq!(offers.len(), 2);
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        let snap = c.snapshot_node(1).unwrap();
+        assert_eq!(snap, vec![("count".to_string(), Value::Int(1))]);
+        c.crash(1);
+        let agg = c.aggregate_snapshot(&[1, 2]).unwrap();
+        let count = agg.iter().find(|(n, _)| n == "count").unwrap();
+        assert_eq!(count.1.expect_apply(&Value::Int(1)), &Value::Int(1));
+        c.restart(2);
+        assert_eq!(
+            c.snapshot_node(2).unwrap(),
+            vec![("count".to_string(), Value::Int(0))]
+        );
+    }
+
+    #[test]
+    fn sim_backend_advances_virtual_time_only() {
+        let handle = SimHandle::new(7);
+        let mut c = sim_cluster(Box::new(CounterApp::boxed), &handle);
+        c.start(&[1]);
+        let before = handle.clock.now_nanos();
+        c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+        let after = handle.clock.now_nanos();
+        assert!(after > before, "each control step costs virtual time");
+        assert!(
+            after - before <= (SIM_STEP_COST + SIM_STEP_JITTER).as_nanos() as u64,
+            "step cost is bounded"
+        );
+    }
+
+    #[test]
+    fn sim_backend_step_costs_are_seed_deterministic() {
+        let run = |seed: u64| -> Vec<u64> {
+            let handle = SimHandle::new(seed);
+            let mut c = sim_cluster(Box::new(CounterApp::boxed), &handle);
+            c.start(&[1]);
+            (0..3)
+                .map(|_| {
+                    c.execute(1, &ActionInstance::nullary("bump")).unwrap();
+                    handle.clock.now_nanos()
+                })
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same virtual timeline");
+        assert_ne!(run(42), run(43), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn sim_backend_panic_becomes_structured_death() {
+        let handle = SimHandle::new(7);
+        let mut c = sim_cluster(Box::new(PanicApp::boxed), &handle);
+        c.start(&[1, 2]);
+        let err = c.execute(1, &ActionInstance::nullary("boom")).unwrap_err();
+        match &err {
+            ClusterError::Died { node, reason } => {
+                assert_eq!(*node, 1);
+                assert!(reason.contains("boom"), "reason: {reason}");
+            }
+            other => panic!("expected Died, got {other:?}"),
+        }
+        assert!(!c.is_running(1));
+        // The harness thread survives, and the rest of the cluster
+        // keeps answering.
+        assert_eq!(c.offers().unwrap().len(), 2);
+        let agg = c.aggregate_snapshot(&[1, 2]).unwrap();
+        let count = agg.iter().find(|(n, _)| n == "count").unwrap();
+        assert_eq!(count.1.expect_apply(&Value::Int(1)), &Value::Int(0));
+        assert!(c.take_deaths()[&1].contains("boom"));
     }
 }

@@ -15,7 +15,7 @@ pub mod random;
 pub mod registry;
 pub mod sutadapter;
 
-pub use cluster::{Cluster, ClusterError, DiskWiper, NodeApp, NodeFactory, NodeId};
+pub use cluster::{Backend, Cluster, ClusterError, DiskWiper, NodeApp, NodeFactory, NodeId};
 pub use random::{run_random, RandomRunStats, XorShift};
 pub use registry::{Shadow, VarRegistry};
 pub use sutadapter::{ClusterSut, ExternalDriver, DISK_LOSS_ACTION};

@@ -1,0 +1,250 @@
+//! The clock abstraction: real wall time vs. simulated virtual time.
+//!
+//! Everything in the harness that waits, measures, or times out goes
+//! through [`Clock`]. Under [`RealClock`] the calls are exactly what
+//! they replace (`Instant::now()` deltas and `thread::sleep`). Under
+//! [`SimClock`] *now* is a counter and *sleep* is an instant jump:
+//! a 50 ms offer deadline costs zero wall time, and the observed
+//! durations are identical on every run with the same inputs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus a way to wait on it.
+///
+/// `now()` is relative to an arbitrary per-clock epoch; only
+/// differences are meaningful, exactly like `Instant`.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Waits for `d` to elapse on this clock. Real clocks block the
+    /// thread; virtual clocks jump forward instantly.
+    fn sleep(&self, d: Duration);
+
+    /// Whether sleeps are virtual-time jumps (no wall time passes).
+    fn is_virtual(&self) -> bool;
+}
+
+/// Wall-clock time: `Instant` + `thread::sleep`.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A real clock whose epoch is the moment of creation.
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// Identifier of one scheduled timer on a [`SimClock`].
+pub type TimerId = u64;
+
+#[derive(Debug, Default)]
+struct Timers {
+    /// Min-heap of `(deadline_nanos, timer_id)`.
+    heap: BinaryHeap<Reverse<(u64, TimerId)>>,
+    next_id: TimerId,
+}
+
+/// Virtual time: an atomic nanosecond counter plus a min-heap of
+/// outstanding timers.
+///
+/// Time only moves when something advances it — a `sleep`, an
+/// executor delivering its next event, or an explicit
+/// [`advance_to_nanos`](Self::advance_to_nanos). Advancement is
+/// monotonic (`fetch_max`), so cooperating components sharing one
+/// clock can never move it backwards.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+    timers: Mutex<Timers>,
+}
+
+impl SimClock {
+    /// A virtual clock at time zero with no timers.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current virtual time in nanoseconds since epoch (zero).
+    pub fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+
+    /// Moves time forward to `deadline` nanoseconds. Never moves it
+    /// backwards. Returns the (possibly newer) current time.
+    pub fn advance_to_nanos(&self, deadline: u64) -> u64 {
+        self.nanos.fetch_max(deadline, Ordering::SeqCst);
+        self.now_nanos()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let target = self.now_nanos().saturating_add(nanos_of(d));
+        self.advance_to_nanos(target);
+    }
+
+    /// Registers a timer `after` from now; returns its id and pushes
+    /// it onto the min-heap. The timer fires (becomes *due*) once the
+    /// clock reaches its deadline.
+    pub fn schedule(&self, after: Duration) -> TimerId {
+        let deadline = self.now_nanos().saturating_add(nanos_of(after));
+        let mut timers = lock(&self.timers);
+        let id = timers.next_id;
+        timers.next_id += 1;
+        timers.heap.push(Reverse((deadline, id)));
+        id
+    }
+
+    /// Deadline of the earliest outstanding timer, if any.
+    pub fn next_timer_nanos(&self) -> Option<u64> {
+        lock(&self.timers).heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Pops every timer whose deadline is at or before now, in
+    /// (deadline, id) order.
+    pub fn pop_due(&self) -> Vec<TimerId> {
+        let now = self.now_nanos();
+        let mut timers = lock(&self.timers);
+        let mut due = Vec::new();
+        while let Some(&Reverse((at, id))) = timers.heap.peek() {
+            if at > now {
+                break;
+            }
+            timers.heap.pop();
+            due.push(id);
+        }
+        due
+    }
+
+    /// Jumps to the earliest outstanding timer and pops everything due
+    /// there. Returns the fired timers (empty when none are pending).
+    pub fn advance_to_next_timer(&self) -> Vec<TimerId> {
+        match self.next_timer_nanos() {
+            Some(at) => {
+                self.advance_to_nanos(at);
+                self.pop_due()
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+
+    /// A virtual sleep: register a timer, jump straight to it. Any
+    /// other timers that became due along the way fire too — a sleep
+    /// never jumps past an earlier deadline without firing it.
+    fn sleep(&self, d: Duration) {
+        let _ = self.schedule(d);
+        let deadline = self.now_nanos().saturating_add(nanos_of(d));
+        self.advance_to_nanos(deadline);
+        let _ = self.pop_due();
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+fn nanos_of(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Non-poisoning lock: a panic while holding the timer heap must not
+/// take the whole simulation down with it.
+fn lock(m: &Mutex<Timers>) -> std::sync::MutexGuard<'_, Timers> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_starts_at_zero_and_only_moves_forward() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        // Advancing to an older deadline is a no-op.
+        c.advance_to_nanos(1_000);
+        assert_eq!(c.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn sleep_is_an_instant_virtual_jump() {
+        let c = SimClock::new();
+        let wall = Instant::now();
+        c.sleep(Duration::from_secs(3600));
+        assert_eq!(c.now(), Duration::from_secs(3600));
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "an hour of virtual sleep must not cost wall time"
+        );
+        assert!(c.is_virtual());
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let c = SimClock::new();
+        let late = c.schedule(Duration::from_millis(30));
+        let early = c.schedule(Duration::from_millis(10));
+        let mid = c.schedule(Duration::from_millis(20));
+        assert_eq!(c.next_timer_nanos(), Some(10_000_000));
+        assert!(c.pop_due().is_empty(), "nothing due at time zero");
+        c.advance(Duration::from_millis(25));
+        assert_eq!(c.pop_due(), vec![early, mid]);
+        assert_eq!(c.advance_to_next_timer(), vec![late]);
+        assert_eq!(c.now(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let c = SimClock::new();
+        let a = c.schedule(Duration::from_millis(10));
+        let b = c.schedule(Duration::from_millis(10));
+        c.advance(Duration::from_millis(10));
+        assert_eq!(c.pop_due(), vec![a, b]);
+    }
+
+    #[test]
+    fn real_clock_measures_and_sleeps_wall_time() {
+        let c = RealClock::new();
+        let t0 = c.now();
+        c.sleep(Duration::from_millis(2));
+        assert!(c.now() - t0 >= Duration::from_millis(2));
+        assert!(!c.is_virtual());
+    }
+}

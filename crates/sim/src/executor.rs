@@ -1,0 +1,200 @@
+//! Single-threaded cooperative event executor over a [`SimClock`].
+//!
+//! Events are scheduled at virtual deadlines and popped in strict
+//! `(deadline, sequence)` order; popping an event advances the shared
+//! clock to its deadline. There is no preemption and no OS scheduling
+//! anywhere in the loop, so the delivery order — and therefore every
+//! downstream observation — is a pure function of the schedule calls
+//! and the seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::SimClock;
+use crate::rng::SimRng;
+
+/// One scheduled event. Ordering ignores the payload: two events with
+/// equal deadlines fire in scheduling order (their sequence numbers).
+struct Event<E> {
+    at: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Event<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<E> Eq for Event<E> {}
+
+impl<E> PartialOrd for Event<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Event<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The deterministic event loop: a min-heap of `(virtual deadline,
+/// sequence)` over a shared [`SimClock`].
+pub struct SimExecutor<E> {
+    clock: Arc<SimClock>,
+    heap: BinaryHeap<Reverse<Event<E>>>,
+    next_seq: u64,
+    rng: SimRng,
+}
+
+impl<E> SimExecutor<E> {
+    /// An executor over `clock`, with its own seeded jitter stream.
+    pub fn new(clock: Arc<SimClock>, seed: u64) -> Self {
+        SimExecutor {
+            clock,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// The clock this executor advances.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Schedules `payload` at the current virtual time (fires before
+    /// anything scheduled later, after anything already due).
+    pub fn schedule_now(&mut self, payload: E) {
+        self.schedule_after(Duration::ZERO, payload);
+    }
+
+    /// Schedules `payload` at now + `delay`.
+    pub fn schedule_after(&mut self, delay: Duration, payload: E) {
+        let at = self
+            .clock
+            .now_nanos()
+            .saturating_add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
+        self.schedule_at_nanos(at, payload);
+    }
+
+    /// Schedules `payload` at now + `delay` + seeded jitter in
+    /// `[0, max_jitter)`. The jitter stream is part of the seed, so
+    /// re-running the same schedule reproduces the same perturbation —
+    /// this is how a simulated network varies delivery order without
+    /// giving up determinism.
+    pub fn schedule_after_jittered(&mut self, delay: Duration, max_jitter: Duration, payload: E) {
+        let jitter = self
+            .rng
+            .below(u64::try_from(max_jitter.as_nanos()).unwrap_or(u64::MAX));
+        let at = self
+            .clock
+            .now_nanos()
+            .saturating_add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX))
+            .saturating_add(jitter);
+        self.schedule_at_nanos(at, payload);
+    }
+
+    fn schedule_at_nanos(&mut self, at: u64, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event { at, seq, payload }));
+    }
+
+    /// Pops the earliest event, advancing the clock to its deadline.
+    /// `None` when the loop has run dry.
+    pub fn pop_next(&mut self) -> Option<E> {
+        let Reverse(event) = self.heap.pop()?;
+        self.clock.advance_to_nanos(event.at);
+        Some(event.payload)
+    }
+
+    /// Virtual deadline of the next event, if any.
+    pub fn peek_nanos(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Outstanding events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the loop has run dry.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(seed: u64) -> SimExecutor<&'static str> {
+        SimExecutor::new(Arc::new(SimClock::new()), seed)
+    }
+
+    #[test]
+    fn events_fire_in_deadline_then_sequence_order() {
+        let mut e = exec(0);
+        e.schedule_after(Duration::from_millis(20), "late");
+        e.schedule_now("first");
+        e.schedule_now("second");
+        e.schedule_after(Duration::from_millis(10), "mid");
+        assert_eq!(e.pop_next(), Some("first"));
+        assert_eq!(e.pop_next(), Some("second"));
+        assert_eq!(e.pop_next(), Some("mid"));
+        assert_eq!(e.clock().now_nanos(), 10_000_000);
+        assert_eq!(e.pop_next(), Some("late"));
+        assert_eq!(e.clock().now_nanos(), 20_000_000);
+        assert_eq!(e.pop_next(), None);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn popping_never_rewinds_the_clock() {
+        let mut e = exec(0);
+        e.schedule_after(Duration::from_millis(5), "a");
+        e.clock().advance(Duration::from_millis(50));
+        assert_eq!(e.pop_next(), Some("a"));
+        assert_eq!(e.clock().now_nanos(), 50_000_000, "late event, clock stays");
+    }
+
+    #[test]
+    fn jittered_schedules_are_seed_deterministic() {
+        let order = |seed: u64| -> Vec<&'static str> {
+            let mut e = exec(seed);
+            for name in ["a", "b", "c", "d", "e"] {
+                e.schedule_after_jittered(
+                    Duration::from_millis(1),
+                    Duration::from_millis(10),
+                    name,
+                );
+            }
+            std::iter::from_fn(|| e.pop_next()).collect()
+        };
+        assert_eq!(order(42), order(42), "same seed, same delivery order");
+        // With 5 events over a 10ms jitter window, at least one seed
+        // pair in a small sweep must disagree — jitter actually jitters.
+        assert!(
+            (0..16).any(|s| order(s) != order(s + 16)),
+            "jitter must be able to reorder deliveries"
+        );
+    }
+
+    #[test]
+    fn interleaves_with_external_clock_sleeps() {
+        let clock = Arc::new(SimClock::new());
+        let mut e = SimExecutor::new(clock.clone(), 0);
+        e.schedule_after(Duration::from_millis(10), "ev");
+        use crate::clock::Clock;
+        clock.sleep(Duration::from_millis(3));
+        assert_eq!(e.peek_nanos(), Some(10_000_000));
+        assert_eq!(e.pop_next(), Some("ev"));
+        assert_eq!(clock.now_nanos(), 10_000_000);
+    }
+}

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use mocket_core::mapping::{ActionBinding, MappingRegistry};
 use mocket_core::sut::{int_param, ExecReport, SutError};
 use mocket_dsnet::{ClusterStorage, Net, NodeId};
-use mocket_runtime::{Cluster, ClusterSut, ExternalDriver};
+use mocket_runtime::{Backend, Cluster, ClusterSut, ExternalDriver};
 use mocket_tla::{ActionClass, ActionInstance, Value};
 
 use crate::bugs::ZabBugs;
@@ -186,19 +186,28 @@ impl ExternalDriver for ZabDriver {
 /// Builds a deployable ZabKeeper cluster as a Mocket system under
 /// test.
 pub fn make_sut(servers: Vec<NodeId>, bugs: ZabBugs) -> ClusterSut {
+    make_sut_backend(servers, bugs, Backend::Threads)
+}
+
+/// [`make_sut`] on an explicit cluster backend (threads or
+/// simulation).
+pub fn make_sut_backend(servers: Vec<NodeId>, bugs: ZabBugs, backend: Backend) -> ClusterSut {
     let net = Net::new(servers.iter().copied());
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();
-    let cluster = Cluster::new(Box::new(move |id| {
-        Box::new(ZabNode::new(
-            id,
-            factory_servers.clone(),
-            bugs.clone(),
-            factory_net.clone(),
-            storage.for_node(id),
-        )) as Box<dyn mocket_runtime::NodeApp>
-    }));
+    let cluster = Cluster::with_backend(
+        Box::new(move |id| {
+            Box::new(ZabNode::new(
+                id,
+                factory_servers.clone(),
+                bugs.clone(),
+                factory_net.clone(),
+                storage.for_node(id),
+            )) as Box<dyn mocket_runtime::NodeApp>
+        }),
+        backend,
+    );
     ClusterSut::new(cluster, servers, Box::new(ZabDriver { client_counter: 0 }))
 }
 

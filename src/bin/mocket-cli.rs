@@ -4,9 +4,10 @@
 //! mocket-cli check <spec> [--max-states N] [--dot FILE]
 //! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
 //! mocket-cli test <target> [--bug NAME] [--all] [--limit N] [--progress] [--obs-dir DIR]
-//!                          [--priority-edges FILE]
+//!                          [--priority-edges FILE] [--sim] [--sim-seed S]
 //! mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] [--limit N]
-//!                          [--shard-size N] [--poison-threshold K] [--progress] ...
+//!                          [--shard-size N] [--poison-threshold K] [--progress]
+//!                          [--sim] [--sim-seed S] ...
 //! mocket-cli report --obs-dir DIR [--html] [--out FILE]
 //! mocket-cli simulate <target> [--steps N] [--seed S]
 //! mocket-cli list
@@ -36,6 +37,8 @@ use mocket::core::orchestrator::{
 use mocket::core::{Pipeline, PipelineConfig, RetryPolicy, RunConfig, SystemUnderTest, TestCase};
 use mocket::raft_async::XraftBugs;
 use mocket::raft_sync::SyncRaftBugs;
+use mocket::runtime::Backend;
+use mocket::sim::SimHandle;
 use mocket::specs::cachemax::CacheMax;
 use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
 use mocket::specs::zab::{ZabSpec, ZabSpecConfig};
@@ -47,11 +50,11 @@ fn usage() -> ! {
         "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
          mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR] \
-         [--priority-edges FILE]\n  \
+         [--priority-edges FILE] [--sim] [--sim-seed S]\n  \
          mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] \
          [--limit N] [--max-states N] [--max-path-len N] [--shard-size N] \
          [--poison-threshold K] [--max-restarts N] [--heartbeat-ms N] [--lease-ttl-ms N] \
-         [--hang-timeout-ms N] [--progress]\n  \
+         [--hang-timeout-ms N] [--progress] [--sim] [--sim-seed S]\n  \
          mocket-cli report --obs-dir DIR [--html] [--out FILE]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
@@ -94,6 +97,13 @@ impl Args {
     fn flag_bool(&self, key: &str) -> bool {
         self.flags.contains_key(key)
     }
+
+    /// The cluster backend selected by `--sim` / `--sim-seed`:
+    /// `None` means the threaded (real-deployment) backend.
+    fn sim_handle(&self) -> Option<SimHandle> {
+        self.flag_bool("sim")
+            .then(|| SimHandle::new(self.flag_usize("sim-seed", 42) as u64))
+    }
 }
 
 fn spec_by_name(name: &str) -> Arc<dyn Spec> {
@@ -116,7 +126,11 @@ struct Target {
     make: Box<dyn FnMut() -> Box<dyn SystemUnderTest>>,
 }
 
-fn target_by_name(name: &str, bug: Option<&str>) -> Target {
+fn target_by_name(name: &str, bug: Option<&str>, sim: Option<&SimHandle>) -> Target {
+    let backend = match sim {
+        Some(handle) => Backend::Sim(handle.clone()),
+        None => Backend::Threads,
+    };
     match name {
         "xraft" => {
             let mut bugs = XraftBugs::none();
@@ -150,7 +164,11 @@ fn target_by_name(name: &str, bug: Option<&str>) -> Target {
                 spec: Arc::new(RaftSpec::new(cfg)),
                 registry: mocket::raft_async::mapping(),
                 make: Box::new(move || {
-                    Box::new(mocket::raft_async::make_sut(servers.clone(), bugs.clone()))
+                    Box::new(mocket::raft_async::make_sut_backend(
+                        servers.clone(),
+                        bugs.clone(),
+                        backend.clone(),
+                    ))
                 }),
             }
         }
@@ -182,7 +200,11 @@ fn target_by_name(name: &str, bug: Option<&str>) -> Target {
                 spec: Arc::new(RaftSpec::new(cfg)),
                 registry: mocket::raft_sync::mapping(false),
                 make: Box::new(move || {
-                    Box::new(mocket::raft_sync::make_sut(servers.clone(), bugs.clone()))
+                    Box::new(mocket::raft_sync::make_sut_backend(
+                        servers.clone(),
+                        bugs.clone(),
+                        backend.clone(),
+                    ))
                 }),
             }
         }
@@ -207,7 +229,11 @@ fn target_by_name(name: &str, bug: Option<&str>) -> Target {
                 spec: Arc::new(ZabSpec::new(cfg)),
                 registry: mocket::zab::mapping(),
                 make: Box::new(move || {
-                    Box::new(mocket::zab::make_sut(servers.clone(), bugs.clone()))
+                    Box::new(mocket::zab::make_sut_backend(
+                        servers.clone(),
+                        bugs.clone(),
+                        backend.clone(),
+                    ))
                 }),
             }
         }
@@ -293,7 +319,8 @@ fn cmd_test(args: &Args) {
         .map(String::as_str)
         .unwrap_or_else(|| usage());
     let bug = args.flags.get("bug").map(String::as_str);
-    let mut target = target_by_name(name, bug);
+    let sim = args.sim_handle();
+    let mut target = target_by_name(name, bug, sim.as_ref());
     let mut pc = PipelineConfig::default();
     pc.por = false;
     pc.stop_at_first_bug = true;
@@ -301,6 +328,9 @@ fn cmd_test(args: &Args) {
     pc.max_test_cases = args.flag_usize("limit", 0);
     pc.run = RunConfig::fast();
     pc.progress = args.flag_bool("progress");
+    if let Some(handle) = &sim {
+        pc.clock = handle.clock.clone();
+    }
     if let Some(dir) = args.flags.get("obs-dir") {
         match mocket::obs::Obs::jsonl_in(std::path::Path::new(dir)) {
             Ok(obs) => pc.obs = obs,
@@ -466,8 +496,11 @@ fn cmd_campaign(args: &Args) {
         }
     };
 
-    // Model-check once and pin (or verify) the plan.
-    let target = target_by_name(name, bug);
+    // Model-check once and pin (or verify) the plan. The supervisor
+    // itself never deploys a SUT; --sim only needs forwarding to the
+    // workers (each worker owns its own virtual clock).
+    let sim = args.sim_handle();
+    let target = target_by_name(name, bug, sim.as_ref());
     let spec_name = target.spec.name().to_string();
     let obs = mocket::obs::Obs::disabled();
     let mut pc = campaign_pipeline_config(bounds);
@@ -553,6 +586,15 @@ fn cmd_campaign(args: &Args) {
     let poison_threshold = args.flag_usize("poison-threshold", 3);
     let heartbeat_ms = args.flag_usize("heartbeat-ms", 300);
     let ttl_ms = args.flag_usize("lease-ttl-ms", 5000);
+    let sim_args: Vec<String> = if sim.is_some() {
+        vec![
+            "--sim".to_string(),
+            "--sim-seed".to_string(),
+            args.flag_usize("sim-seed", 42).to_string(),
+        ]
+    } else {
+        Vec::new()
+    };
     let mut spawn = |id: usize| -> std::io::Result<std::process::Child> {
         let worker_dir = campaign_dir.join(format!("worker-{id}"));
         std::fs::create_dir_all(&worker_dir)?;
@@ -569,6 +611,7 @@ fn cmd_campaign(args: &Args) {
             .args(["--poison-threshold", &poison_threshold.to_string()])
             .args(["--heartbeat-ms", &heartbeat_ms.to_string()])
             .args(["--lease-ttl-ms", &ttl_ms.to_string()])
+            .args(&sim_args)
             .stdin(std::process::Stdio::null())
             .stdout(std::process::Stdio::from(log))
             .stderr(std::process::Stdio::from(log_err))
@@ -663,7 +706,8 @@ fn cmd_campaign_worker(args: &Args) -> ! {
             std::process::exit(EXIT_PLAN_MISMATCH);
         }
     };
-    let target = target_by_name(&plan.target, plan.bug.as_deref());
+    let sim = args.sim_handle();
+    let target = target_by_name(&plan.target, plan.bug.as_deref(), sim.as_ref());
     let spec = target.spec;
     let registry = target.registry;
     let mut make = target.make;
@@ -685,6 +729,9 @@ fn cmd_campaign_worker(args: &Args) -> ! {
     let bounds = CampaignBounds::from_plan(&plan);
     let mut base_pc = campaign_pipeline_config(bounds);
     base_pc.obs = obs.clone();
+    if let Some(handle) = &sim {
+        base_pc.clock = handle.clock.clone();
+    }
     let base = Pipeline::new(spec.clone(), registry.clone(), base_pc).unwrap_or_else(|issues| {
         eprintln!("worker {worker_id}: mapping issues: {issues:?}");
         std::process::exit(EXIT_PLAN_MISMATCH);
@@ -728,6 +775,9 @@ fn cmd_campaign_worker(args: &Args) -> ! {
     let build = |setup: &ShardSetup| {
         let mut pc = campaign_pipeline_config(bounds);
         pc.obs = obs.clone();
+        if let Some(handle) = &sim {
+            pc.clock = handle.clock.clone();
+        }
         pc.case_range = Some(setup.range);
         pc.case_gate = Some(setup.gate.clone());
         pc.triage.campaign_dir = Some(setup.shard_dir.clone());
@@ -794,7 +844,7 @@ fn cmd_simulate(args: &Args) {
         .get(1)
         .map(String::as_str)
         .unwrap_or_else(|| usage());
-    let mut target = target_by_name(name, None);
+    let mut target = target_by_name(name, None, None);
     let mut sut = (target.make)();
     sut.deploy().expect("deploy");
     // The random driver needs the raw cluster; only cluster-backed

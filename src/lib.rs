@@ -13,6 +13,7 @@ pub use mocket_obs as obs;
 pub use mocket_raft_async as raft_async;
 pub use mocket_raft_sync as raft_sync;
 pub use mocket_runtime as runtime;
+pub use mocket_sim as sim;
 pub use mocket_specs as specs;
 pub use mocket_tla as tla;
 pub use mocket_zab as zab;

@@ -1,0 +1,188 @@
+//! Simulation-backend equivalence: a `--sim` run must be a faithful,
+//! faster replica of the threaded deployment.
+//!
+//! Pinned here, across the real SyncRaft and ZabKeeper clusters:
+//! - real and sim runs of the same buggy workload produce identical
+//!   verdict sets (inconsistency kinds, per-case order) and identical
+//!   minimized reproducers;
+//! - their `events.jsonl` streams are byte-identical and their run
+//!   summaries identical modulo wall-clock (`strip_wall_clock`);
+//! - two sim runs with the same seed are byte-identical *including*
+//!   the wall-clock section — under the virtual clock even the
+//!   `wall_*` keys are deterministic;
+//! - a virtual-clock run spends no wall time sleeping: the sim run of
+//!   a workload full of 50ms offer deadlines finishes in a fraction
+//!   of the real run's wall clock.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mocket::core::{Pipeline, PipelineConfig, RunConfig};
+use mocket::obs::{strip_wall_clock, Obs};
+use mocket::runtime::Backend;
+use mocket::sim::SimHandle;
+use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
+use mocket::specs::zab::{ZabSpec, ZabSpecConfig};
+use mocket::tla::Spec;
+
+/// Everything a backend-equivalence comparison looks at.
+struct RunOutput {
+    /// `(inconsistency kind, minimized reproducer)` per bug report, in
+    /// pipeline order.
+    verdicts: Vec<(String, Option<String>)>,
+    events: String,
+    summary: String,
+    wall_seconds: f64,
+}
+
+fn run_workload<S, M>(
+    spec: Arc<S>,
+    registry: mocket::core::MappingRegistry,
+    make_sut: M,
+    sim: Option<&SimHandle>,
+) -> RunOutput
+where
+    S: Spec + 'static,
+    M: FnMut(Backend) -> Box<dyn mocket::core::SystemUnderTest>,
+{
+    let (obs, rec) = Obs::in_memory();
+    let mut pc = PipelineConfig::default();
+    pc.por = false;
+    pc.stop_at_first_bug = false;
+    pc.max_path_len = 60;
+    pc.max_test_cases = 6;
+    pc.run = RunConfig::fast();
+    pc.obs = obs;
+    let backend = match sim {
+        Some(handle) => {
+            pc.clock = handle.clock.clone();
+            Backend::Sim(handle.clone())
+        }
+        None => Backend::Threads,
+    };
+    let pipeline = Pipeline::new(spec, registry, pc).expect("mapping validates");
+    let start = Instant::now();
+    let mut make_sut = make_sut;
+    let result = pipeline.run(|| make_sut(backend.clone()));
+    let wall_seconds = start.elapsed().as_secs_f64();
+    RunOutput {
+        verdicts: result
+            .reports
+            .iter()
+            .map(|r| {
+                (
+                    r.inconsistency.kind().to_string(),
+                    r.minimized.as_ref().map(|tc| tc.serialize()),
+                )
+            })
+            .collect(),
+        events: rec.to_jsonl(),
+        summary: result.summary.to_json(),
+        wall_seconds,
+    }
+}
+
+fn run_raft(sim: Option<&SimHandle>) -> RunOutput {
+    let mut bugs = mocket::raft_sync::SyncRaftBugs::none();
+    bugs.ignore_extra_vote_response = true;
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.client_request_limit = 0;
+    cfg.candidates = Some(vec![1]);
+    let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+    run_workload(
+        Arc::new(RaftSpec::new(cfg)),
+        mocket::raft_sync::mapping(false),
+        move |backend| {
+            Box::new(mocket::raft_sync::make_sut_backend(
+                servers.clone(),
+                bugs.clone(),
+                backend,
+            ))
+        },
+        sim,
+    )
+}
+
+fn run_zab(sim: Option<&SimHandle>) -> RunOutput {
+    let mut bugs = mocket::zab::ZabBugs::none();
+    bugs.election_echo_storm = true;
+    let cfg = ZabSpecConfig::small(vec![1, 2]);
+    let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+    run_workload(
+        Arc::new(ZabSpec::new(cfg)),
+        mocket::zab::mapping(),
+        move |backend| {
+            Box::new(mocket::zab::make_sut_backend(
+                servers.clone(),
+                bugs.clone(),
+                backend,
+            ))
+        },
+        sim,
+    )
+}
+
+fn assert_equivalent(real: &RunOutput, sim: &RunOutput, system: &str) {
+    assert!(
+        !real.verdicts.is_empty(),
+        "{system}: the seeded bug must produce verdicts"
+    );
+    assert_eq!(
+        real.verdicts, sim.verdicts,
+        "{system}: verdict kinds and minimized schedules must match across backends"
+    );
+    assert_eq!(
+        real.events, sim.events,
+        "{system}: events.jsonl must be byte-identical across backends"
+    );
+    assert_eq!(
+        strip_wall_clock(&real.summary),
+        strip_wall_clock(&sim.summary),
+        "{system}: wall-clock-stripped summaries must be byte-identical"
+    );
+}
+
+#[test]
+fn raft_sync_sim_run_is_equivalent_to_real_run() {
+    let real = run_raft(None);
+    let sim = run_raft(Some(&SimHandle::new(42)));
+    assert_equivalent(&real, &sim, "raft-sync");
+}
+
+#[test]
+fn zab_sim_run_is_equivalent_to_real_run() {
+    let real = run_zab(None);
+    let sim = run_zab(Some(&SimHandle::new(42)));
+    assert_equivalent(&real, &sim, "zab");
+}
+
+#[test]
+fn same_seed_sim_runs_are_fully_byte_identical() {
+    let a = run_raft(Some(&SimHandle::new(7)));
+    let b = run_raft(Some(&SimHandle::new(7)));
+    assert_eq!(a.events, b.events);
+    // Not just modulo wall clock: under the virtual clock the whole
+    // summary — wall_ section included — is deterministic per seed.
+    assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn sim_runs_skip_real_sleeps() {
+    // Each missing-action case in this workload waits out a 50ms
+    // offer deadline through the runner's backoff loop. Real mode
+    // pays it in wall clock; sim mode must jump over it.
+    let real = run_raft(None);
+    let sim = run_raft(Some(&SimHandle::new(42)));
+    assert!(
+        sim.wall_seconds < real.wall_seconds / 2.0,
+        "sim wall {}s vs real wall {}s: virtual time must not cost wall time",
+        sim.wall_seconds,
+        real.wall_seconds
+    );
+    // And the sim run still *reports* the waited-out virtual time.
+    assert!(
+        sim.summary.contains("\"wall_test_seconds\""),
+        "summary keeps its wall section under sim"
+    );
+}
