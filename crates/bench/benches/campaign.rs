@@ -380,6 +380,42 @@ fn run_backend_comparison(smoke: bool) -> Vec<BackendRow> {
                 ))
             }),
         ),
+        // The same buggy campaign under seeded time-based delay
+        // faults: every deployment holds ~40% of messages for a
+        // 5–12ms RTT maturing on the cluster clock. Real mode pays
+        // the holds in wall time; sim mode jumps them — and the
+        // verdict-parity assertion below doubles as the delay-fault
+        // equivalence gate.
+        (
+            "raft-java-buggy-delays",
+            {
+                let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+                cfg.max_term = 2;
+                cfg.client_request_limit = 0;
+                cfg.candidates = Some(vec![1]);
+                Arc::new(RaftSpec::new(cfg))
+            },
+            mocket_raft_sync::mapping(false),
+            if smoke { 4 } else { 12 },
+            Box::new(|backend| {
+                let mut bugs = mocket_raft_sync::SyncRaftBugs::none();
+                bugs.ignore_extra_vote_response = true;
+                let plan = mocket_dsnet::FaultPlan::with_config(
+                    99,
+                    mocket_dsnet::FaultPlanConfig::timed_delays(
+                        Duration::from_millis(5),
+                        Duration::from_millis(2),
+                    ),
+                );
+                Box::new(mocket_raft_sync::make_sut_full(
+                    vec![1, 2, 3],
+                    bugs,
+                    false,
+                    backend,
+                    Some(plan),
+                ))
+            }),
+        ),
     ];
     for (workload, spec, registry, cases_budget, mut make) in workloads {
         let (real_secs, real_cases, real_verdicts) =

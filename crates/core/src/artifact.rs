@@ -848,6 +848,51 @@ mod tests {
         assert_eq!(back, a);
     }
 
+    /// A verbatim artifact as written before the time-based fault
+    /// fields existed (PR-9). Campaign directories in the wild hold
+    /// documents exactly like this one; they must keep parsing, their
+    /// legacy `fault-plan` line must survive untouched, and
+    /// re-serialization must reproduce the document byte-for-byte —
+    /// the new plan keys (`delay_ns`/`link_ns`/`heal_ns`) are only
+    /// ever emitted for plans that actually use them.
+    const PRE_PR9_GOLDEN: &str = "mocket-artifact: v1\n\
+spec: Counter\n\
+spec-config: limit=2 buggy=true\n\
+kind: Missing action\n\
+subject: Add\n\
+summary: Missing action at step 1: Add(5) was never offered.; offered instead: Inc\n\
+determinism: deterministic reruns=2\n\
+fault-plan: seed=42 drop=20 dup=20 delay=40 max_delay=3 reorder=40 partition=5 heal=20\n\
+run: check_initial=true offer_deadline_ms=50 per_action_budget_ms=5000 poll_backoff_ms=1 poll_backoff_max_ms=10\n\
+original-len: 5\n\
+final: Inc\n\
+explain: step\t1\tAdd(5)\n\
+explain: prefix\tInc\n\
+explain: prefix\tAdd(5)\n\
+explain: diff\tn\t6\t5\n\
+explain: verified\t1\t/\\ n = 5\tInc\n\
+init: /\\ n = 0\n\
+step: Inc => /\\ n = 1\n\
+step: Add(5) => /\\ n = 6\n";
+
+    #[test]
+    fn pre_pr9_golden_artifact_roundtrips_byte_identically() {
+        let back = ReplayArtifact::deserialize(PRE_PR9_GOLDEN).unwrap();
+        assert_eq!(
+            back.fault_plan.as_deref(),
+            Some("seed=42 drop=20 dup=20 delay=40 max_delay=3 reorder=40 partition=5 heal=20"),
+            "the legacy fault-plan line must be preserved verbatim"
+        );
+        assert_eq!(
+            back.serialize(),
+            PRE_PR9_GOLDEN,
+            "re-serializing a pre-PR-9 artifact must be byte-identical"
+        );
+        // And the fixture above still produces exactly this document,
+        // so any future format drift fails here first.
+        assert_eq!(artifact().serialize(), PRE_PR9_GOLDEN);
+    }
+
     #[test]
     fn artifact_roundtrip_without_fault_plan() {
         let mut a = artifact();

@@ -19,8 +19,10 @@
 //!   partition decision for every send.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::sync::Arc;
 
+use mocket_sim::{Clock, RealClock};
 use parking_lot::Mutex;
 
 use crate::faults::{FaultDecision, FaultPlan, TraceEntry};
@@ -38,22 +40,34 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// A message held back by a delay fault: released into the inbox once
-/// `after_sends` further messages have been enqueued for the same
-/// destination.
+/// What releases a delayed message back into its inbox.
+#[derive(Debug, Clone, Copy)]
+enum Hold {
+    /// Legacy count-based delay: matures once this many further
+    /// sends have been enqueued for the same destination.
+    Sends(u32),
+    /// Time-based delay: matures once the network's clock reaches
+    /// this absolute nanosecond deadline.
+    Until(u64),
+}
+
+/// A message held back by a delay fault.
 #[derive(Debug)]
 struct Delayed<M> {
-    after_sends: u32,
+    hold: Hold,
     env: Envelope<M>,
 }
 
-#[derive(Debug)]
 struct Inner<M> {
     inboxes: BTreeMap<NodeId, Vec<Envelope<M>>>,
     delayed: BTreeMap<NodeId, Vec<Delayed<M>>>,
     /// Scripted cuts: normalized node pairs that cannot talk.
     partitions: BTreeSet<(NodeId, NodeId)>,
     plan: Option<FaultPlan>,
+    /// The time source delay deadlines and time-mode partitions run
+    /// against: wall clock by default, the shared `SimClock` under
+    /// the virtual-time backend (see [`Net::set_clock`]).
+    clock: Arc<dyn Clock>,
     sent: u64,
     delivered: u64,
     dropped: u64,
@@ -61,6 +75,7 @@ struct Inner<M> {
     delayed_count: u64,
     reordered: u64,
     partition_dropped: u64,
+    crash_discarded: u64,
 }
 
 fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -72,9 +87,16 @@ fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 }
 
 impl<M> Inner<M> {
-    /// Ages the delayed queue for `dest` by one send and releases
-    /// matured messages to the back of the inbox. Called once per
-    /// send addressed to `dest`, whatever the send's own fate.
+    /// Current clock reading in nanoseconds.
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.clock.now().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ages the count-held part of `dest`'s delayed queue by one send
+    /// and releases matured messages to the back of the inbox. Called
+    /// once per send addressed to `dest`, whatever the send's own
+    /// fate. Time-held messages are untouched here — they mature in
+    /// [`release_due`](Self::release_due).
     fn tick_delayed(&mut self, dest: NodeId) {
         let Some(queue) = self.delayed.get_mut(&dest) else {
             return;
@@ -82,23 +104,69 @@ impl<M> Inner<M> {
         let mut released = Vec::new();
         let mut i = 0;
         while i < queue.len() {
-            if queue[i].after_sends <= 1 {
-                released.push(queue.remove(i).env);
-            } else {
-                queue[i].after_sends -= 1;
-                i += 1;
+            match &mut queue[i].hold {
+                Hold::Sends(n) if *n <= 1 => released.push(queue.remove(i).env),
+                Hold::Sends(n) => {
+                    *n -= 1;
+                    i += 1;
+                }
+                Hold::Until(_) => i += 1,
             }
         }
         if !released.is_empty() {
             self.inboxes.entry(dest).or_default().extend(released);
         }
     }
+
+    /// Releases every time-held message for `dest` whose deadline has
+    /// passed, earliest deadline first (ties keep enqueue order), to
+    /// the back of the inbox. Called at every observation point so
+    /// the scheduler's "inbox = deliverable messages" view tracks the
+    /// clock without any background activity.
+    fn release_due(&mut self, dest: NodeId) {
+        let now = self.now_nanos();
+        let Some(queue) = self.delayed.get_mut(&dest) else {
+            return;
+        };
+        let mut matured = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            match queue[i].hold {
+                Hold::Until(at) if at <= now => {
+                    let d = queue.remove(i);
+                    matured.push((at, d.env));
+                }
+                _ => i += 1,
+            }
+        }
+        if queue.is_empty() {
+            self.delayed.remove(&dest);
+        }
+        if !matured.is_empty() {
+            matured.sort_by_key(|&(at, _)| at);
+            self.inboxes
+                .entry(dest)
+                .or_default()
+                .extend(matured.into_iter().map(|(_, env)| env));
+        }
+    }
 }
 
 /// A shared, thread-safe simulated network.
-#[derive(Debug)]
 pub struct Net<M> {
     inner: Mutex<Inner<M>>,
+}
+
+impl<M> fmt::Debug for Net<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Net")
+            .field("nodes", &inner.inboxes.len())
+            .field("in_flight", &inner.inboxes.values().map(Vec::len).sum::<usize>())
+            .field("delayed", &inner.delayed.values().map(Vec::len).sum::<usize>())
+            .field("sent", &inner.sent)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Counters describing network activity.
@@ -118,6 +186,11 @@ pub struct NetStats {
     pub reordered: u64,
     /// Messages discarded by a partition (scripted or planned).
     pub partition_dropped: u64,
+    /// Messages (inbox + delayed) discarded because their destination
+    /// crashed. Keeps the conservation law honest: every sent copy is
+    /// eventually delivered, dropped, partition-dropped, crash-
+    /// discarded, or still in flight.
+    pub crash_discarded: u64,
 }
 
 impl<M: Wire + Clone> Net<M> {
@@ -129,6 +202,7 @@ impl<M: Wire + Clone> Net<M> {
                 delayed: BTreeMap::new(),
                 partitions: BTreeSet::new(),
                 plan: None,
+                clock: Arc::new(RealClock::new()),
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
@@ -136,8 +210,17 @@ impl<M: Wire + Clone> Net<M> {
                 delayed_count: 0,
                 reordered: 0,
                 partition_dropped: 0,
+                crash_discarded: 0,
             }),
         })
+    }
+
+    /// Replaces the time source that delay deadlines and time-mode
+    /// partition heals run against. The virtual-time backend installs
+    /// its shared `SimClock` here so time-based faults mature in
+    /// virtual time; the default is a private real clock.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        self.inner.lock().clock = clock;
     }
 
     /// Sends `msg` from `from` to `to`, round-tripping it through its
@@ -150,11 +233,14 @@ impl<M: Wire + Clone> Net<M> {
     pub fn send(&self, from: NodeId, to: NodeId, msg: &M) -> Result<(), WireError> {
         let msg = msg.wire_roundtrip()?;
         let mut inner = self.inner.lock();
+        let now = inner.now_nanos();
         inner.sent += 1;
         // Age the destination's delayed queue by this send *first*:
         // messages delayed by earlier sends mature ahead of this one,
-        // and a delay fault on this send cannot release itself.
+        // and a delay fault on this send cannot release itself. Then
+        // surface any time-held messages whose deadline has passed.
         inner.tick_delayed(to);
+        inner.release_due(to);
 
         if inner.partitions.contains(&pair(from, to)) {
             inner.partition_dropped += 1;
@@ -163,8 +249,8 @@ impl<M: Wire + Clone> Net<M> {
 
         let decision = match inner.plan.as_mut() {
             Some(plan) => {
-                let (decision, edict) = plan.decide(from, to);
-                let partitioned = edict.is_some() || plan.is_partitioned(from, to);
+                let (decision, edict) = plan.decide_at(from, to, now);
+                let partitioned = edict.is_some() || plan.is_partitioned_at(from, to, now);
                 if decision == FaultDecision::Drop && partitioned {
                     inner.partition_dropped += 1;
                     return Ok(());
@@ -189,11 +275,17 @@ impl<M: Wire + Clone> Net<M> {
                 inner.duplicated += 1;
             }
             FaultDecision::Delay { after_sends } => {
-                inner
-                    .delayed
-                    .entry(to)
-                    .or_default()
-                    .push(Delayed { after_sends, env });
+                inner.delayed.entry(to).or_default().push(Delayed {
+                    hold: Hold::Sends(after_sends),
+                    env,
+                });
+                inner.delayed_count += 1;
+            }
+            FaultDecision::DelayFor { nanos } => {
+                inner.delayed.entry(to).or_default().push(Delayed {
+                    hold: Hold::Until(now.saturating_add(nanos)),
+                    env,
+                });
                 inner.delayed_count += 1;
             }
             FaultDecision::Reorder => {
@@ -204,24 +296,19 @@ impl<M: Wire + Clone> Net<M> {
         Ok(())
     }
 
-    /// A snapshot of `node`'s inbox (oldest first).
+    /// A snapshot of `node`'s inbox (oldest first). Time-held delayed
+    /// messages whose deadline has passed surface first.
     pub fn inbox(&self, node: NodeId) -> Vec<Envelope<M>> {
-        self.inner
-            .lock()
-            .inboxes
-            .get(&node)
-            .cloned()
-            .unwrap_or_default()
+        let mut inner = self.inner.lock();
+        inner.release_due(node);
+        inner.inboxes.get(&node).cloned().unwrap_or_default()
     }
 
     /// Number of messages waiting for `node`.
     pub fn inbox_len(&self, node: NodeId) -> usize {
-        self.inner
-            .lock()
-            .inboxes
-            .get(&node)
-            .map(Vec::len)
-            .unwrap_or(0)
+        let mut inner = self.inner.lock();
+        inner.release_due(node);
+        inner.inboxes.get(&node).map(Vec::len).unwrap_or(0)
     }
 
     /// Removes and returns the first inbox message of `node` matching
@@ -231,6 +318,7 @@ impl<M: Wire + Clone> Net<M> {
         F: Fn(&Envelope<M>) -> bool,
     {
         let mut inner = self.inner.lock();
+        inner.release_due(node);
         let inbox = inner.inboxes.get_mut(&node)?;
         let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
@@ -245,6 +333,7 @@ impl<M: Wire + Clone> Net<M> {
         F: Fn(&Envelope<M>) -> bool,
     {
         let mut inner = self.inner.lock();
+        inner.release_due(node);
         let inbox = inner.inboxes.get_mut(&node)?;
         let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
@@ -259,6 +348,7 @@ impl<M: Wire + Clone> Net<M> {
         F: Fn(&Envelope<M>) -> bool,
     {
         let mut inner = self.inner.lock();
+        inner.release_due(node);
         let inbox = inner.inboxes.get_mut(&node)?;
         let idx = inbox.iter().position(pred)?;
         let copy = inbox[idx].clone();
@@ -269,13 +359,21 @@ impl<M: Wire + Clone> Net<M> {
 
     /// Discards every message addressed to `node` (node crash: the
     /// process's socket buffers die with it). Delayed messages for
-    /// the node die too.
+    /// the node die too, and every discarded copy is accounted in
+    /// [`NetStats::crash_discarded`] so `in_flight()` and the
+    /// conservation law stay consistent — no phantom in-flight
+    /// messages survive a crash.
     pub fn clear_inbox(&self, node: NodeId) {
         let mut inner = self.inner.lock();
+        let mut discarded = 0u64;
         if let Some(inbox) = inner.inboxes.get_mut(&node) {
+            discarded += inbox.len() as u64;
             inbox.clear();
         }
-        inner.delayed.remove(&node);
+        if let Some(queue) = inner.delayed.remove(&node) {
+            discarded += queue.len() as u64;
+        }
+        inner.crash_discarded += discarded;
     }
 
     /// Cuts the link between `a` and `b` in both directions until
@@ -322,14 +420,12 @@ impl<M: Wire + Clone> Net<M> {
             .unwrap_or_default()
     }
 
-    /// Messages currently held back by delay faults for `node`.
+    /// Messages currently held back by delay faults for `node`
+    /// (matured time-held messages surface to the inbox first).
     pub fn delayed_len(&self, node: NodeId) -> usize {
-        self.inner
-            .lock()
-            .delayed
-            .get(&node)
-            .map(Vec::len)
-            .unwrap_or(0)
+        let mut inner = self.inner.lock();
+        inner.release_due(node);
+        inner.delayed.get(&node).map(Vec::len).unwrap_or(0)
     }
 
     /// Releases every delayed message into its destination inbox
@@ -365,6 +461,7 @@ impl<M: Wire + Clone> Net<M> {
             delayed: inner.delayed_count,
             reordered: inner.reordered,
             partition_dropped: inner.partition_dropped,
+            crash_discarded: inner.crash_discarded,
         }
     }
 }
@@ -464,13 +561,9 @@ mod tests {
         let net: Arc<Net<String>> = Net::new([1, 2]);
         // A plan that always delays by exactly 1 send.
         let cfg = FaultPlanConfig {
-            drop_per_mille: 0,
-            duplicate_per_mille: 0,
             delay_per_mille: 1000,
             max_delay: 1,
-            reorder_per_mille: 0,
-            partition_per_mille: 0,
-            partition_heal_after: 0,
+            ..FaultPlanConfig::quiescent()
         };
         net.install_fault_plan(FaultPlan::with_config(5, cfg));
         net.send(1, 2, &"first".to_string()).unwrap();
@@ -546,5 +639,143 @@ mod tests {
         net.clear_inbox(2);
         assert_eq!(net.delayed_len(2), 0);
         assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.stats().crash_discarded, 1);
+    }
+
+    /// Conservation law: every sent copy (plus duplicates) ends up
+    /// delivered, dropped, partition-dropped, crash-discarded, or
+    /// still in flight. `clear_inbox` used to discard silently and
+    /// leave the ledger unbalanced.
+    fn assert_conserved<Msg: crate::wire::Wire + Clone>(net: &Net<Msg>) {
+        let s = net.stats();
+        assert_eq!(
+            s.sent + s.duplicated,
+            s.delivered + s.dropped + s.partition_dropped + s.crash_discarded
+                + net.in_flight() as u64,
+            "message ledger out of balance: {s:?}"
+        );
+    }
+
+    #[test]
+    fn crash_accounting_keeps_the_ledger_balanced() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        let net: Arc<Net<String>> = Net::new([1, 2, 3]);
+        net.install_fault_plan(FaultPlan::with_config(
+            99,
+            FaultPlanConfig::aggressive(),
+        ));
+        for i in 0..300u64 {
+            let from = 1 + i % 3;
+            let to = 1 + (i + 1) % 3;
+            net.send(from, to, &format!("m{i}")).unwrap();
+            if i % 37 == 0 {
+                net.clear_inbox(to);
+            }
+            if i % 11 == 0 {
+                net.take_matching(to, |_| true);
+            }
+            assert_conserved(&net);
+        }
+        net.clear_inbox(1);
+        net.clear_inbox(2);
+        net.clear_inbox(3);
+        assert_conserved(&net);
+        net.flush_delayed();
+        assert_conserved(&net);
+    }
+
+    #[test]
+    fn time_based_delay_matures_on_the_injected_clock() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        use mocket_sim::SimClock;
+        use std::time::Duration;
+
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        let clock = Arc::new(SimClock::new());
+        net.set_clock(clock.clone());
+        // Every send delayed by exactly delay_nanos (no spread, and
+        // jitter scales with rolls so allow the full [base, 2*base)).
+        let cfg = FaultPlanConfig {
+            delay_per_mille: 1000,
+            delay_nanos: 1_000_000, // 1ms base
+            ..FaultPlanConfig::quiescent()
+        };
+        net.install_fault_plan(FaultPlan::with_config(5, cfg));
+        net.send(1, 2, &"held".to_string()).unwrap();
+        assert_eq!(net.inbox_len(2), 0, "held back at virtual t=0");
+        assert_eq!(net.delayed_len(2), 1);
+        assert_eq!(net.in_flight(), 1, "delayed messages stay in flight");
+        // Short of any possible deadline: still held.
+        clock.advance(Duration::from_micros(999));
+        assert_eq!(net.inbox_len(2), 0);
+        // Past the maximum possible deadline (2*base): released, and
+        // purely by observation — no send needed to tick it.
+        clock.advance(Duration::from_millis(2));
+        assert_eq!(net.inbox_len(2), 1);
+        assert_eq!(net.delayed_len(2), 0);
+        let env = net.take_matching(2, |_| true).unwrap();
+        assert_eq!(env.msg, "held");
+        assert_eq!(net.stats().delayed, 1);
+    }
+
+    #[test]
+    fn time_held_messages_release_in_deadline_order() {
+        use mocket_sim::SimClock;
+        use std::time::Duration;
+
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        let clock = Arc::new(SimClock::new());
+        net.set_clock(clock.clone());
+        // Build the held queue by hand through the plan-free path:
+        // install per-message plans is clumsy, so drive decide order
+        // via two separate sends under configs with different bases.
+        // Simpler: hold three messages with explicit deadlines.
+        {
+            let mut inner = net.inner.lock();
+            for (at, name) in [(30u64, "c"), (10, "a"), (20, "b")] {
+                inner.delayed.entry(2).or_default().push(Delayed {
+                    hold: Hold::Until(at * 1_000_000),
+                    env: Envelope {
+                        from: 1,
+                        msg: name.to_string(),
+                    },
+                });
+                inner.delayed_count += 1;
+            }
+        }
+        clock.advance(Duration::from_millis(40));
+        let order: Vec<String> = net.inbox(2).into_iter().map(|e| e.msg).collect();
+        assert_eq!(order, ["a", "b", "c"], "earliest deadline first");
+    }
+
+    #[test]
+    fn timed_replay_is_deterministic_under_a_sim_clock() {
+        use crate::faults::{FaultPlan, FaultPlanConfig};
+        use mocket_sim::SimClock;
+        use std::time::Duration;
+
+        let run = |seed: u64| {
+            let net: Arc<Net<String>> = Net::new([1, 2, 3]);
+            let clock = Arc::new(SimClock::new());
+            net.set_clock(clock.clone());
+            net.install_fault_plan(FaultPlan::with_config(
+                seed,
+                FaultPlanConfig::timed_delays(
+                    Duration::from_millis(2),
+                    Duration::from_millis(1),
+                ),
+            ));
+            for i in 0..200u64 {
+                let from = 1 + i % 3;
+                let to = 1 + (i + 1) % 3;
+                net.send(from, to, &format!("m{i}")).unwrap();
+                clock.advance(Duration::from_micros(500));
+            }
+            clock.advance(Duration::from_millis(10));
+            let inboxes: Vec<_> = (1..=3).map(|n| net.inbox(n)).collect();
+            (net.fault_trace(), inboxes, net.stats())
+        };
+        assert_eq!(run(42), run(42), "same seed, byte-identical outcome");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
     }
 }

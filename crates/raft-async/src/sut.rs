@@ -206,9 +206,28 @@ pub fn make_sut(servers: Vec<NodeId>, bugs: XraftBugs) -> ClusterSut {
 }
 
 /// [`make_sut`] on an explicit cluster backend (threads or
-/// simulation).
+/// simulation). Under [`Backend::Sim`] the network runs on the
+/// simulation's shared virtual clock, so time-based delay faults
+/// mature deterministically in virtual time.
 pub fn make_sut_backend(servers: Vec<NodeId>, bugs: XraftBugs, backend: Backend) -> ClusterSut {
+    make_sut_full(servers, bugs, backend, None)
+}
+
+/// [`make_sut_backend`] plus an optional seed-driven fault plan
+/// installed on the network before deployment.
+pub fn make_sut_full(
+    servers: Vec<NodeId>,
+    bugs: XraftBugs,
+    backend: Backend,
+    fault_plan: Option<mocket_dsnet::FaultPlan>,
+) -> ClusterSut {
     let net = Net::new(servers.iter().copied());
+    if let Backend::Sim(handle) = &backend {
+        net.set_clock(handle.clock.clone());
+    }
+    if let Some(plan) = fault_plan {
+        net.install_fault_plan(plan);
+    }
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();

@@ -190,7 +190,28 @@ pub fn make_sut_with_options_backend(
     expose_update_term: bool,
     backend: Backend,
 ) -> ClusterSut {
+    make_sut_full(servers, bugs, expose_update_term, backend, None)
+}
+
+/// [`make_sut_with_options_backend`] plus an optional seed-driven
+/// fault plan installed on the network before deployment. Under
+/// [`Backend::Sim`] the network additionally runs on the simulation's
+/// shared virtual clock, so time-based delay faults and time-mode
+/// partition heals mature in virtual time.
+pub fn make_sut_full(
+    servers: Vec<NodeId>,
+    bugs: SyncRaftBugs,
+    expose_update_term: bool,
+    backend: Backend,
+    fault_plan: Option<mocket_dsnet::FaultPlan>,
+) -> ClusterSut {
     let net = Net::new(servers.iter().copied());
+    if let Backend::Sim(handle) = &backend {
+        net.set_clock(handle.clock.clone());
+    }
+    if let Some(plan) = fault_plan {
+        net.install_fault_plan(plan);
+    }
     let storage: Arc<ClusterStorage<Value>> = ClusterStorage::new();
     let factory_net = net.clone();
     let factory_servers = servers.clone();

@@ -20,17 +20,31 @@
 //! request but not the whole campaign.
 //!
 //! **Simulation backend.** [`Backend::Sim`] replaces the one-thread-
-//! per-node deployment with direct in-process calls sequenced by a
+//! per-node deployment with direct in-process nodes sequenced by a
 //! [`mocket_sim::SimExecutor`]: every control step is an event on the
-//! shared virtual clock, so a whole test case runs with zero thread
-//! spawns, zero channel round-trips and zero wall-clock sleeps while
-//! preserving the threaded backend's observable request/reply order.
-//! Panic isolation carries over (steps run under `catch_unwind` with
-//! the same structured [`ClusterError::Died`] reporting); the one
-//! behaviour the direct backend cannot reproduce is detaching a *hung*
-//! node — application code that never returns would stall the harness
-//! thread itself. The protocol crates under test never block, so this
-//! only matters for adversarial `NodeApp` implementations.
+//! shared virtual clock, so a whole test case runs with zero per-node
+//! thread spawns and zero wall-clock sleeps while preserving the
+//! threaded backend's observable request/reply order. Panic isolation
+//! carries over (steps run under `catch_unwind` with the same
+//! structured [`ClusterError::Died`] reporting).
+//!
+//! **Virtual-deadline watchdog.** Hung nodes are detached under the
+//! simulation backend too: execution steps — the only place the
+//! harness runs open-ended application code — run on a single lazily
+//! spawned *sandbox* thread (one per cluster, reused across steps and
+//! nodes), and the harness waits on the reply channel with the same
+//! real-time grace bound the threaded backend uses (observation
+//! hooks, offer collection and snapshots, stay inline on the hot
+//! path). A step that
+//! exceeds the grace while virtual time is frozen is killed at its
+//! virtual deadline — the sandbox thread (and the app stuck inside
+//! it) is abandoned, the virtual clock advances by exactly the reply
+//! timeout so the timeout is deterministic per seed, and the node is
+//! buried with the identical `request timed out` →
+//! [`ClusterError::Unresponsive`] verdict path as threaded mode. A
+//! forever-blocking `NodeApp` therefore yields the same structured
+//! watchdog verdict on both backends instead of hanging a `--sim`
+//! campaign.
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -39,7 +53,7 @@ use std::sync::{Arc, Condvar, Mutex, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use mocket_core::sut::MsgEvent;
 use mocket_sim::{SimExecutor, SimHandle};
@@ -139,10 +153,14 @@ struct NodeHandle {
     thread: Option<JoinHandle<()>>,
 }
 
-/// A node hosted directly on the harness thread (simulation backend):
-/// no thread, no channels, every step an instant virtual-time event.
+/// A node hosted in-process (simulation backend): every step an
+/// instant virtual-time event, executed on the cluster's shared
+/// sandbox thread under the watchdog. `app` is `None` only while a
+/// step is in flight on the sandbox — or forever, if that step hung
+/// and the sandbox was abandoned (the node is buried then, so the
+/// slot is gone too).
 struct DirectNode {
-    app: Box<dyn NodeApp>,
+    app: Option<Box<dyn NodeApp>>,
     registry: Arc<VarRegistry>,
 }
 
@@ -211,9 +229,9 @@ impl std::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {}
 
 thread_local! {
-    /// True while the harness thread is executing application code on
-    /// behalf of a direct (simulation-backend) node, so the panic hook
-    /// can tell a caught node fault from a genuine harness panic.
+    /// True while a thread is executing application code on behalf of
+    /// a direct (simulation-backend) node, so the panic hook can tell
+    /// a caught node fault from a genuine harness panic.
     static IN_NODE_STEP: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -277,8 +295,115 @@ const SIM_STEP_COST: Duration = Duration::from_micros(50);
 /// time-dependent paths) while staying bit-reproducible per seed.
 const SIM_STEP_JITTER: Duration = Duration::from_micros(20);
 
+/// One step shipped to the sandbox thread: the app to run it on and
+/// the control message to handle.
+struct SandboxStep {
+    app: Box<dyn NodeApp>,
+    msg: Ctl,
+}
+
+/// What came back from the sandbox for one step.
+enum SandboxReply {
+    /// The step completed; the app returns to its node slot.
+    Done {
+        app: Box<dyn NodeApp>,
+        rsp: Rsp,
+    },
+    /// The app panicked mid-step (and was dropped with the unwind).
+    Panicked(String),
+}
+
+/// The simulation backend's sandbox: a single reusable worker thread
+/// that runs direct-node application code so the harness thread can
+/// bound each step with a real-time grace (the virtual-deadline
+/// watchdog). Abandoned wholesale — channels dropped, thread never
+/// joined — when a step hangs; the next step lazily respawns it.
+struct Sandbox {
+    step_tx: Sender<SandboxStep>,
+    reply_rx: Receiver<SandboxReply>,
+}
+
+/// Yield-loop iterations before parking on the OS. A direct-node step
+/// is typically a few microseconds of application code, so a short
+/// `yield_now` loop on both sides of the sandbox channels hands the
+/// CPU straight to the peer thread instead of paying a futex
+/// park/unpark round-trip per step — most of the sim backend's
+/// throughput edge over threaded mode on step-dense workloads, and
+/// (unlike a busy spin) safe on a single-CPU host, where spinning
+/// would stall the peer for a full scheduler timeslice. A hung step
+/// still parks: the loop gives up long before the watchdog grace and
+/// falls back to a blocking wait.
+const SANDBOX_SPIN: u32 = 64;
+
+impl Sandbox {
+    fn spawn() -> Sandbox {
+        let (step_tx, step_rx) = bounded::<SandboxStep>(1);
+        let (reply_tx, reply_rx) = bounded::<SandboxReply>(1);
+        // The `node-` name prefix routes this thread's panics through
+        // the node panic hook, same as threaded-backend node threads.
+        std::thread::Builder::new()
+            .name("node-sandbox".to_string())
+            .spawn(move || sandbox_main(step_rx, reply_tx))
+            .expect("spawn sim sandbox thread");
+        Sandbox { step_tx, reply_rx }
+    }
+
+    /// Spin-then-park wait for the in-flight step's reply, bounded by
+    /// the watchdog grace once parked.
+    fn recv_reply(&self, grace: Duration) -> Result<SandboxReply, RecvTimeoutError> {
+        for _ in 0..SANDBOX_SPIN {
+            match self.reply_rx.try_recv() {
+                Ok(reply) => return Ok(reply),
+                Err(TryRecvError::Empty) => std::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+            }
+        }
+        self.reply_rx.recv_timeout(grace)
+    }
+}
+
+/// Spin-then-park wait for the next step on the sandbox side.
+fn sandbox_recv(step_rx: &Receiver<SandboxStep>) -> Option<SandboxStep> {
+    for _ in 0..SANDBOX_SPIN {
+        match step_rx.try_recv() {
+            Ok(step) => return Some(step),
+            Err(TryRecvError::Empty) => std::thread::yield_now(),
+            Err(TryRecvError::Disconnected) => return None,
+        }
+    }
+    step_rx.recv().ok()
+}
+
+fn sandbox_main(step_rx: Receiver<SandboxStep>, reply_tx: Sender<SandboxReply>) {
+    while let Some(SandboxStep { mut app, msg }) = sandbox_recv(&step_rx) {
+        let outcome = IN_NODE_STEP.with(|flag| {
+            flag.set(true);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let rsp = match msg {
+                    Ctl::Offers => Rsp::Offers(app.enabled()),
+                    Ctl::Execute(action) => Rsp::Done(app.execute(&action)),
+                    Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
+                    Ctl::Kill => unreachable!("kill is handled by crash(), never dispatched"),
+                };
+                (app, rsp)
+            }));
+            flag.set(false);
+            result
+        });
+        let reply = match outcome {
+            Ok((app, rsp)) => SandboxReply::Done { app, rsp },
+            Err(payload) => SandboxReply::Panicked(panic_message(payload.as_ref())),
+        };
+        if reply_tx.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
 struct SimState {
     exec: SimExecutor<NodeId>,
+    /// Lazily spawned, abandoned on a hung step.
+    sandbox: Option<Sandbox>,
 }
 
 /// A running instrumented cluster.
@@ -309,6 +434,7 @@ impl Cluster {
             Backend::Threads => None,
             Backend::Sim(handle) => Some(SimState {
                 exec: SimExecutor::new(handle.clock.clone(), handle.seed),
+                sandbox: None,
             }),
         };
         Cluster {
@@ -338,10 +464,19 @@ impl Cluster {
         }
     }
 
-    /// Sets the per-request reply timeout.
+    /// Sets the per-request reply timeout (builder form).
     pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
-        self.reply_timeout = timeout;
+        self.set_reply_timeout(timeout);
         self
+    }
+
+    /// Sets the per-request reply timeout on a running cluster. On
+    /// both backends this is the real-time grace an application step
+    /// gets before the watchdog detaches the node; under the
+    /// simulation backend it is also exactly how far the virtual
+    /// clock jumps when a step times out.
+    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+        self.reply_timeout = timeout;
     }
 
     /// Installs the disk wiper used by [`wipe_disk`](Self::wipe_disk).
@@ -384,7 +519,10 @@ impl Cluster {
         let registry = app.registry();
         self.deaths.remove(&id);
         let slot = if self.sim.is_some() {
-            NodeSlot::Direct(DirectNode { app, registry })
+            NodeSlot::Direct(DirectNode {
+                app: Some(app),
+                registry,
+            })
         } else {
             let (ctl_tx, ctl_rx) = bounded::<Ctl>(1);
             let (rsp_tx, rsp_rx) = bounded::<Rsp>(1);
@@ -426,33 +564,111 @@ impl Cluster {
     /// One control step on a direct (simulation-backend) node: the
     /// step is dispatched as an event on the virtual clock — which
     /// jumps forward by the seeded step cost, instantly — and the
-    /// application code runs inline under the same panic isolation as
-    /// a node thread.
+    /// application code runs on the cluster's sandbox thread under
+    /// the same panic isolation and the same real-time grace bound as
+    /// a threaded node (the virtual-deadline watchdog).
     fn request_direct(&mut self, id: NodeId, msg: Ctl) -> Result<Rsp, ClusterError> {
         let sim = self.sim.as_mut().expect("direct node implies sim backend");
         sim.exec
             .schedule_after_jittered(SIM_STEP_COST, SIM_STEP_JITTER, id);
         let _ = sim.exec.pop_next();
-        let node = match self.nodes.get_mut(&id) {
-            Some(NodeSlot::Direct(node)) => node,
+        let mut app = match self.nodes.get_mut(&id) {
+            Some(NodeSlot::Direct(node)) => match node.app.take() {
+                Some(app) => app,
+                // Unreachable in practice: a node whose app was lost
+                // to a hung step is buried in the same breath.
+                None => return Err(ClusterError::NotRunning(id)),
+            },
             _ => return Err(ClusterError::NotRunning(id)),
         };
-        let app = &mut node.app;
-        let outcome = IN_NODE_STEP.with(|flag| {
-            flag.set(true);
-            let result = catch_unwind(AssertUnwindSafe(|| match msg {
-                Ctl::Offers => Rsp::Offers(app.enabled()),
-                Ctl::Execute(action) => Rsp::Done(app.execute(&action)),
-                Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
-                Ctl::Kill => unreachable!("kill is handled by crash(), never dispatched"),
-            }));
-            flag.set(false);
-            result
-        });
+        // Observation hooks (offer collection, snapshots) run inline:
+        // they are the step-dense hot path — one per node per offer
+        // poll — and crossing to the sandbox thread for each would
+        // cost two context switches apiece. The virtual-deadline
+        // watchdog guards *execution* steps, the only place the
+        // harness runs open-ended application code.
+        if !matches!(msg, Ctl::Execute(_)) {
+            let outcome = IN_NODE_STEP.with(|flag| {
+                flag.set(true);
+                let result = catch_unwind(AssertUnwindSafe(|| match &msg {
+                    Ctl::Offers => Rsp::Offers(app.enabled()),
+                    Ctl::Snapshot => Rsp::Snapshot(app.registry().snapshot()),
+                    Ctl::Execute(_) | Ctl::Kill => {
+                        unreachable!("execute is sandboxed, kill is handled by crash()")
+                    }
+                }));
+                flag.set(false);
+                result
+            });
+            return match outcome {
+                Ok(rsp) => {
+                    if let Some(NodeSlot::Direct(node)) = self.nodes.get_mut(&id) {
+                        node.app = Some(app);
+                    }
+                    Ok(rsp)
+                }
+                Err(payload) => {
+                    let reason = panic_message(payload.as_ref());
+                    self.bury(id, reason.clone());
+                    Err(ClusterError::Died { node: id, reason })
+                }
+            };
+        }
+        enum StepOutcome {
+            Done { app: Box<dyn NodeApp>, rsp: Rsp },
+            Panicked(String),
+            Hung,
+            /// The sandbox thread died outside a step (it only exits
+            /// when its channels drop, so this is a cannot-happen
+            /// diagnostic rather than a real path).
+            ChannelLost(&'static str),
+        }
+        let grace = self.reply_timeout;
+        let outcome = {
+            let sim = self.sim.as_mut().expect("direct node implies sim backend");
+            let sandbox = sim.sandbox.get_or_insert_with(Sandbox::spawn);
+            if sandbox.step_tx.send(SandboxStep { app, msg }).is_err() {
+                StepOutcome::ChannelLost("sandbox channel closed")
+            } else {
+                match sandbox.recv_reply(grace) {
+                    Ok(SandboxReply::Done { app, rsp }) => StepOutcome::Done { app, rsp },
+                    Ok(SandboxReply::Panicked(reason)) => StepOutcome::Panicked(reason),
+                    Err(RecvTimeoutError::Timeout) => StepOutcome::Hung,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        StepOutcome::ChannelLost("sandbox reply channel closed")
+                    }
+                }
+            }
+        };
         match outcome {
-            Ok(rsp) => Ok(rsp),
-            Err(payload) => {
-                let reason = panic_message(payload.as_ref());
+            StepOutcome::Done { app, rsp } => {
+                if let Some(NodeSlot::Direct(node)) = self.nodes.get_mut(&id) {
+                    node.app = Some(app);
+                }
+                Ok(rsp)
+            }
+            StepOutcome::Panicked(reason) => {
+                self.bury(id, reason.clone());
+                Err(ClusterError::Died { node: id, reason })
+            }
+            StepOutcome::Hung => {
+                // The virtual-deadline watchdog fired: the step burned
+                // its real-time grace while virtual time stood still.
+                // Abandon the sandbox (and the app stuck inside it) —
+                // a late reply on the dropped channel can never
+                // desynchronise a future step — advance the virtual
+                // clock by exactly the grace so the timeout lands at a
+                // deterministic virtual deadline, and bury the node
+                // through the identical path threaded mode takes.
+                let sim = self.sim.as_mut().expect("sim backend");
+                sim.sandbox = None;
+                sim.exec.clock().advance(grace);
+                self.bury(id, "request timed out".to_string());
+                Err(ClusterError::Unresponsive(id))
+            }
+            StepOutcome::ChannelLost(what) => {
+                let reason = what.to_string();
+                self.sim.as_mut().expect("sim backend").sandbox = None;
                 self.bury(id, reason.clone());
                 Err(ClusterError::Died { node: id, reason })
             }
@@ -502,12 +718,17 @@ impl Cluster {
     /// Deregisters a dead or hung node: freezes its shadow variables
     /// from the harness-side registry handle, records the cause, and
     /// abandons the thread without joining (it may be hung forever).
+    ///
+    /// First reason wins: if the node is already in the death record
+    /// (e.g. a hang was detected and [`crash`](Self::crash) follows
+    /// before [`take_deaths`](Self::take_deaths) drains it), the
+    /// original cause is kept and nothing is double-reported.
     fn bury(&mut self, id: NodeId, reason: String) {
         self.tally("cluster.deaths");
         if let Some(slot) = self.nodes.remove(&id) {
             self.last_snapshot.insert(id, slot.registry().snapshot());
         }
-        self.deaths.insert(id, reason);
+        self.deaths.entry(id).or_insert(reason);
     }
 
     /// Drains the record of involuntary node deaths (panics, hangs,
@@ -956,6 +1177,32 @@ mod tests {
         assert!(c.take_deaths().contains_key(&1));
     }
 
+    /// Satellite regression: crashing a threaded node that already
+    /// hung (and was detached by the watchdog) must record its death
+    /// reason exactly once — the original hang reason — and never
+    /// double-report into `take_deaths()`.
+    #[test]
+    fn crash_on_hung_node_records_death_exactly_once() {
+        let mut c = Cluster::new(Box::new(HangApp::boxed))
+            .with_reply_timeout(Duration::from_millis(100));
+        c.start(&[1]);
+        let err = c.execute(1, &ActionInstance::nullary("stall")).unwrap_err();
+        assert!(matches!(err, ClusterError::Unresponsive(1)));
+        // Crash the already-buried node: best-effort kill on a thread
+        // that will never read it. Must return promptly and must not
+        // touch the death record.
+        let start = std::time::Instant::now();
+        c.crash(1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "crash on a detached node returns without joining"
+        );
+        let deaths = c.take_deaths();
+        assert_eq!(deaths.len(), 1, "exactly one death entry: {deaths:?}");
+        assert_eq!(deaths[&1], "request timed out");
+        assert!(c.take_deaths().is_empty(), "no second report");
+    }
+
     #[test]
     fn crash_joins_a_cooperative_node_promptly() {
         let mut c = cluster();
@@ -1023,6 +1270,52 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed, same virtual timeline");
         assert_ne!(run(42), run(43), "different seeds jitter differently");
+    }
+
+    /// The tentpole: a forever-blocking step under the simulation
+    /// backend is killed at its virtual deadline instead of hanging
+    /// the harness, through the identical `Unresponsive` path the
+    /// threaded watchdog takes.
+    #[test]
+    fn sim_backend_detaches_a_hung_node_at_the_virtual_deadline() {
+        let handle = SimHandle::new(7);
+        let mut c = sim_cluster(Box::new(HangApp::boxed), &handle);
+        c.set_reply_timeout(Duration::from_millis(100));
+        c.start(&[1, 2]);
+        let before = handle.clock.now_nanos();
+        let start = std::time::Instant::now();
+        let err = c.execute(1, &ActionInstance::nullary("stall")).unwrap_err();
+        assert!(matches!(err, ClusterError::Unresponsive(1)));
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "the harness never waits out a hung direct node"
+        );
+        assert!(!c.is_running(1), "hung node is deregistered");
+        // The virtual clock advanced by exactly step cost + grace:
+        // deterministic, so real and sim verdicts line up per seed.
+        let advanced = handle.clock.now_nanos() - before;
+        assert!(
+            advanced >= Duration::from_millis(100).as_nanos() as u64,
+            "virtual deadline includes the full grace ({advanced}ns)"
+        );
+        // The cluster survives: node 2 still answers on a respawned
+        // sandbox, and the death record matches threaded mode.
+        assert_eq!(c.offers().unwrap().len(), 1);
+        c.shutdown();
+        assert_eq!(c.take_deaths()[&1], "request timed out");
+    }
+
+    #[test]
+    fn sim_hang_timeline_is_seed_deterministic() {
+        let run = |seed: u64| -> (u64, String) {
+            let handle = SimHandle::new(seed);
+            let mut c = sim_cluster(Box::new(HangApp::boxed), &handle);
+            c.set_reply_timeout(Duration::from_millis(50));
+            c.start(&[1]);
+            let err = c.execute(1, &ActionInstance::nullary("stall")).unwrap_err();
+            (handle.clock.now_nanos(), err.to_string())
+        };
+        assert_eq!(run(42), run(42), "same seed, same virtual deadline");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]
 //! mocket-cli test <target> [--bug NAME] [--all] [--limit N] [--progress] [--obs-dir DIR]
 //!                          [--priority-edges FILE] [--sim] [--sim-seed S]
+//!                          [--rtt-ms B] [--rtt-spread-ms S]
 //! mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] [--limit N]
 //!                          [--shard-size N] [--poison-threshold K] [--progress]
-//!                          [--sim] [--sim-seed S] ...
+//!                          [--sim] [--sim-seed S] [--rtt-ms B] [--rtt-spread-ms S] ...
 //! mocket-cli report --obs-dir DIR [--html] [--out FILE]
 //! mocket-cli simulate <target> [--steps N] [--seed S]
 //! mocket-cli list
@@ -35,6 +36,7 @@ use mocket::core::orchestrator::{
     ShardSetup, SupervisorConfig, WorkerConfig, WorkerContext, EXIT_PLAN_MISMATCH,
 };
 use mocket::core::{Pipeline, PipelineConfig, RetryPolicy, RunConfig, SystemUnderTest, TestCase};
+use mocket::dsnet::{FaultPlan, FaultPlanConfig};
 use mocket::raft_async::XraftBugs;
 use mocket::raft_sync::SyncRaftBugs;
 use mocket::runtime::Backend;
@@ -50,11 +52,12 @@ fn usage() -> ! {
         "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
          mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR] \
-         [--priority-edges FILE] [--sim] [--sim-seed S]\n  \
+         [--priority-edges FILE] [--sim] [--sim-seed S] [--rtt-ms B] [--rtt-spread-ms S]\n  \
          mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] \
          [--limit N] [--max-states N] [--max-path-len N] [--shard-size N] \
          [--poison-threshold K] [--max-restarts N] [--heartbeat-ms N] [--lease-ttl-ms N] \
-         [--hang-timeout-ms N] [--progress] [--sim] [--sim-seed S]\n  \
+         [--hang-timeout-ms N] [--progress] [--sim] [--sim-seed S] \
+         [--rtt-ms B] [--rtt-spread-ms S]\n  \
          mocket-cli report --obs-dir DIR [--html] [--out FILE]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
@@ -104,6 +107,38 @@ impl Args {
         self.flag_bool("sim")
             .then(|| SimHandle::new(self.flag_usize("sim-seed", 42) as u64))
     }
+
+    /// Virtual link latency selected by `--rtt-ms` / `--rtt-spread-ms`:
+    /// when set, every SUT network gets a seed-driven fault plan that
+    /// holds messages for a base RTT plus a stable per-link offset and
+    /// per-message jitter. The holds mature on the cluster clock —
+    /// virtual time under `--sim`, wall time on the threaded backend —
+    /// and the seed is shared with `--sim-seed` so one number pins the
+    /// whole run.
+    fn rtt(&self) -> Option<Rtt> {
+        let base_ms = self.flag_usize("rtt-ms", 0);
+        (base_ms > 0).then(|| Rtt {
+            seed: self.flag_usize("sim-seed", 42) as u64,
+            base: Duration::from_millis(base_ms as u64),
+            spread: Duration::from_millis(self.flag_usize("rtt-spread-ms", 0) as u64),
+        })
+    }
+}
+
+/// Seeded virtual-RTT knobs (see [`Args::rtt`]).
+#[derive(Clone, Copy)]
+struct Rtt {
+    seed: u64,
+    base: Duration,
+    spread: Duration,
+}
+
+impl Rtt {
+    /// A fresh per-deployment fault plan (plans carry mutable replay
+    /// state, so every SUT instance needs its own).
+    fn plan(self) -> FaultPlan {
+        FaultPlan::with_config(self.seed, FaultPlanConfig::timed_delays(self.base, self.spread))
+    }
 }
 
 fn spec_by_name(name: &str) -> Arc<dyn Spec> {
@@ -126,7 +161,12 @@ struct Target {
     make: Box<dyn FnMut() -> Box<dyn SystemUnderTest>>,
 }
 
-fn target_by_name(name: &str, bug: Option<&str>, sim: Option<&SimHandle>) -> Target {
+fn target_by_name(
+    name: &str,
+    bug: Option<&str>,
+    sim: Option<&SimHandle>,
+    rtt: Option<Rtt>,
+) -> Target {
     let backend = match sim {
         Some(handle) => Backend::Sim(handle.clone()),
         None => Backend::Threads,
@@ -164,10 +204,11 @@ fn target_by_name(name: &str, bug: Option<&str>, sim: Option<&SimHandle>) -> Tar
                 spec: Arc::new(RaftSpec::new(cfg)),
                 registry: mocket::raft_async::mapping(),
                 make: Box::new(move || {
-                    Box::new(mocket::raft_async::make_sut_backend(
+                    Box::new(mocket::raft_async::make_sut_full(
                         servers.clone(),
                         bugs.clone(),
                         backend.clone(),
+                        rtt.map(Rtt::plan),
                     ))
                 }),
             }
@@ -200,10 +241,12 @@ fn target_by_name(name: &str, bug: Option<&str>, sim: Option<&SimHandle>) -> Tar
                 spec: Arc::new(RaftSpec::new(cfg)),
                 registry: mocket::raft_sync::mapping(false),
                 make: Box::new(move || {
-                    Box::new(mocket::raft_sync::make_sut_backend(
+                    Box::new(mocket::raft_sync::make_sut_full(
                         servers.clone(),
                         bugs.clone(),
+                        false,
                         backend.clone(),
+                        rtt.map(Rtt::plan),
                     ))
                 }),
             }
@@ -229,10 +272,11 @@ fn target_by_name(name: &str, bug: Option<&str>, sim: Option<&SimHandle>) -> Tar
                 spec: Arc::new(ZabSpec::new(cfg)),
                 registry: mocket::zab::mapping(),
                 make: Box::new(move || {
-                    Box::new(mocket::zab::make_sut_backend(
+                    Box::new(mocket::zab::make_sut_full(
                         servers.clone(),
                         bugs.clone(),
                         backend.clone(),
+                        rtt.map(Rtt::plan),
                     ))
                 }),
             }
@@ -320,7 +364,7 @@ fn cmd_test(args: &Args) {
         .unwrap_or_else(|| usage());
     let bug = args.flags.get("bug").map(String::as_str);
     let sim = args.sim_handle();
-    let mut target = target_by_name(name, bug, sim.as_ref());
+    let mut target = target_by_name(name, bug, sim.as_ref(), args.rtt());
     let mut pc = PipelineConfig::default();
     pc.por = false;
     pc.stop_at_first_bug = true;
@@ -500,7 +544,7 @@ fn cmd_campaign(args: &Args) {
     // itself never deploys a SUT; --sim only needs forwarding to the
     // workers (each worker owns its own virtual clock).
     let sim = args.sim_handle();
-    let target = target_by_name(name, bug, sim.as_ref());
+    let target = target_by_name(name, bug, sim.as_ref(), args.rtt());
     let spec_name = target.spec.name().to_string();
     let obs = mocket::obs::Obs::disabled();
     let mut pc = campaign_pipeline_config(bounds);
@@ -586,7 +630,7 @@ fn cmd_campaign(args: &Args) {
     let poison_threshold = args.flag_usize("poison-threshold", 3);
     let heartbeat_ms = args.flag_usize("heartbeat-ms", 300);
     let ttl_ms = args.flag_usize("lease-ttl-ms", 5000);
-    let sim_args: Vec<String> = if sim.is_some() {
+    let mut sim_args: Vec<String> = if sim.is_some() {
         vec![
             "--sim".to_string(),
             "--sim-seed".to_string(),
@@ -595,6 +639,14 @@ fn cmd_campaign(args: &Args) {
     } else {
         Vec::new()
     };
+    // Virtual-RTT knobs apply per deployed SUT, so workers (which do
+    // the deploying) need them forwarded just like the sim backend.
+    if args.rtt().is_some() {
+        sim_args.push("--rtt-ms".to_string());
+        sim_args.push(args.flag_usize("rtt-ms", 0).to_string());
+        sim_args.push("--rtt-spread-ms".to_string());
+        sim_args.push(args.flag_usize("rtt-spread-ms", 0).to_string());
+    }
     let mut spawn = |id: usize| -> std::io::Result<std::process::Child> {
         let worker_dir = campaign_dir.join(format!("worker-{id}"));
         std::fs::create_dir_all(&worker_dir)?;
@@ -707,7 +759,7 @@ fn cmd_campaign_worker(args: &Args) -> ! {
         }
     };
     let sim = args.sim_handle();
-    let target = target_by_name(&plan.target, plan.bug.as_deref(), sim.as_ref());
+    let target = target_by_name(&plan.target, plan.bug.as_deref(), sim.as_ref(), args.rtt());
     let spec = target.spec;
     let registry = target.registry;
     let mut make = target.make;
@@ -844,7 +896,7 @@ fn cmd_simulate(args: &Args) {
         .get(1)
         .map(String::as_str)
         .unwrap_or_else(|| usage());
-    let mut target = target_by_name(name, None, None);
+    let mut target = target_by_name(name, None, None, None);
     let mut sut = (target.make)();
     sut.deploy().expect("deploy");
     // The random driver needs the raw cluster; only cluster-backed

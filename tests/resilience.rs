@@ -187,6 +187,7 @@ fn fault_plan_partitions_heal_and_traffic_resumes_end_to_end() {
         reorder_per_mille: 0,
         partition_per_mille: 300,
         partition_heal_after: 5,
+        ..FaultPlanConfig::quiescent()
     };
     let net: Arc<Net<i64>> = Net::new([1, 2]);
     net.install_fault_plan(FaultPlan::with_config(7, cfg));

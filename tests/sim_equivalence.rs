@@ -12,18 +12,30 @@
 //!   `wall_*` keys are deterministic;
 //! - a virtual-clock run spends no wall time sleeping: the sim run of
 //!   a workload full of 50ms offer deadlines finishes in a fraction
-//!   of the real run's wall clock.
+//!   of the real run's wall clock;
+//! - a forever-blocking `NodeApp` terminates under `--sim` via the
+//!   virtual-deadline watchdog, with the same verdict as the threaded
+//!   watchdog (PR-9 defect #1);
+//! - a campaign under seeded time-based delay faults produces
+//!   identical verdicts and minimized schedules on both backends
+//!   (PR-9 defect #2).
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mocket::core::{Pipeline, PipelineConfig, RunConfig};
+use mocket::core::mapping::{ActionBinding, MappingRegistry};
+use mocket::core::sut::MsgEvent;
+use mocket::core::{
+    run_test_case_clocked, Inconsistency, Pipeline, PipelineConfig, RunConfig, SutError, TestCase,
+    TestOutcome,
+};
+use mocket::dsnet::{FaultPlan, FaultPlanConfig};
 use mocket::obs::{strip_wall_clock, Obs};
-use mocket::runtime::Backend;
-use mocket::sim::SimHandle;
+use mocket::runtime::{Backend, Cluster, ClusterSut, ExternalDriver, NodeApp, VarRegistry};
+use mocket::sim::{Clock, RealClock, SimHandle};
 use mocket::specs::raft::{RaftSpec, RaftSpecConfig};
 use mocket::specs::zab::{ZabSpec, ZabSpecConfig};
-use mocket::tla::Spec;
+use mocket::tla::{ActionClass, ActionInstance, Spec, State, Value};
 
 /// Everything a backend-equivalence comparison looks at.
 struct RunOutput {
@@ -143,6 +155,148 @@ fn assert_equivalent(real: &RunOutput, sim: &RunOutput, system: &str) {
     );
 }
 
+/// The delay-fault-heavy variant of [`run_raft`]: the same buggy
+/// campaign, but every deployment installs a seeded plan that holds
+/// ~40% of messages for a 5–12ms virtual RTT (base + stable per-link
+/// offset + per-message jitter). The holds mature on the cluster
+/// clock — wall time on the threaded backend, virtual time under the
+/// simulation — and sit far below the 50ms offer deadline, so both
+/// backends must reach the same verdicts through the same schedules.
+fn run_raft_timed_delays(sim: Option<&SimHandle>) -> RunOutput {
+    let mut bugs = mocket::raft_sync::SyncRaftBugs::none();
+    bugs.ignore_extra_vote_response = true;
+    let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
+    cfg.max_term = 2;
+    cfg.client_request_limit = 0;
+    cfg.candidates = Some(vec![1]);
+    let servers: Vec<u64> = cfg.servers.iter().map(|&i| i as u64).collect();
+    run_workload(
+        Arc::new(RaftSpec::new(cfg)),
+        mocket::raft_sync::mapping(false),
+        move |backend| {
+            // Plans carry mutable replay state, so each deployment
+            // gets a fresh one; the fixed seed keeps them identical.
+            let plan = FaultPlan::with_config(
+                99,
+                FaultPlanConfig::timed_delays(Duration::from_millis(5), Duration::from_millis(2)),
+            );
+            Box::new(mocket::raft_sync::make_sut_full(
+                servers.clone(),
+                bugs.clone(),
+                false,
+                backend,
+                Some(plan),
+            ))
+        },
+        sim,
+    )
+}
+
+/// Offers only `hang`; executing it blocks the node forever. The
+/// threaded backend detaches such a node via its reply-timeout
+/// watchdog; before PR-9 the sim backend simply deadlocked on it.
+struct HangApp {
+    registry: Arc<VarRegistry>,
+}
+
+impl HangApp {
+    fn boxed(_id: u64) -> Box<dyn NodeApp> {
+        Box::new(HangApp {
+            registry: VarRegistry::new(),
+        })
+    }
+}
+
+impl NodeApp for HangApp {
+    fn enabled(&mut self) -> Vec<ActionInstance> {
+        vec![ActionInstance::nullary("hang")]
+    }
+
+    fn execute(&mut self, action: &ActionInstance) -> Vec<MsgEvent> {
+        if action.name == "hang" {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        vec![]
+    }
+
+    fn registry(&self) -> Arc<VarRegistry> {
+        self.registry.clone()
+    }
+}
+
+struct NoExternal;
+
+impl ExternalDriver for NoExternal {
+    fn execute(
+        &mut self,
+        _cluster: &mut Cluster,
+        action: &ActionInstance,
+    ) -> Result<mocket::core::ExecReport, SutError> {
+        Err(SutError::External(format!("unsupported: {action}")))
+    }
+}
+
+/// Everything of a hang verdict except `waited`, which is run-clock
+/// time and therefore wall-measured on the threaded backend but
+/// virtual under the simulation — by design, not a divergence.
+#[derive(Debug, PartialEq)]
+struct HangVerdict {
+    step: usize,
+    action: String,
+    reason: String,
+}
+
+fn run_hang(sim: Option<&SimHandle>) -> (HangVerdict, Duration, f64) {
+    let backend = match sim {
+        Some(handle) => Backend::Sim(handle.clone()),
+        None => Backend::Threads,
+    };
+    let cluster = Cluster::with_backend(Box::new(HangApp::boxed), backend)
+        .with_reply_timeout(Duration::from_millis(200));
+    let mut sut = ClusterSut::new(cluster, vec![1, 2], Box::new(NoExternal));
+    let clock: Arc<dyn Clock> = match sim {
+        Some(handle) => handle.clock.clone(),
+        None => Arc::new(RealClock::new()),
+    };
+    let mut registry = MappingRegistry::new();
+    registry.map_action("Hang", "hang", ActionClass::SingleNode, ActionBinding::Method);
+    let s = State::from_pairs([("x", Value::Int(0))]);
+    let case = TestCase::new(s.clone(), vec![(ActionInstance::nullary("Hang"), s)]);
+    let cfg = RunConfig {
+        check_initial: false,
+        ..RunConfig::fast()
+    };
+    let start = Instant::now();
+    let (outcome, _) = run_test_case_clocked(
+        &mut sut,
+        &case,
+        &registry,
+        &[],
+        &cfg,
+        &Obs::disabled(),
+        clock.as_ref(),
+    )
+    .expect("a hung node is a verdict, not a harness error");
+    let wall_seconds = start.elapsed().as_secs_f64();
+    match outcome {
+        TestOutcome::Failed(Inconsistency::WatchdogTimeout {
+            step,
+            action,
+            waited,
+            reason,
+        }) => (
+            HangVerdict {
+                step,
+                action: action.to_string(),
+                reason,
+            },
+            waited,
+            wall_seconds,
+        ),
+        other => panic!("expected a watchdog verdict, got {other:?}"),
+    }
+}
+
 #[test]
 fn raft_sync_sim_run_is_equivalent_to_real_run() {
     let real = run_raft(None);
@@ -155,6 +309,31 @@ fn zab_sim_run_is_equivalent_to_real_run() {
     let real = run_zab(None);
     let sim = run_zab(Some(&SimHandle::new(42)));
     assert_equivalent(&real, &sim, "zab");
+}
+
+#[test]
+fn raft_sync_timed_delay_run_is_equivalent_across_backends() {
+    let real = run_raft_timed_delays(None);
+    let sim = run_raft_timed_delays(Some(&SimHandle::new(42)));
+    assert_equivalent(&real, &sim, "raft-sync+timed-delays");
+}
+
+#[test]
+fn hung_node_sim_verdict_is_byte_identical_to_threaded_mode() {
+    let (real, _, _) = run_hang(None);
+    let (sim, sim_waited, sim_wall) = run_hang(Some(&SimHandle::new(42)));
+    assert_eq!(real, sim, "hang verdicts must match across backends");
+    assert!(sim.reason.contains("unresponsive"), "{}", sim.reason);
+    // The documented defect: before the virtual-deadline watchdog a
+    // forever-blocking NodeApp hung the sim backend outright.
+    // Terminating promptly (one real-time grace, not the app's 3600s
+    // sleep) is the fix.
+    assert!(sim_wall < 30.0, "sim run took {sim_wall}s");
+    // Under the virtual clock even the waited-out duration is a pure
+    // function of the seed.
+    let (sim2, sim2_waited, _) = run_hang(Some(&SimHandle::new(42)));
+    assert_eq!(sim, sim2);
+    assert_eq!(sim_waited, sim2_waited);
 }
 
 #[test]
