@@ -232,6 +232,7 @@ fn run_campaign(
         coverage_fraction: m.gauge("coverage.fraction").unwrap_or(0.0),
         por_excluded: por_excluded as u64,
         completed: true,
+        obs: obs.clone(),
     })
     .expect("merge");
     (started.elapsed().as_secs_f64(), merged.cases_with_verdict)
@@ -455,6 +456,87 @@ fn run_backend_comparison(smoke: bool) -> Vec<BackendRow> {
     rows
 }
 
+/// The tracing no-op-path guard's measurements.
+struct TracingGuard {
+    cases: usize,
+    off_secs: f64,
+    on_secs: f64,
+    off_cases_per_sec: f64,
+    on_cases_per_sec: f64,
+    /// Throughput lost by turning tracing on: `1 - on_rate/off_rate`.
+    on_overhead_frac: f64,
+}
+
+/// Measures the case-execution loop with causal tracing off (the
+/// default every campaign gets) against the same loop with tracing on,
+/// interleaved best-of-N on the sim backend so the timing is dominated
+/// by the loop itself rather than sleeps or I/O (no campaign dir: the
+/// traced runs record events in memory, isolating the hook cost from
+/// file appends).
+///
+/// The guard asserted in `main` (full mode): the off path must not run
+/// more than 2% slower than the on path. A disabled tracer is one
+/// null-check per hook; if the off path falls measurably behind even
+/// the *tracing* loop, the no-op gate broke and every untraced
+/// campaign is paying for tracing it did not ask for. The on path's
+/// own cost is real work and is recorded, not bounded.
+fn run_tracing_guard(smoke: bool) -> TracingGuard {
+    let cases = if smoke { 8 } else { 48 };
+    let reps = if smoke { 3 } else { 7 };
+    let run_once = |trace: bool| -> (f64, usize) {
+        let handle = SimHandle::new(42);
+        let mut pc = PipelineConfig::default();
+        pc.max_states = 20_000;
+        pc.por = false;
+        pc.stop_at_first_bug = false;
+        pc.max_path_len = 60;
+        pc.max_test_cases = cases;
+        pc.run = RunConfig::fast();
+        pc.obs = Obs::disabled();
+        pc.clock = handle.clock.clone();
+        pc.trace = trace;
+        let pipeline = Pipeline::new(xraft_spec(), mapping(), pc).expect("bench mapping");
+        let (graph, check_seconds) = pipeline.check();
+        let started = Instant::now();
+        let result = pipeline.run_prepared(graph, check_seconds, || {
+            Box::new(mocket_raft_async::make_sut_backend(
+                xraft_servers(),
+                XraftBugs::none(),
+                Backend::Sim(handle.clone()),
+            )) as Box<dyn SystemUnderTest>
+        });
+        let secs = started.elapsed().as_secs_f64();
+        let ran = result.passed + result.reports.len() + result.quarantined.len();
+        (secs, ran)
+    };
+    let (mut off_secs, mut on_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut ran = 0usize;
+    for _ in 0..reps {
+        let (off, n) = run_once(false);
+        let (on, m) = run_once(true);
+        assert_eq!(n, m, "tracing must not change which cases run");
+        ran = n;
+        off_secs = off_secs.min(off);
+        on_secs = on_secs.min(on);
+    }
+    let off_rate = ran as f64 / off_secs.max(1e-9);
+    let on_rate = ran as f64 / on_secs.max(1e-9);
+    let guard = TracingGuard {
+        cases: ran,
+        off_secs,
+        on_secs,
+        off_cases_per_sec: off_rate,
+        on_cases_per_sec: on_rate,
+        on_overhead_frac: 1.0 - on_rate / off_rate.max(1e-9),
+    };
+    println!(
+        "tracing guard: off {ran} case(s) in {off_secs:.4}s ({off_rate:.1}/sec), \
+         on in {on_secs:.4}s ({on_rate:.1}/sec, overhead {:.1}%)",
+        guard.on_overhead_frac * 100.0
+    );
+    guard
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let scenario = if smoke {
@@ -525,6 +607,19 @@ fn main() {
         overhead_frac * 100.0
     );
 
+    // Causal tracing's fast no-op path: the default (untraced) loop
+    // must not pay for the tracing hooks.
+    let tracing = run_tracing_guard(smoke);
+    if !smoke {
+        assert!(
+            tracing.off_cases_per_sec >= tracing.on_cases_per_sec * 0.98,
+            "tracing-off loop regressed >2% below the tracing-on loop \
+             ({:.1} vs {:.1} cases/sec) — the no-op gate is broken",
+            tracing.off_cases_per_sec,
+            tracing.on_cases_per_sec
+        );
+    }
+
     // Simulation backend: same campaigns, virtual clock, no wall-clock
     // sleeps.
     let backend_rows = run_backend_comparison(smoke);
@@ -555,6 +650,18 @@ fn main() {
         "  \"recovery\": {{\"clean_secs\": {clean_secs:.4}, \"interrupted_secs\": \
          {interrupted_secs:.4}, \"resume_secs\": {resume_secs:.4}, \"overhead_frac\": \
          {overhead_frac:.4}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"tracing_guard\": {{\"cases\": {}, \"off_secs\": {:.4}, \"on_secs\": {:.4}, \
+         \"off_cases_per_sec\": {:.1}, \"on_cases_per_sec\": {:.1}, \"on_overhead_frac\": \
+         {:.4}, \"off_regression_budget_frac\": 0.02}},",
+        tracing.cases,
+        tracing.off_secs,
+        tracing.on_secs,
+        tracing.off_cases_per_sec,
+        tracing.on_cases_per_sec,
+        tracing.on_overhead_frac
     );
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {

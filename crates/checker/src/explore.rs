@@ -184,6 +184,7 @@ impl ModelChecker {
         // byte-identical for any worker count.
         let mut wave_sizes: Vec<usize> = Vec::new();
         let mut cur_wave = 0usize;
+        let mut wave_start = start;
         let mut bound_break = false;
 
         'outer: {
@@ -210,7 +211,16 @@ impl ModelChecker {
                 if depth[node.0] != cur_wave {
                     // First node of the next wave: the previous wave
                     // is fully expanded.
-                    wave_event(&self.obs, cur_wave, wave_sizes[cur_wave], &stats, &graph);
+                    let now = self.clock.now();
+                    wave_event(
+                        &self.obs,
+                        cur_wave,
+                        wave_sizes[cur_wave],
+                        &stats,
+                        &graph,
+                        now.saturating_sub(wave_start).as_secs_f64(),
+                    );
+                    wave_start = now;
                     cur_wave = depth[node.0];
                 }
                 if graph.state_count() >= self.max_states {
@@ -250,7 +260,15 @@ impl ModelChecker {
                 }
             }
             if !bound_break && cur_wave < wave_sizes.len() {
-                wave_event(&self.obs, cur_wave, wave_sizes[cur_wave], &stats, &graph);
+                let now = self.clock.now();
+                wave_event(
+                    &self.obs,
+                    cur_wave,
+                    wave_sizes[cur_wave],
+                    &stats,
+                    &graph,
+                    now.saturating_sub(wave_start).as_secs_f64(),
+                );
             }
         }
 
@@ -300,6 +318,7 @@ pub(crate) fn wave_event(
     frontier: usize,
     stats: &CheckStats,
     graph: &StateGraph,
+    wave_seconds: f64,
 ) {
     obs.event(
         "check.wave",
@@ -312,6 +331,10 @@ pub(crate) fn wave_event(
         ],
     );
     obs.metrics().add("checker.waves", 1);
+    // Self-profiling histogram; measured on the builder's clock, so
+    // virtual (and deterministic) under simulation.
+    obs.metrics()
+        .observe("timing.profile.checker_wave_seconds", wave_seconds);
 }
 
 /// Records the end-of-run event and final checker metrics. Worker

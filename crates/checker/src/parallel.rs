@@ -93,6 +93,7 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
     let mut violation = None;
     let mut frontier: Vec<NodeId> = Vec::new();
     let mut wave = 0usize;
+    let mut wave_start = start;
 
     'outer: {
         // Initial states are processed exactly like the sequential
@@ -159,7 +160,16 @@ pub(crate) fn run(checker: ModelChecker) -> CheckResult {
                     }
                 }
             }
-            wave_event(&checker.obs, wave, frontier.len(), &stats, &graph);
+            let now = checker.clock.now();
+            wave_event(
+                &checker.obs,
+                wave,
+                frontier.len(),
+                &stats,
+                &graph,
+                now.saturating_sub(wave_start).as_secs_f64(),
+            );
+            wave_start = now;
             wave += 1;
             frontier = next_frontier;
         }

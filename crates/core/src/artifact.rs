@@ -119,6 +119,11 @@ pub struct ReplayArtifact {
     /// (per-variable diff + nearest-verified-state verdict), when the
     /// explainer covered its inconsistency kind.
     pub explanation: Option<DivergenceExplanation>,
+    /// The causal trace recorded while the failure was observed, one
+    /// `CausalEvent` JSON line per entry (see `mocket_obs::causal`).
+    /// Empty when the campaign ran without `--trace`; older artifacts
+    /// parse as empty.
+    pub trace: Vec<String>,
     /// The reproducer to replay.
     pub test_case: TestCase,
 }
@@ -264,8 +269,16 @@ impl ReplayArtifact {
             original_len,
             final_enabled,
             explanation,
+            trace: Vec::new(),
             test_case,
         }
+    }
+
+    /// Attaches the causal trace (one event JSON line per entry)
+    /// recorded while this failure was observed.
+    pub fn with_trace(mut self, trace: Vec<String>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Serializes into the line-oriented artifact format.
@@ -297,6 +310,11 @@ impl ReplayArtifact {
                 out.push_str(&format!("explain: {line}\n"));
             }
         }
+        // Trace lines only when a trace was recorded: artifacts from
+        // untraced campaigns stay byte-identical to older builds.
+        for line in &self.trace {
+            out.push_str(&format!("trace: {}\n", one_line(line)));
+        }
         out.push_str(&self.test_case.serialize());
         out
     }
@@ -317,6 +335,7 @@ impl ReplayArtifact {
         let mut original_len = None;
         let mut final_enabled = Vec::new();
         let mut explain_lines: Vec<String> = Vec::new();
+        let mut trace = Vec::new();
         let mut case_lines = String::new();
 
         for line in input.lines() {
@@ -350,6 +369,7 @@ impl ReplayArtifact {
                 }
                 "final" => final_enabled.push(parse_action_instance(value)?),
                 "explain" => explain_lines.push(value.to_string()),
+                "trace" => trace.push(value.to_string()),
                 "init" | "step" => {
                     case_lines.push_str(trimmed);
                     case_lines.push('\n');
@@ -395,6 +415,7 @@ impl ReplayArtifact {
             original_len: original_len.unwrap_or(0),
             final_enabled,
             explanation,
+            trace,
             test_case,
         })
     }
@@ -905,6 +926,21 @@ step: Add(5) => /\\ n = 6\n";
         let back = ReplayArtifact::deserialize(&a.serialize()).unwrap();
         assert_eq!(back, a);
         assert!(!a.serialize().contains("explain:"));
+    }
+
+    #[test]
+    fn artifact_trace_roundtrips_and_is_omitted_when_empty() {
+        let plain = artifact();
+        assert!(!plain.serialize().contains("trace:"));
+        let traced = artifact().with_trace(vec![
+            r#"{"seq":0,"kind":"case","vt":0}"#.into(),
+            r#"{"seq":1,"kind":"send","node":1,"peer":2,"msg":1,"vt":5}"#.into(),
+        ]);
+        let text = traced.serialize();
+        assert!(text.contains("trace: {\"seq\":0"));
+        let back = ReplayArtifact::deserialize(&text).unwrap();
+        assert_eq!(back, traced);
+        assert_eq!(back.trace.len(), 2);
     }
 
     #[test]

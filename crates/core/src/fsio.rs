@@ -46,4 +46,6 @@ pub mod points {
     pub const INSIGHT_WRITE: &str = "insight.write";
     /// Replay-artifact atomic write (`case-<hash>.artifact`).
     pub const ARTIFACT_WRITE: &str = "artifact.write";
+    /// Per-case causal trace append (`trace.jsonl`).
+    pub const TRACE_APPEND: &str = "trace.append";
 }

@@ -25,7 +25,7 @@ use std::path::Path;
 
 use mocket_checker::{to_dot_overlay, uncovered_frontier, EdgeId, StateGraph};
 use mocket_obs::{
-    CampaignHistory, CampaignRecord, CoverageMap, Event, RunSummary, COVERAGE_FILE_NAME,
+    CampaignHistory, CampaignRecord, CoverageMap, Event, Obs, RunSummary, COVERAGE_FILE_NAME,
     EVENTS_FILE_NAME, UNCOVERED_FILE_NAME,
 };
 
@@ -55,6 +55,9 @@ pub struct MergeReport {
     /// A history record was appended (campaign complete and the record
     /// was not already the last line).
     pub history_appended: bool,
+    /// A campaign-level `trace.jsonl` was assembled from the shard
+    /// traces (only traced campaigns produce one).
+    pub traces_merged: bool,
     /// Non-fatal anomalies (shard journal issues, unreadable
     /// artifacts). Never part of the canonical outputs.
     pub issues: Vec<String>,
@@ -85,6 +88,11 @@ pub struct MergeInputs<'a> {
     pub por_excluded: u64,
     /// Every shard is retired: append the history record.
     pub completed: bool,
+    /// Observability handle for the merge's self-profiling
+    /// (`timing.profile.merge_*_seconds` histograms). Metrics only —
+    /// the canonical outputs stay byte-deterministic; pass
+    /// [`Obs::disabled`] to profile nothing.
+    pub obs: Obs,
 }
 
 /// Canonical outputs go through the fault-injectable atomic writer so
@@ -168,6 +176,42 @@ fn promote_artifacts(
     Ok(copied)
 }
 
+/// Concatenates the per-shard causal traces (`trace.jsonl` in each
+/// shard data directory) into one campaign-level `trace.jsonl`, in
+/// shard order. A torn shard file (no trailing newline — an append
+/// died after its rollback also failed) is newline-isolated so the
+/// next shard's first record is not fused to the debris; the torn line
+/// itself is left for `parse_trace`'s salvage. Untraced campaigns have
+/// no shard traces and get no top-level file.
+fn promote_traces(
+    campaign_dir: &Path,
+    shard_count: usize,
+    issues: &mut Vec<String>,
+) -> io::Result<bool> {
+    let mut merged = String::new();
+    for shard in 0..shard_count {
+        let path = shard_data_dir(campaign_dir, shard).join(mocket_obs::TRACE_FILE_NAME);
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                if text.is_empty() {
+                    continue;
+                }
+                merged.push_str(&text);
+                if !text.ends_with('\n') {
+                    merged.push('\n');
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => issues.push(format!("shard {shard} trace unreadable: {e}")),
+        }
+    }
+    if merged.is_empty() {
+        return Ok(false);
+    }
+    write_atomic(campaign_dir, mocket_obs::TRACE_FILE_NAME, &merged)?;
+    Ok(true)
+}
+
 /// Shrink totals over the promoted top-level artifacts: the stored
 /// case is the minimized reproducer and `original_len` the revealing
 /// case's length, mirroring what the single-process pipeline records.
@@ -204,9 +248,14 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
     let mut report = MergeReport::default();
     let plan = inp.plan;
     let shard_count = plan.shard_count();
+    // Stage self-profiling: histograms only, never canonical output.
+    let profile = |name: &str, started: std::time::Instant| {
+        inp.obs.metrics().observe(name, started.elapsed().as_secs_f64());
+    };
 
     // Per-shard verdict sets. Journal anomalies (a crash can truncate
     // a shard journal's last line) are reported, never merged.
+    let stage = std::time::Instant::now();
     let mut shard_entries = Vec::with_capacity(shard_count);
     for shard in 0..shard_count {
         let (entries, issues) =
@@ -217,6 +266,7 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
         shard_entries.push(entries);
     }
     let verdicts = resolve_verdicts(plan, &shard_entries);
+    profile("timing.profile.merge_journals_seconds", stage);
 
     // Unique poisoned hashes, first-crashing-index order for the logs,
     // hash set for the lookups below.
@@ -228,6 +278,7 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
 
     // Canonical journal: one line per unique hash, first-plan-index
     // order, the exact bytes `CampaignJournal::record` would append.
+    let stage = std::time::Instant::now();
     let mut journal = String::new();
     let mut seen = BTreeSet::new();
     for case in &plan.cases {
@@ -312,6 +363,7 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
         COVERAGE_DOT_FILE_NAME,
         &to_dot_overlay(inp.graph, coverage.edge_hits()),
     )?;
+    profile("timing.profile.merge_coverage_seconds", stage);
 
     // Unique failed hashes → bug tallies.
     let mut bugs_by_kind: BTreeMap<String, u64> = BTreeMap::new();
@@ -325,7 +377,11 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
         }
     }
 
+    let stage = std::time::Instant::now();
     report.artifacts_copied = promote_artifacts(inp.campaign_dir, shard_count, &mut report.issues)?;
+    report.traces_merged = promote_traces(inp.campaign_dir, shard_count, &mut report.issues)?;
+    profile("timing.profile.merge_artifacts_seconds", stage);
+    let stage = std::time::Instant::now();
     let frontier = uncovered_frontier(inp.graph, coverage.edge_hits());
 
     // The merged summary carries only logical data: wall-clock fields
@@ -385,6 +441,7 @@ pub fn merge_campaign(inp: &MergeInputs<'_>) -> io::Result<MergeReport> {
         };
         report.history_appended = history.append_dedup(record)?;
     }
+    profile("timing.profile.merge_summary_seconds", stage);
     Ok(report)
 }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use mocket_sim::{Clock, RealClock};
 
+use mocket_obs::causal::{append_trace, CausalEvent, Tracer, TRACE_FILE_NAME};
 use mocket_obs::{
     CampaignHistory, CampaignRecord, CoverageMap, Obs, RunSummary, COVERAGE_FILE_NAME,
     UNCOVERED_FILE_NAME,
@@ -27,7 +28,7 @@ use crate::mapping::{MappingIssue, MappingRegistry};
 use crate::minimize::{minimize_case, MinimizeConfig};
 use crate::por::partial_order_reduction;
 use crate::report::{BugClass, BugReport, Determinism, Inconsistency};
-use crate::runner::{run_test_case_clocked, RunConfig, TestOutcome};
+use crate::runner::{run_test_case_clocked, run_test_case_traced, RunConfig, TestOutcome};
 use crate::sut::SystemUnderTest;
 use crate::testcase::TestCase;
 use crate::traversal::{edge_coverage_paths, TraversalConfig};
@@ -189,6 +190,12 @@ pub struct PipelineConfig {
     /// summary is always complete. Use [`Obs::jsonl_in`] to stream
     /// `events.jsonl` into a campaign directory.
     pub obs: Obs,
+    /// Record a causal trace per executed case (`--trace`): scheduler
+    /// releases, node-step spans and message fates land in
+    /// `trace.jsonl` next to the replay artifacts, and failing cases
+    /// embed their trace in the artifact. Off by default — the
+    /// disabled tracer is the fast no-op path.
+    pub trace: bool,
     /// Render human-readable progress lines to stderr (the CLI's
     /// `--progress`). Independent of `obs`: progress is for watching,
     /// events are for machines.
@@ -219,6 +226,7 @@ impl Default for PipelineConfig {
             explain: ExplainConfig::default(),
             priority_edges: Vec::new(),
             obs: Obs::disabled(),
+            trace: false,
             progress: false,
             clock: Arc::new(RealClock::new()),
         }
@@ -608,6 +616,30 @@ impl Pipeline {
             None => None,
         };
 
+        // Causal tracing (`--trace`): one batch of events per attempt
+        // appended to `trace.jsonl` next to the replay artifacts
+        // (campaign dir first, obs dir otherwise). The file is
+        // truncated at run start so it always describes the latest
+        // run — which makes same-seed `--sim` runs byte-identical.
+        let trace_path = if self.config.trace {
+            self.config
+                .triage
+                .campaign_dir
+                .clone()
+                .or_else(|| obs.dir().map(|d| d.to_path_buf()))
+                .map(|d| d.join(TRACE_FILE_NAME))
+        } else {
+            None
+        };
+        if let Some(tp) = &trace_path {
+            if let Some(parent) = tp.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(tp, b"") {
+                journal_issues.push(format!("trace reset failed: {e}"));
+            }
+        }
+
         let mut stopped_by_gate = false;
         'cases: for (case_idx, path) in paths.iter().enumerate() {
             if let Some((start, end)) = self.config.case_range {
@@ -690,6 +722,7 @@ impl Pipeline {
             let max_attempts = self.config.retry.attempts.max(1);
             let mut attempts: Vec<AttemptRecord> = Vec::new();
             let mut verdict_reached = false;
+            let mut trace_events: Vec<CausalEvent> = Vec::new();
             for attempt in 1..=max_attempts {
                 if attempt > 1 {
                     // Exponential backoff: transient conditions (a
@@ -698,6 +731,16 @@ impl Pipeline {
                         .clock
                         .sleep(self.config.retry.delay(attempt - 2, false));
                 }
+                // Fresh tracer per attempt: a retried case must not
+                // leak the aborted attempt's events into its trace.
+                let tracer = if self.config.trace {
+                    let t = Tracer::for_case(case_idx as u64);
+                    t.set_edge_path(path.iter().map(|e| e.0 as u64).collect());
+                    t.begin_case(&hash, 0);
+                    t
+                } else {
+                    Tracer::disabled()
+                };
                 let mut sut = make_sut();
                 // A panicking SUT (or checker) must not take the
                 // buffered observability events down with it: drain the
@@ -705,7 +748,7 @@ impl Pipeline {
                 // triage evidence — including this case's `case.start`
                 // — reaches events.jsonl.
                 let attempt_outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_test_case_clocked(
+                    run_test_case_traced(
                         sut.as_mut(),
                         &tc,
                         &self.registry,
@@ -713,6 +756,7 @@ impl Pipeline {
                         &self.config.run,
                         &obs,
                         self.config.clock.as_ref(),
+                        &tracer,
                     )
                 }));
                 let attempt_outcome = match attempt_outcome {
@@ -722,11 +766,27 @@ impl Pipeline {
                         resume_unwind(payload);
                     }
                 };
+                if tracer.is_enabled() {
+                    let label = match &attempt_outcome {
+                        Ok((TestOutcome::Passed, _)) => "passed",
+                        Ok((TestOutcome::Failed(inc), _)) => inc.kind(),
+                        Err(_) => "harness-error",
+                    };
+                    tracer.end_case(label, 0);
+                    trace_events = tracer.take_events();
+                    if let Some(tp) = &trace_path {
+                        if let Err(e) = append_trace(tp, &trace_events) {
+                            journal_issues.push(format!("trace append failed: {e}"));
+                        }
+                    }
+                }
                 match attempt_outcome {
                     Ok((outcome, stats)) => {
                         verdict_reached = true;
                         cases_run += 1;
                         obs.metrics().add("pipeline.cases_run", 1);
+                        obs.metrics()
+                            .observe("timing.profile.case_seconds", stats.seconds);
                         match outcome {
                             TestOutcome::Passed => {
                                 passed += 1;
@@ -851,6 +911,12 @@ impl Pipeline {
                                         repro_enabled,
                                         explanation.clone(),
                                         repro,
+                                    )
+                                    .with_trace(
+                                        trace_events
+                                            .iter()
+                                            .map(CausalEvent::to_json_line)
+                                            .collect(),
                                     );
                                     match artifact.write_to(dir) {
                                         Ok(path) => {

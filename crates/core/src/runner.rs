@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use mocket_obs::causal::Tracer;
 use mocket_obs::Obs;
 use mocket_sim::{Clock, RealClock};
 use mocket_tla::{ActionClass, ActionInstance, State};
@@ -193,8 +194,38 @@ pub fn run_test_case_clocked(
     obs: &Obs,
     clock: &dyn Clock,
 ) -> Result<(TestOutcome, RunStats), SutError> {
+    run_test_case_traced(
+        sut,
+        test_case,
+        registry,
+        final_enabled,
+        config,
+        obs,
+        clock,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_test_case_clocked`] with a causal [`Tracer`]: the tracer is
+/// installed on the SUT before deployment (so cluster and network
+/// events reach it), every scheduler release and external trigger is
+/// recorded with its step context, and the caller drains the events
+/// afterwards. The disabled tracer makes this identical to the
+/// untraced path.
+#[allow(clippy::too_many_arguments)]
+pub fn run_test_case_traced(
+    sut: &mut dyn SystemUnderTest,
+    test_case: &TestCase,
+    registry: &MappingRegistry,
+    final_enabled: &[ActionInstance],
+    config: &RunConfig,
+    obs: &Obs,
+    clock: &dyn Clock,
+    tracer: &Tracer,
+) -> Result<(TestOutcome, RunStats), SutError> {
     let start = clock.now();
     let mut stats = RunStats::default();
+    sut.install_tracer(tracer);
     sut.deploy()?;
     let result = drive(
         sut,
@@ -205,6 +236,7 @@ pub fn run_test_case_clocked(
         &mut stats,
         obs,
         clock,
+        tracer,
     );
     sut.teardown();
     stats.seconds = clock.now().saturating_sub(start).as_secs_f64();
@@ -257,6 +289,7 @@ fn drive(
     stats: &mut RunStats,
     obs: &Obs,
     clock: &dyn Clock,
+    tracer: &Tracer,
 ) -> Result<TestOutcome, SutError> {
     let mut pools = pools_from_registry(registry);
 
@@ -306,6 +339,7 @@ fn drive(
                 // for crash/restart/user requests, overriding switches
                 // for drop/duplicate.
                 obs.metrics().add("runner.external_triggers", 1);
+                tracer.external(i as u64, &step.action.name, 0);
                 try_sut!(sut.execute_external(&step.action), i, &step.action, step_start)
             }
             _ => {
@@ -339,11 +373,13 @@ fn drive(
                         // Scheduler release latency: time from step
                         // start until the blocked action was matched
                         // and released for execution.
-                        obs.metrics().observe(
-                            "timing.runner.release_latency_ms",
-                            clock.now().saturating_sub(step_start).as_secs_f64() * 1e3,
-                        );
+                        let waited = clock.now().saturating_sub(step_start);
+                        obs.metrics()
+                            .observe("timing.runner.release_latency_ms", waited.as_secs_f64() * 1e3);
+                        obs.metrics()
+                            .observe("timing.profile.scheduler_release_seconds", waited.as_secs_f64());
                         obs.metrics().add("runner.actions_released", 1);
+                        tracer.release(i as u64, offer.node, &step.action.name, 0);
                         try_sut!(sut.execute(&offer), i, &step.action, step_start)
                     }
                     None => {
@@ -387,6 +423,8 @@ fn drive(
         // eventually answered. The budget counts the run's clock —
         // virtual time under simulation.
         let step_elapsed = clock.now().saturating_sub(step_start);
+        obs.metrics()
+            .observe("timing.profile.runner_step_seconds", step_elapsed.as_secs_f64());
         if step_elapsed > config.per_action_budget {
             return Ok(TestOutcome::Failed(Inconsistency::WatchdogTimeout {
                 step: i,

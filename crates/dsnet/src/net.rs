@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use mocket_obs::causal::{MsgTag, Tracer};
 use mocket_sim::{Clock, RealClock};
 use parking_lot::Mutex;
 
@@ -38,6 +39,9 @@ pub struct Envelope<M> {
     pub from: NodeId,
     /// The payload.
     pub msg: M,
+    /// Causal-trace tag stamped at send time (all-zero when tracing
+    /// is off — the default). Not part of the wire encoding.
+    pub tag: MsgTag,
 }
 
 /// What releases a delayed message back into its inbox.
@@ -68,6 +72,8 @@ struct Inner<M> {
     /// against: wall clock by default, the shared `SimClock` under
     /// the virtual-time backend (see [`Net::set_clock`]).
     clock: Arc<dyn Clock>,
+    /// Causal-trace recorder for message fates; inert by default.
+    tracer: Tracer,
     sent: u64,
     delivered: u64,
     dropped: u64,
@@ -90,6 +96,17 @@ impl<M> Inner<M> {
     /// Current clock reading in nanoseconds.
     fn now_nanos(&self) -> u64 {
         u64::try_from(self.clock.now().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Virtual timestamp for trace events: the clock reading under a
+    /// virtual clock, `0` under a real one (wall clock never leaks
+    /// into traces — see the causal determinism contract).
+    fn vtime(&self) -> u64 {
+        if self.clock.is_virtual() {
+            self.now_nanos()
+        } else {
+            0
+        }
     }
 
     /// Ages the count-held part of `dest`'s delayed queue by one send
@@ -203,6 +220,7 @@ impl<M: Wire + Clone> Net<M> {
                 partitions: BTreeSet::new(),
                 plan: None,
                 clock: Arc::new(RealClock::new()),
+                tracer: Tracer::disabled(),
                 sent: 0,
                 delivered: 0,
                 dropped: 0,
@@ -223,6 +241,13 @@ impl<M: Wire + Clone> Net<M> {
         self.inner.lock().clock = clock;
     }
 
+    /// Installs (or replaces) the causal tracer consulted on every
+    /// send, receive and message fault. The default is the inert
+    /// tracer, which records nothing and stamps all-zero tags.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().tracer = tracer;
+    }
+
     /// Sends `msg` from `from` to `to`, round-tripping it through its
     /// wire encoding so no memory is shared across the boundary.
     ///
@@ -241,9 +266,13 @@ impl<M: Wire + Clone> Net<M> {
         // surface any time-held messages whose deadline has passed.
         inner.tick_delayed(to);
         inner.release_due(to);
+        let tracer = inner.tracer.clone();
+        let vt = inner.vtime();
+        let tag = tracer.on_send(from, to, vt);
 
         if inner.partitions.contains(&pair(from, to)) {
             inner.partition_dropped += 1;
+            tracer.on_drop(to, from, tag, vt, "partition");
             return Ok(());
         }
 
@@ -253,6 +282,7 @@ impl<M: Wire + Clone> Net<M> {
                 let partitioned = edict.is_some() || plan.is_partitioned_at(from, to, now);
                 if decision == FaultDecision::Drop && partitioned {
                     inner.partition_dropped += 1;
+                    tracer.on_drop(to, from, tag, vt, "partition");
                     return Ok(());
                 }
                 decision
@@ -260,19 +290,21 @@ impl<M: Wire + Clone> Net<M> {
             None => FaultDecision::Deliver,
         };
 
-        let env = Envelope { from, msg };
+        let env = Envelope { from, msg, tag };
         match decision {
             FaultDecision::Deliver => {
                 inner.inboxes.entry(to).or_default().push(env);
             }
             FaultDecision::Drop => {
                 inner.dropped += 1;
+                tracer.on_drop(to, from, tag, vt, "fault");
             }
             FaultDecision::Duplicate => {
                 let inbox = inner.inboxes.entry(to).or_default();
                 inbox.push(env.clone());
                 inbox.push(env);
                 inner.duplicated += 1;
+                tracer.on_duplicate(to, from, tag, vt);
             }
             FaultDecision::Delay { after_sends } => {
                 inner.delayed.entry(to).or_default().push(Delayed {
@@ -280,6 +312,7 @@ impl<M: Wire + Clone> Net<M> {
                     env,
                 });
                 inner.delayed_count += 1;
+                tracer.on_delay(to, from, tag, vt);
             }
             FaultDecision::DelayFor { nanos } => {
                 inner.delayed.entry(to).or_default().push(Delayed {
@@ -287,6 +320,7 @@ impl<M: Wire + Clone> Net<M> {
                     env,
                 });
                 inner.delayed_count += 1;
+                tracer.on_delay(to, from, tag, vt);
             }
             FaultDecision::Reorder => {
                 inner.inboxes.entry(to).or_default().insert(0, env);
@@ -323,6 +357,8 @@ impl<M: Wire + Clone> Net<M> {
         let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
         inner.delivered += 1;
+        let vt = inner.vtime();
+        inner.tracer.on_recv(node, env.from, env.tag, vt);
         Some(env)
     }
 
@@ -338,6 +374,8 @@ impl<M: Wire + Clone> Net<M> {
         let idx = inbox.iter().position(pred)?;
         let env = inbox.remove(idx);
         inner.dropped += 1;
+        let vt = inner.vtime();
+        inner.tracer.on_drop(node, env.from, env.tag, vt, "scheduled");
         Some(env)
     }
 
@@ -354,6 +392,8 @@ impl<M: Wire + Clone> Net<M> {
         let copy = inbox[idx].clone();
         inbox.insert(idx + 1, copy.clone());
         inner.duplicated += 1;
+        let vt = inner.vtime();
+        inner.tracer.on_duplicate(node, copy.from, copy.tag, vt);
         Some(copy)
     }
 
@@ -738,6 +778,7 @@ mod tests {
                     env: Envelope {
                         from: 1,
                         msg: name.to_string(),
+                        tag: MsgTag::default(),
                     },
                 });
                 inner.delayed_count += 1;
@@ -746,6 +787,51 @@ mod tests {
         clock.advance(Duration::from_millis(40));
         let order: Vec<String> = net.inbox(2).into_iter().map(|e| e.msg).collect();
         assert_eq!(order, ["a", "b", "c"], "earliest deadline first");
+    }
+
+    #[test]
+    fn untraced_messages_carry_the_zero_tag() {
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        net.send(1, 2, &"x".to_string()).unwrap();
+        let env = net.take_matching(2, |_| true).unwrap();
+        assert_eq!(env.tag, MsgTag::default());
+        assert!(!env.tag.is_traced());
+    }
+
+    #[test]
+    fn tracer_records_message_fates_with_shared_ids() {
+        use mocket_obs::causal::CausalKind;
+        let net: Arc<Net<String>> = Net::new([1, 2]);
+        let tracer = Tracer::for_case(0);
+        net.set_tracer(tracer.clone());
+        net.send(1, 2, &"x".to_string()).unwrap();
+        net.duplicate_matching(2, |_| true).unwrap();
+        let env = net.take_matching(2, |_| true).unwrap();
+        assert!(env.tag.is_traced());
+        net.take_matching(2, |_| true).unwrap();
+        net.partition(1, 2);
+        net.send(1, 2, &"y".to_string()).unwrap();
+        let events = tracer.take_events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                CausalKind::Send,
+                CausalKind::Duplicate,
+                CausalKind::Recv,
+                CausalKind::Recv,
+                CausalKind::Send,
+                CausalKind::Drop,
+            ]
+        );
+        // Both recvs of the duplicated message link to the original
+        // send's msg id; the partitioned send links to its own drop.
+        assert_eq!(events[2].msg, events[0].msg);
+        assert_eq!(events[3].msg, events[0].msg);
+        assert_eq!(events[5].msg, events[4].msg);
+        assert_eq!(events[5].note.as_deref(), Some("partition"));
+        // Threaded/real clock: vt stays zero everywhere.
+        assert!(events.iter().all(|e| e.vt == 0));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //!   [`strip_wall_clock`](summary::strip_wall_clock) for comparing
 //!   summaries.
 
+pub mod causal;
 pub mod coverage;
 mod event;
 pub mod fsio;
@@ -58,6 +59,7 @@ pub mod report;
 pub mod summary;
 pub mod trace;
 
+pub use causal::{CausalEvent, CausalKind, MsgTag, Tracer, TRACE_FILE_NAME};
 pub use coverage::{
     parse_uncovered_listing, CoverageMap, COVERAGE_FILE_NAME, UNCOVERED_FILE_NAME,
 };

@@ -250,6 +250,7 @@ pub fn make_sut_full(
     .with_disk_wiper(Box::new(move |id| {
         storage.for_node(id).wipe();
     }));
+    let trace_net = net.clone();
     ClusterSut::new(
         cluster,
         servers,
@@ -258,6 +259,7 @@ pub fn make_sut_full(
             client_counter: 0,
         }),
     )
+    .with_tracer_hook(Box::new(move |t| trace_net.set_tracer(t.clone())))
 }
 
 #[cfg(test)]

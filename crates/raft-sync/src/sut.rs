@@ -228,7 +228,9 @@ pub fn make_sut_full(
         }),
         backend,
     );
+    let trace_net = net.clone();
     ClusterSut::new(cluster, servers, Box::new(SyncDriver { client_counter: 0 }))
+        .with_tracer_hook(Box::new(move |t| trace_net.set_tracer(t.clone())))
 }
 
 #[cfg(test)]

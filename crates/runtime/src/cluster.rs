@@ -56,6 +56,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use mocket_core::sut::MsgEvent;
+use mocket_obs::causal::Tracer;
 use mocket_sim::{SimExecutor, SimHandle};
 use mocket_tla::{ActionInstance, Value};
 
@@ -417,6 +418,8 @@ pub struct Cluster {
     reply_timeout: Duration,
     disk_wiper: Option<DiskWiper>,
     metrics: Option<Arc<mocket_obs::MetricsRegistry>>,
+    /// Causal tracer (disabled by default — every hook is one branch).
+    tracer: Tracer,
     /// Present iff the backend is [`Backend::Sim`].
     sim: Option<SimState>,
 }
@@ -445,7 +448,28 @@ impl Cluster {
             reply_timeout: Duration::from_secs(5),
             disk_wiper: None,
             metrics: None,
+            tracer: Tracer::disabled(),
             sim,
+        }
+    }
+
+    /// Installs a causal tracer: node steps become spans
+    /// ([`CausalKind::StepBegin`](mocket_obs::causal::CausalKind) /
+    /// `StepEnd`), crashes and restarts become instants. Under the
+    /// simulation backend the events carry virtual timestamps, so
+    /// traces are byte-deterministic per seed; under the threaded
+    /// backend timestamps stay zero (the event *order* is still
+    /// deterministic for a given schedule).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Virtual time for trace events: the simulation clock when
+    /// present, else 0 (wall-clock must never leak into traces).
+    fn vtime(&self) -> u64 {
+        match &self.sim {
+            Some(sim) => sim.exec.clock().now_nanos(),
+            None => 0,
         }
     }
 
@@ -758,7 +782,10 @@ impl Cluster {
         id: NodeId,
         action: &ActionInstance,
     ) -> Result<Vec<MsgEvent>, ClusterError> {
-        match self.request(id, Ctl::Execute(action.clone()))? {
+        self.tracer.step_begin(id, self.vtime());
+        let result = self.request(id, Ctl::Execute(action.clone()));
+        self.tracer.step_end(id, self.vtime());
+        match result? {
             Rsp::Done(events) => Ok(events),
             _ => Err(ClusterError::ProtocolViolation(id)),
         }
@@ -816,6 +843,7 @@ impl Cluster {
             return;
         };
         self.tally("cluster.crashes");
+        self.tracer.crash(id, self.vtime());
         self.last_snapshot.insert(id, slot.registry().snapshot());
         match slot {
             NodeSlot::Direct(node) => {
@@ -850,6 +878,7 @@ impl Cluster {
         self.tally("cluster.restarts");
         self.crash(id);
         self.spawn(id);
+        self.tracer.restart(id, self.vtime());
     }
 
     /// Stops every node.

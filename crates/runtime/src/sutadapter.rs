@@ -7,6 +7,7 @@
 //! wires both to the testbed.
 
 use mocket_core::sut::{ExecReport, Offer, Snapshot, SutError, SystemUnderTest};
+use mocket_obs::causal::Tracer;
 use mocket_tla::{ActionInstance, Value};
 
 use crate::cluster::{Cluster, ClusterError, NodeId};
@@ -32,6 +33,10 @@ pub struct ClusterSut {
     cluster: Cluster,
     ids: Vec<NodeId>,
     external: Box<dyn ExternalDriver>,
+    /// Extra tracer plumbing beyond the cluster itself — protocol
+    /// factories register their wire network here so message-level
+    /// events reach the same trace.
+    tracer_hook: Option<Box<dyn Fn(&Tracer) + Send>>,
 }
 
 impl ClusterSut {
@@ -42,7 +47,18 @@ impl ClusterSut {
             cluster,
             ids,
             external,
+            tracer_hook: None,
         }
+    }
+
+    /// Registers a hook run on every [`install_tracer`] call, after
+    /// the cluster itself is wired (builder form). Protocol factories
+    /// use it to hand the tracer to their `dsnet::Net`.
+    ///
+    /// [`install_tracer`]: SystemUnderTest::install_tracer
+    pub fn with_tracer_hook(mut self, hook: Box<dyn Fn(&Tracer) + Send>) -> Self {
+        self.tracer_hook = Some(hook);
+        self
     }
 
     /// Access to the underlying cluster (tests, drivers).
@@ -127,6 +143,13 @@ impl SystemUnderTest for ClusterSut {
             .aggregate_snapshot(&self.ids)
             .map_err(convert)?;
         Ok(Snapshot { vars })
+    }
+
+    fn install_tracer(&mut self, tracer: &Tracer) {
+        self.cluster.set_tracer(tracer.clone());
+        if let Some(hook) = &self.tracer_hook {
+            hook(tracer);
+        }
     }
 }
 

@@ -31,10 +31,12 @@ use std::time::Duration;
 
 use mocket::checker::{to_dot, ModelChecker, StateGraph};
 use mocket::core::orchestrator::{
-    clear_drain_marker, ignore_sigint, merge_campaign, supervise, sweep_dead_leases,
-    CampaignPlan, DirLock, InjectionConfig, LeaseConfig, LockError, MergeInputs, PlanCase,
-    ShardSetup, SupervisorConfig, WorkerConfig, WorkerContext, EXIT_PLAN_MISMATCH,
+    clear_drain_marker, done_path, ignore_sigint, lease_path, merge_campaign, pid_alive,
+    shard_data_dir, supervise, sweep_dead_leases, CampaignPlan, DirLock, InjectionConfig,
+    LeaseConfig, LeaseInfo, LockError, MergeInputs, PlanCase, ShardSetup, SupervisorConfig,
+    WorkerConfig, WorkerContext, EXIT_PLAN_MISMATCH,
 };
+use mocket::core::{CampaignJournal, CaseOutcome};
 use mocket::core::{Pipeline, PipelineConfig, RetryPolicy, RunConfig, SystemUnderTest, TestCase};
 use mocket::dsnet::{FaultPlan, FaultPlanConfig};
 use mocket::raft_async::XraftBugs;
@@ -52,13 +54,16 @@ fn usage() -> ! {
         "usage:\n  mocket-cli check <spec> [--max-states N] [--dot FILE]\n  \
          mocket-cli generate <spec> [--por] [--max-path-len N] [--limit N] [--out FILE]\n  \
          mocket-cli test <target> [--bug NAME] [--limit N] [--progress] [--obs-dir DIR] \
-         [--priority-edges FILE] [--sim] [--sim-seed S] [--rtt-ms B] [--rtt-spread-ms S]\n  \
+         [--priority-edges FILE] [--trace] [--sim] [--sim-seed S] [--rtt-ms B] \
+         [--rtt-spread-ms S]\n  \
          mocket-cli campaign <target> --campaign-dir DIR [--bug NAME] [--workers N] \
          [--limit N] [--max-states N] [--max-path-len N] [--shard-size N] \
          [--poison-threshold K] [--max-restarts N] [--heartbeat-ms N] [--lease-ttl-ms N] \
-         [--hang-timeout-ms N] [--progress] [--sim] [--sim-seed S] \
+         [--hang-timeout-ms N] [--progress] [--trace] [--sim] [--sim-seed S] \
          [--rtt-ms B] [--rtt-spread-ms S]\n  \
+         mocket-cli campaign --status --campaign-dir DIR [--watch] [--interval-ms N]\n  \
          mocket-cli report --obs-dir DIR [--html] [--out FILE]\n  \
+         mocket-cli report --trace-view [--trace-file FILE | --obs-dir DIR] [--out FILE]\n  \
          mocket-cli simulate <target> [--steps N] [--seed S]\n  \
          mocket-cli list"
     );
@@ -372,6 +377,7 @@ fn cmd_test(args: &Args) {
     pc.max_test_cases = args.flag_usize("limit", 0);
     pc.run = RunConfig::fast();
     pc.progress = args.flag_bool("progress");
+    pc.trace = args.flag_bool("trace");
     if let Some(handle) = &sim {
         pc.clock = handle.clock.clone();
     }
@@ -434,6 +440,14 @@ fn cmd_test(args: &Args) {
             "observability artifacts in {dir}/ (events.jsonl, run-summary.json, \
              coverage.json, coverage.dot, uncovered-edges.txt, campaign-history.jsonl)"
         );
+        if args.flag_bool("trace") {
+            println!(
+                "causal trace in {dir}/{} (view: mocket-cli report --trace-view --obs-dir {dir})",
+                mocket::obs::TRACE_FILE_NAME
+            );
+        }
+    } else if args.flag_bool("trace") {
+        eprintln!("note: --trace without --obs-dir records traces into replay artifacts only");
     }
 }
 
@@ -505,6 +519,14 @@ fn lease_config(args: &Args) -> LeaseConfig {
 }
 
 fn cmd_campaign(args: &Args) {
+    // `--status` is a read-only live view of a (possibly in-flight)
+    // campaign: it must branch off before the directory lock below —
+    // taking the lock would refuse to coexist with the running
+    // supervisor, which is exactly when a status view is wanted.
+    if args.flag_bool("status") {
+        cmd_campaign_status(args);
+        return;
+    }
     let name = args
         .positional
         .get(1)
@@ -647,6 +669,10 @@ fn cmd_campaign(args: &Args) {
         sim_args.push("--rtt-spread-ms".to_string());
         sim_args.push(args.flag_usize("rtt-spread-ms", 0).to_string());
     }
+    // Causal tracing is per executed case, which happens in workers.
+    if args.flag_bool("trace") {
+        sim_args.push("--trace".to_string());
+    }
     let mut spawn = |id: usize| -> std::io::Result<std::process::Child> {
         let worker_dir = campaign_dir.join(format!("worker-{id}"));
         std::fs::create_dir_all(&worker_dir)?;
@@ -691,6 +717,7 @@ fn cmd_campaign(args: &Args) {
         coverage_fraction: m.gauge("coverage.fraction").unwrap_or(0.0),
         por_excluded: por_excluded as u64,
         completed: outcome.completed(),
+        obs: obs.clone(),
     }) {
         Ok(report) => report,
         Err(e) => {
@@ -733,6 +760,118 @@ fn cmd_campaign(args: &Args) {
              run-summary.json, campaign-history.jsonl)"
         );
     }
+}
+
+/// Read-only live view of a campaign directory: per-shard disposition
+/// (done / leased / unclaimed), lease owner health, and verdict counts
+/// read lock-free from the shard journals. Takes no locks and writes
+/// nothing, so it is safe against an in-flight campaign; `--watch`
+/// polls until every shard retires.
+fn cmd_campaign_status(args: &Args) {
+    let Some(dir) = args.flags.get("campaign-dir") else {
+        eprintln!("campaign --status requires --campaign-dir DIR");
+        usage();
+    };
+    let campaign_dir = PathBuf::from(dir);
+    let watch = args.flag_bool("watch");
+    let interval = Duration::from_millis(args.flag_usize("interval-ms", 1000).max(50) as u64);
+    loop {
+        let plan = match CampaignPlan::load(&campaign_dir) {
+            Ok(Some(plan)) => Some(plan),
+            Ok(None) => None,
+            Err(e) => {
+                eprintln!("cannot load campaign plan from {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let all_done = match &plan {
+            Some(plan) => print_campaign_status(&campaign_dir, plan),
+            None => {
+                println!("{dir}: no campaign plan pinned yet");
+                false
+            }
+        };
+        if !watch || all_done {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One status snapshot; returns whether every shard is retired.
+fn print_campaign_status(campaign_dir: &std::path::Path, plan: &CampaignPlan) -> bool {
+    let shard_count = plan.shard_count();
+    println!(
+        "campaign {}{}: {} case(s) across {} shard(s), shard size {}",
+        plan.target,
+        plan.bug
+            .as_deref()
+            .map(|b| format!(" (bug: {b})"))
+            .unwrap_or_default(),
+        plan.cases.len(),
+        shard_count,
+        plan.shard_size,
+    );
+    let (mut done_shards, mut passed, mut failed, mut verdicts, mut issues) = (0, 0, 0, 0, 0);
+    for shard in 0..shard_count {
+        // Verdicts so far, straight from the shard journal (lock-free
+        // point-in-time read; a torn final line counts as an issue, not
+        // a verdict — exactly how a resume would treat it).
+        let (entries, shard_issues) =
+            CampaignJournal::load_entries(&shard_data_dir(campaign_dir, shard)).unwrap_or_default();
+        let shard_passed = entries
+            .values()
+            .filter(|e| e.outcome == CaseOutcome::Passed)
+            .count();
+        let shard_failed = entries.len() - shard_passed;
+        passed += shard_passed;
+        failed += shard_failed;
+        verdicts += entries.len();
+        issues += shard_issues.len();
+        let disposition = if done_path(campaign_dir, shard).exists() {
+            done_shards += 1;
+            "done".to_string()
+        } else {
+            match std::fs::read_to_string(lease_path(campaign_dir, shard)) {
+                Ok(text) => match LeaseInfo::parse(&text) {
+                    Some(lease) => {
+                        let owner = if pid_alive(lease.pid) {
+                            "live"
+                        } else {
+                            "DEAD"
+                        };
+                        let case = match &lease.case {
+                            Some((idx, hash)) => format!("case {idx} ({hash})"),
+                            None => "between cases".to_string(),
+                        };
+                        format!(
+                            "leased by worker {} (pid {} {owner}, hb {}) — {case}",
+                            lease.worker, lease.pid, lease.hb
+                        )
+                    }
+                    None => "torn lease (claim in flight or debris)".to_string(),
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => "unclaimed".to_string(),
+                Err(e) => format!("lease unreadable: {e}"),
+            }
+        };
+        println!(
+            "  shard {shard}: {disposition} — {} verdict(s) ({} passed, {} failed)",
+            entries.len(),
+            shard_passed,
+            shard_failed,
+        );
+    }
+    println!(
+        "total: {done_shards}/{shard_count} shard(s) done, {verdicts} verdict(s) \
+         ({passed} passed, {failed} failed){}",
+        if issues > 0 {
+            format!(", {issues} journal issue(s)")
+        } else {
+            String::new()
+        }
+    );
+    done_shards == shard_count
 }
 
 /// Hidden worker subcommand: one crash-isolated campaign worker. Not
@@ -832,6 +971,7 @@ fn cmd_campaign_worker(args: &Args) -> ! {
         }
         pc.case_range = Some(setup.range);
         pc.case_gate = Some(setup.gate.clone());
+        pc.trace = args.flag_bool("trace");
         pc.triage.campaign_dir = Some(setup.shard_dir.clone());
         pc.triage.spec_config = spec_config.clone();
         Pipeline::new(spec.clone(), registry.clone(), pc)
@@ -847,6 +987,10 @@ fn cmd_campaign_worker(args: &Args) -> ! {
 }
 
 fn cmd_report(args: &Args) {
+    if args.flag_bool("trace-view") {
+        cmd_trace_view(args);
+        return;
+    }
     let dir = args
         .flags
         .get("obs-dir")
@@ -887,6 +1031,48 @@ fn cmd_report(args: &Args) {
             );
         }
         None => print!("{rendered}"),
+    }
+}
+
+/// `report --trace-view`: converts a recorded `trace.jsonl` into
+/// Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+/// Torn or truncated trace lines are salvaged and reported to stderr;
+/// the view renders everything that survived.
+fn cmd_trace_view(args: &Args) {
+    let path = match args.flags.get("trace-file") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let dir = args
+                .flags
+                .get("obs-dir")
+                .or_else(|| args.flags.get("campaign-dir"))
+                .map(String::as_str)
+                .or_else(|| args.positional.get(1).map(String::as_str))
+                .unwrap_or_else(|| usage());
+            PathBuf::from(dir).join(mocket::obs::TRACE_FILE_NAME)
+        }
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read trace {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let (events, issues) = mocket::obs::causal::parse_trace(&text);
+    for issue in &issues {
+        eprintln!("warning: {issue}");
+    }
+    let json = mocket::obs::causal::chrome_trace(&events);
+    match args.flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write trace view to {out}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "chrome trace over {} causal event(s) written to {out}",
+                events.len()
+            );
+        }
+        None => println!("{json}"),
     }
 }
 

@@ -55,7 +55,12 @@ impl CampaignRun {
         CampaignRun { dir }
     }
 
-    fn run_with(&self, workers: usize, env: &[(&str, &str)]) -> std::process::ExitStatus {
+    fn run_with_args(
+        &self,
+        workers: usize,
+        env: &[(&str, &str)],
+        extra: &[&str],
+    ) -> std::process::ExitStatus {
         let mut cmd = Command::new(CLI);
         cmd.args(["campaign", "xraft"])
             .arg("--campaign-dir")
@@ -66,11 +71,16 @@ impl CampaignRun {
             .args(["--max-states", "2000"])
             .args(["--poison-threshold", "2"])
             .args(["--heartbeat-ms", "50"])
-            .args(["--lease-ttl-ms", "500"]);
+            .args(["--lease-ttl-ms", "500"])
+            .args(extra);
         for (k, v) in env {
             cmd.env(k, v);
         }
         cmd.status().expect("spawn mocket-cli campaign")
+    }
+
+    fn run_with(&self, workers: usize, env: &[(&str, &str)]) -> std::process::ExitStatus {
+        self.run_with_args(workers, env, &[])
     }
 
     fn run(&self, workers: usize) -> std::process::ExitStatus {
@@ -192,7 +202,13 @@ fn supervisor_sigkill_plus_fs_faults_recovers_to_byte_identical_outputs() {
 /// op; a different seed diverges.
 #[test]
 fn fault_schedule_is_a_pure_function_of_the_seed() {
-    let points = ["plan.write", "lease.write", "journal.append", "obs.flush"];
+    let points = [
+        "plan.write",
+        "lease.write",
+        "journal.append",
+        "obs.flush",
+        "trace.append",
+    ];
     let run = |seed: u64| -> Vec<Option<(FaultKind, u64)>> {
         let inj = FaultInjector::new(seed, 200);
         let mut schedule = Vec::new();
@@ -216,7 +232,7 @@ fn fault_schedule_is_a_pure_function_of_the_seed() {
     // points does not perturb a point's own schedule.
     let inj = FaultInjector::new(42, 200);
     let mut plan_only = Vec::new();
-    for _ in 0..100 {
+    for _ in 0..400 / points.len() {
         plan_only.push(inj.decide("plan.write").map(|f| (f.kind, f.roll)));
     }
     let interleaved: Vec<_> = a
@@ -230,6 +246,73 @@ fn fault_schedule_is_a_pure_function_of_the_seed() {
         plan_only, interleaved,
         "a point's schedule must not depend on other points' traffic"
     );
+}
+
+/// The `trace.append` fault point: a traced campaign whose every
+/// causal-trace append runs under seeded fault injection still
+/// completes, its verdicts stay byte-identical to a clean untraced
+/// campaign (tracing and its failures never leak into canonical
+/// outputs), and the merged `trace.jsonl` parses cleanly — a torn
+/// append either rolls back or its debris is isolated for parse-time
+/// salvage, never fused into the next record.
+#[test]
+fn traced_campaign_survives_trace_append_faults() {
+    let clean = CampaignRun::new("trace-clean");
+    assert!(clean.run(2).success(), "clean untraced campaign");
+
+    let chaos = CampaignRun::new("trace-chaos");
+    let fault_log_base = std::env::var_os("MOCKET_CHAOS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let fault_log = fault_log_base.join(format!(
+        "mocket-chaos-trace-faultlog-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&fault_log);
+    let fault_log_str = fault_log.to_string_lossy().into_owned();
+    let status = chaos.run_with_args(
+        2,
+        &[
+            ("MOCKET_FSIO_FAULTS", "seed=20260810 rate=500 points=trace.append"),
+            ("MOCKET_FSIO_FAULT_LOG", &fault_log_str),
+        ],
+        &["--trace"],
+    );
+    assert!(
+        status.success(),
+        "faults confined to trace.append must never fail a campaign"
+    );
+
+    // The injector actually bit, and only at the trace point.
+    let log = std::fs::read_to_string(&fault_log).expect("fault log written");
+    assert!(
+        log.lines().count() > 0,
+        "rate=500/1024 over a traced campaign must inject at least once"
+    );
+    for line in log.lines() {
+        assert!(
+            line.contains("point=trace.append"),
+            "points= filter must confine faults to trace.append, got: {line}"
+        );
+    }
+
+    // Verdicts unharmed: every canonical output matches the clean run.
+    assert_canonical_identical(&clean, &chaos, "traced-chaos vs clean-untraced");
+
+    // The merged campaign-level trace survived the faults and parses
+    // without salvage issues: partial appends rolled back, so the file
+    // holds only whole records.
+    let trace_text = String::from_utf8(chaos.read("trace.jsonl")).expect("trace is utf-8");
+    let (events, issues) = mocket::obs::causal::parse_trace(&trace_text);
+    assert!(issues.is_empty(), "torn appends must roll back: {issues:?}");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == mocket::obs::CausalKind::CaseEnd),
+        "the trace records case outcomes despite injected faults"
+    );
+    let _ = std::fs::remove_file(&fault_log);
 }
 
 /// Minimal xorshift-flavored generator for the fuzz tests below —

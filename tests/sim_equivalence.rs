@@ -44,6 +44,8 @@ struct RunOutput {
     verdicts: Vec<(String, Option<String>)>,
     events: String,
     summary: String,
+    /// Raw `trace.jsonl` bytes when the run was traced, else empty.
+    trace: String,
     wall_seconds: f64,
 }
 
@@ -52,6 +54,7 @@ fn run_workload<S, M>(
     registry: mocket::core::MappingRegistry,
     make_sut: M,
     sim: Option<&SimHandle>,
+    trace_dir: Option<&std::path::Path>,
 ) -> RunOutput
 where
     S: Spec + 'static,
@@ -65,6 +68,10 @@ where
     pc.max_test_cases = 6;
     pc.run = RunConfig::fast();
     pc.obs = obs;
+    if let Some(dir) = trace_dir {
+        pc.trace = true;
+        pc.triage.campaign_dir = Some(dir.to_path_buf());
+    }
     let backend = match sim {
         Some(handle) => {
             pc.clock = handle.clock.clone();
@@ -77,6 +84,9 @@ where
     let mut make_sut = make_sut;
     let result = pipeline.run(|| make_sut(backend.clone()));
     let wall_seconds = start.elapsed().as_secs_f64();
+    let trace = trace_dir
+        .map(|d| std::fs::read_to_string(d.join(mocket::obs::TRACE_FILE_NAME)).unwrap_or_default())
+        .unwrap_or_default();
     RunOutput {
         verdicts: result
             .reports
@@ -90,11 +100,16 @@ where
             .collect(),
         events: rec.to_jsonl(),
         summary: result.summary.to_json(),
+        trace,
         wall_seconds,
     }
 }
 
 fn run_raft(sim: Option<&SimHandle>) -> RunOutput {
+    run_raft_in(sim, None)
+}
+
+fn run_raft_in(sim: Option<&SimHandle>, trace_dir: Option<&std::path::Path>) -> RunOutput {
     let mut bugs = mocket::raft_sync::SyncRaftBugs::none();
     bugs.ignore_extra_vote_response = true;
     let mut cfg = RaftSpecConfig::raft_java(vec![1, 2, 3]);
@@ -113,7 +128,16 @@ fn run_raft(sim: Option<&SimHandle>) -> RunOutput {
             ))
         },
         sim,
+        trace_dir,
     )
+}
+
+/// A fresh scratch directory for traced runs.
+fn trace_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mocket-sim-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 fn run_zab(sim: Option<&SimHandle>) -> RunOutput {
@@ -132,6 +156,7 @@ fn run_zab(sim: Option<&SimHandle>) -> RunOutput {
             ))
         },
         sim,
+        None,
     )
 }
 
@@ -189,6 +214,7 @@ fn run_raft_timed_delays(sim: Option<&SimHandle>) -> RunOutput {
             ))
         },
         sim,
+        None,
     )
 }
 
@@ -344,6 +370,46 @@ fn same_seed_sim_runs_are_fully_byte_identical() {
     // Not just modulo wall clock: under the virtual clock the whole
     // summary — wall_ section included — is deterministic per seed.
     assert_eq!(a.summary, b.summary);
+}
+
+#[test]
+fn causal_trace_edge_set_is_identical_across_backends() {
+    use mocket::obs::causal::{parse_trace, strip_virtual_time, to_jsonl};
+    let dir_real = trace_dir("trace-real");
+    let dir_sim = trace_dir("trace-sim");
+    let real = run_raft_in(None, Some(&dir_real));
+    let sim = run_raft_in(Some(&SimHandle::new(42)), Some(&dir_sim));
+    // Tracing must not perturb the run itself.
+    assert_equivalent(&real, &sim, "raft-sync+trace");
+    let (real_ev, real_issues) = parse_trace(&real.trace);
+    let (sim_ev, sim_issues) = parse_trace(&sim.trace);
+    assert!(real_issues.is_empty(), "{real_issues:?}");
+    assert!(sim_issues.is_empty(), "{sim_issues:?}");
+    assert!(!real_ev.is_empty(), "traced run must record causal events");
+    // The causal structure — sends, receives, releases, Lamport
+    // clocks, message ids, spec-edge stamps — is backend-independent;
+    // only the virtual timestamps may differ (threaded runs record 0).
+    assert_eq!(
+        to_jsonl(&strip_virtual_time(&real_ev)),
+        to_jsonl(&strip_virtual_time(&sim_ev)),
+        "stripped causal edge sets must match across backends"
+    );
+    let _ = std::fs::remove_dir_all(&dir_real);
+    let _ = std::fs::remove_dir_all(&dir_sim);
+}
+
+#[test]
+fn same_seed_sim_traces_are_byte_identical() {
+    let dir_a = trace_dir("trace-seed-a");
+    let dir_b = trace_dir("trace-seed-b");
+    let a = run_raft_in(Some(&SimHandle::new(7)), Some(&dir_a));
+    let b = run_raft_in(Some(&SimHandle::new(7)), Some(&dir_b));
+    assert!(!a.trace.is_empty(), "traced sim run must write trace.jsonl");
+    // Virtual timestamps included: the whole trace file is a pure
+    // function of the seed.
+    assert_eq!(a.trace, b.trace);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }
 
 #[test]
